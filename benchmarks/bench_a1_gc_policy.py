@@ -1,0 +1,9 @@
+"""A1 (ablation): GC victim policy x workload skew."""
+
+
+def test_gc_policy_ablation(run_bench):
+    result = run_bench("A1")
+    # Under skew, cost-benefit beats greedy (the LFS folk theorem).
+    assert result.headline["costbenefit_hotcold"] < result.headline["greedy_hotcold"]
+    # Under uniform traffic greedy is at least as good as FIFO.
+    assert result.headline["greedy_uniform"] <= result.headline["fifo_uniform"]

@@ -1,0 +1,8 @@
+"""A2 (ablation): zone width vs zone-native LSM reclaim overhead."""
+
+
+def test_zone_size_ablation(run_bench):
+    result = run_bench("A2")
+    assert result.headline["narrowest_wa"] <= result.headline["widest_wa"]
+    # Relocation overhead stays small at every width (the ZNS story holds).
+    assert result.headline["widest_wa"] < 1.5

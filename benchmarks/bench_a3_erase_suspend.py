@@ -1,0 +1,9 @@
+"""A3 (ablation): erase suspension vs read tail latency."""
+
+
+def test_erase_suspension(run_bench):
+    result = run_bench("A3")
+    assert result.headline["tail_reduction_factor"] > 1.5
+    # Finer slicing strictly helps the extreme tail.
+    tails = [r["p999_read_us"] for r in result.rows]
+    assert tails[-1] < tails[0]

@@ -1,0 +1,10 @@
+"""A4 (ablation): DRAM-less mapping (DFTL) vs the ZNS thin map."""
+
+
+def test_dramless_mapping(run_bench):
+    result = run_bench("A4")
+    # A starved mapping cache costs real flash reads per host op...
+    assert result.headline["tiny_cache_read_overhead"] > 1.5
+    # ...while overhead vanishes as coverage grows (monotone in cache size).
+    overheads = [r["read_overhead"] for r in result.rows if isinstance(r["cache_translation_pages"], int)]
+    assert overheads == sorted(overheads, reverse=True)

@@ -1,0 +1,8 @@
+"""A5 (ablation): mapping-durability checkpoint overhead (§2.1)."""
+
+
+def test_metadata_checkpoint_overhead(run_bench):
+    result = run_bench("A5")
+    # At datacenter scale the conventional surcharge dwarfs ZNS's.
+    assert result.headline["datacenter_conventional_pct_at_1k"] > 50.0
+    assert result.headline["datacenter_zns_pct_at_1k"] < 10.0

@@ -1,0 +1,9 @@
+"""E10: NAND timing ladder (paper: erase ~6x program for TLC)."""
+
+
+def test_flash_timing(run_bench):
+    result = run_bench("E10")
+    assert result.headline["within_5x_to_7x"] is True
+    erase = {r["cell"]: r["erase_us"] for r in result.rows}
+    program = {r["cell"]: r["program_us"] for r in result.rows}
+    assert all(erase[c] > program[c] for c in erase)

@@ -1,0 +1,6 @@
+"""E11: Host reclaim scheduling vs read tails (paper §4.1)."""
+
+
+def test_gc_scheduling(run_bench):
+    result = run_bench("E11")
+    assert result.headline["tail_reduction_factor"] > 1.3

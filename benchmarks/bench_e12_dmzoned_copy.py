@@ -1,0 +1,10 @@
+"""E12: Block-on-ZNS with simple copy (paper §2.3: comparable, no PCIe)."""
+
+
+def test_dmzoned_simple_copy(run_bench):
+    result = run_bench("E12")
+    # Comparable throughput (within ~30% of the conventional device).
+    assert result.headline["throughput_vs_conventional"] > 0.7
+    # Simple copy keeps reclaim off the host interface entirely.
+    assert result.headline["simple_copy_pcie_pages"] == 0
+    assert result.headline["host_copy_pcie_pages"] > 0

@@ -1,0 +1,8 @@
+"""E13: Flash cache designs per interface (paper §2.4/§4.1)."""
+
+
+def test_flash_cache(run_bench):
+    result = run_bench("E13")
+    assert result.headline["conventional_wa"] > 2.0
+    assert result.headline["zns_wa"] < 1.3
+    assert result.headline["erase_reduction"] > 1.5

@@ -1,0 +1,10 @@
+"""E14: endurance arithmetic (paper §1 and §2.5's QLC-enablement quote)."""
+
+
+def test_endurance_lifetime(run_bench):
+    result = run_bench("E14")
+    # ZNS always extends lifetime by the WA ratio.
+    for row in result.rows:
+        assert row["zns_years"] > row["conventional_years"]
+    # The §2.5 shape: QLC clears the 5-year bar only at ZNS-level WA.
+    assert result.headline["qlc_5y_viable_only_on_zns"] is True

@@ -1,0 +1,13 @@
+"""E1: WA vs overprovisioning curve (paper: ~15x @0% -> ~2.5x @25%)."""
+
+
+def test_wa_vs_overprovisioning(run_bench):
+    result = run_bench("E1")
+    rows = {r["op_pct"]: r["write_amplification"] for r in result.rows}
+    # Monotonically improving with OP.
+    ops = sorted(rows)
+    assert all(rows[a] >= rows[b] for a, b in zip(ops, ops[1:]))
+    # Shape: double-digit WA at "0%", low single digits at 25%.
+    assert rows[0.0] > 10.0
+    assert 2.0 <= rows[25.0] <= 3.5
+    assert result.headline["improvement_factor"] > 4.0

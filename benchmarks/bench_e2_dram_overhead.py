@@ -1,0 +1,8 @@
+"""E2: Mapping DRAM (paper: ~1 GB/TB conventional vs ~256 KB/TB ZNS)."""
+
+
+def test_dram_overhead(run_bench):
+    result = run_bench("E2")
+    assert result.headline["conventional_gb_per_tb"] == 1.0
+    assert result.headline["zns_kb_per_tb"] == 256.0
+    assert result.headline["reduction_factor"] == 4096

@@ -1,0 +1,12 @@
+"""E3: Read latency / throughput (paper: ~60% lower latency, ~3x throughput)."""
+
+
+def test_read_latency_and_throughput(run_bench):
+    result = run_bench("E3")
+    # ZNS wins on throughput by a healthy factor against the
+    # well-provisioned conventional device (paper: ~3x)...
+    assert result.headline["throughput_factor_vs_28pct_op"] > 1.5
+    # ...and by much more against the thin-OP device.
+    assert result.headline["throughput_factor_vs_7pct_op"] > 4.0
+    # Read latency falls substantially vs the 7%-OP device (paper: ~60%).
+    assert result.headline["read_latency_reduction_vs_7pct_op"] > 40.0

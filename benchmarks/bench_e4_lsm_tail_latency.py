@@ -1,0 +1,8 @@
+"""E4: LSM tails/throughput (paper: 2-4x lower read tails, 2x throughput)."""
+
+
+def test_lsm_tail_latency(run_bench):
+    result = run_bench("E4")
+    assert result.headline["p99_tail_factor"] > 2.0
+    assert result.headline["p999_tail_factor"] > 1.5
+    assert result.headline["write_throughput_factor"] > 1.5

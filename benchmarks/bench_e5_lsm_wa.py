@@ -1,0 +1,10 @@
+"""E5: LSM write amplification (paper: 5x -> 1.2x on ZNS)."""
+
+
+def test_lsm_write_amplification(run_bench):
+    result = run_bench("E5")
+    # ZNS backend adds essentially nothing below the application.
+    assert result.headline["zns_device_wa"] < 1.2
+    # The conventional stack pays a visible tax on top.
+    assert result.headline["conventional_device_wa"] > result.headline["zns_device_wa"]
+    assert result.headline["reduction_factor"] > 1.1

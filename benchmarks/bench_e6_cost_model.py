@@ -1,0 +1,8 @@
+"""E6: $/usable-GB and the footnote-2 DIMM premium."""
+
+
+def test_cost_model(run_bench):
+    result = run_bench("E6")
+    assert result.headline["premium_exceeds_2x"] is True
+    assert result.headline["small_dimm_premium"] > 2.0
+    assert result.headline["zns_saving_vs_28pct_op"] > 0.1

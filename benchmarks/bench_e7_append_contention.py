@@ -1,0 +1,9 @@
+"""E7: Write-pointer contention vs zone append (paper §4.2)."""
+
+
+def test_append_contention(run_bench):
+    result = run_bench("E7")
+    # Regular writes gain nothing from more producers...
+    assert result.headline["write_mode_scaling"] < 1.3
+    # ...appends scale out.
+    assert result.headline["append_speedup_at_max_writers"] > 3.0

@@ -1,0 +1,7 @@
+"""E8: Active-zone budgets under bursty tenants (paper §4.2)."""
+
+
+def test_active_zone_allocation(run_bench):
+    result = run_bench("E8")
+    assert result.headline["dynamic_satisfaction"] > result.headline["static_satisfaction"]
+    assert result.headline["multiplexing_gain"] > 1.2

@@ -1,0 +1,10 @@
+"""E9: Lifetime-hint placement ladder (paper §4.1)."""
+
+
+def test_placement_hints(run_bench):
+    result = run_bench("E9")
+    blind = result.headline["blind_wa"]
+    owner = result.headline["owner_hint_wa"]
+    oracle = result.headline["oracle_wa"]
+    assert oracle <= owner <= blind
+    assert oracle < blind  # knowledge strictly helps end to end

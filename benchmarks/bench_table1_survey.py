@@ -1,0 +1,10 @@
+"""T1: Regenerate Table 1 and check it matches the published counts."""
+
+
+def test_table1_survey(run_bench):
+    result = run_bench("T1")
+    assert result.headline["exact_match"] is True
+    # Paper: 23% simplified, 59% affected, 18% orthogonal.
+    assert 22.0 <= result.headline["simplified_pct"] <= 24.0
+    assert 58.0 <= result.headline["affected_pct"] <= 61.0
+    assert 17.0 <= result.headline["orthogonal_pct"] <= 19.0

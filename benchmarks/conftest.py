@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures via the
+experiment registry (quick mode) and asserts the claim's *shape*. Runs
+use ``benchmark.pedantic`` with a single round: the interesting output is
+the experiment result (attached to ``benchmark.extra_info``), not
+microsecond-level timing stability.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture
+def run_bench(benchmark):
+    """Run one experiment under pytest-benchmark and return its result."""
+
+    def _run(experiment_id, quick=True, seed=0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"quick": quick, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info["experiment"] = experiment_id
+        benchmark.extra_info["headline"] = {
+            k: (str(v) if isinstance(v, bool) else v)
+            for k, v in result.headline.items()
+        }
+        return result
+
+    return _run

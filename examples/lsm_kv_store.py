@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""An LSM key-value store on three storage stacks (the E5 scenario).
+
+The same RocksDB-like store -- memtable, leveled compaction, WAL -- runs
+over a conventional SSD (with and without TRIM) and a ZNS device with a
+ZenFS-style zone backend, under an identical overwrite-heavy workload.
+The printout decomposes write amplification into what the application
+itself causes (compaction, WAL) and what each interface adds below it.
+
+Run: ``python examples/lsm_kv_store.py``
+"""
+
+import numpy as np
+
+from repro.apps.lsm import BlockFileBackend, LSMConfig, LSMStore, ZoneFileBackend
+from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.ftl.device import ConventionalSSD
+from repro.ftl.ftl import FTLConfig
+from repro.zns.device import ZNSDevice
+
+N_KEYS = 150_000
+OPS = 350_000
+CFG = LSMConfig(memtable_pages=64, level0_pages=768, max_table_pages=32)
+
+
+def drive(store: LSMStore) -> None:
+    rng = np.random.default_rng(0)
+    for i in range(OPS):
+        store.put(int(rng.integers(0, N_KEYS)), i)
+
+
+def report(label: str, store: LSMStore, flash_bytes: int) -> None:
+    app_wa = store.stats.app_write_amplification(store.backend.page_size)
+    total_wa = store.total_write_amplification(flash_bytes)
+    print(f"{label:18s} app WA {app_wa:5.2f}  x  interface tax "
+          f"{total_wa / app_wa:4.2f}  =  total {total_wa:5.2f}")
+
+
+def main() -> None:
+    print(f"workload: {OPS:,} puts over {N_KEYS:,} keys "
+          f"(128 B entries, overwrite-heavy)\n")
+
+    for label, trim in [("block, no TRIM", False), ("block, TRIM", True)]:
+        ssd = ConventionalSSD(FlashGeometry.small(), FTLConfig(op_ratio=0.07))
+        store = LSMStore(
+            BlockFileBackend(ssd, trim_on_delete=trim, allocation_strategy="aged"),
+            CFG,
+        )
+        drive(store)
+        report(label, store, ssd.ftl.nand.physical_bytes_written())
+
+    zoned = ZonedGeometry(
+        flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
+    )
+    device = ZNSDevice(zoned)
+    store = LSMStore(ZoneFileBackend(device), CFG)
+    drive(store)
+    report("zns, zenfs-like", store, device.nand.physical_bytes_written())
+    backend = store.backend
+    print(f"\nzone backend details: {backend.stats.zones_reset} zone resets, "
+          f"{backend.stats.free_zone_resets} were free "
+          f"(fully-dead zones), {backend.stats.pages_relocated} pages relocated")
+    print("level sizes (pages):", store.level_sizes_pages())
+
+    # Correctness spot check: the newest value for a sample of keys.
+    rng = np.random.default_rng(0)
+    truth = {}
+    for i in range(OPS):
+        truth[int(rng.integers(0, N_KEYS))] = i
+    sample = list(truth.items())[::4001]
+    assert all(store.get(k) == v for k, v in sample)
+    print(f"verified {len(sample)} random keys read back correctly")
+
+
+if __name__ == "__main__":
+    main()

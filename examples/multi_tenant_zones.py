@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Sharing 14 active zones among bursty tenants (the E8 scenario, §4.2).
+
+Four kernel-bypass applications share one ZNS SSD whose hardware caps
+simultaneously-active zones at 14 (the paper's reference device). Tenants
+alternate idle (1 zone) and burst (8 zones) phases. Three allocation
+policies contend:
+
+- static:     fixed share of 3 zones each; bursts starve while slots idle
+- dynamic:    first-come-first-served; bursts fly, isolation suffers
+- fair-share: guaranteed 3 each, idle slots borrowable
+
+Run: ``python examples/multi_tenant_zones.py``
+"""
+
+from repro.experiments.e8_active_zones import simulate_allocator
+from repro.workloads.multitenant import BurstyTenant
+
+STEPS = 20_000
+
+
+def main() -> None:
+    tenant = BurstyTenant(tenant_id=0, idle_zones=1, burst_zones=8)
+    print(
+        f"4 tenants x (idle {tenant.idle_zones} zone / burst {tenant.burst_zones} "
+        f"zones), mean demand {tenant.mean_demand:.1f} zones each, "
+        f"14-zone device budget\n"
+    )
+    print(f"{'policy':12s} {'denied':>8} {'demand met':>11} {'steps fully ok':>15} {'avg held':>9}")
+    for name in ("static", "dynamic", "fair-share"):
+        row = simulate_allocator(name, tenants=4, max_active=14, steps=STEPS, seed=1)
+        print(
+            f"{name:12s} {row['denial_rate']:8.1%} "
+            f"{row['demand_satisfaction']:11.1%} "
+            f"{row['fully_satisfied_steps_pct']:14.1f}% "
+            f"{row['mean_zones_held']:9.2f}"
+        )
+    print(
+        "\nTakeaway: the static strawman of §4.2 leaves the device idle "
+        "while bursts starve; multiplexing recovers most of the unmet "
+        "demand, and fair-share does so without letting one tenant "
+        "monopolize the budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

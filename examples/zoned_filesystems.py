@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The zoned-interface ladder: raw zones, ZoneFS, and a hint-aware LFS.
+
+§4.1 asks how applications should interact with zones: raw access for
+control, filesystems for convenience. This example walks the ladder on
+one device family:
+
+1. ZoneFS -- zones as append-only files (thinnest possible filesystem);
+2. a log-structured filesystem that ignores file metadata (F2FS today);
+3. the same LFS using owner metadata for placement (F2FS tomorrow),
+   showing the write-amplification difference on a churn workload.
+
+Run: ``python examples/zoned_filesystems.py``
+"""
+
+import numpy as np
+
+from repro.apps.lfs import LogStructuredFS
+from repro.apps.zonefs import ZoneFS
+from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.zns.device import ZNSDevice
+
+
+def demo_zonefs() -> None:
+    print("=== ZoneFS: a zone is a file ===")
+    fs = ZoneFS(ZNSDevice(ZonedGeometry.small(), store_data=True))
+    fs.append("seq/0", data=b"log line 1")
+    fs.append("seq/0", data=b"log line 2")
+    print(f"seq/0: {fs.stat('seq/0')}")
+    print(f"read(seq/0, 1) = {fs.read('seq/0', 1)!r}")
+    fs.truncate("seq/0", 0)
+    print(f"after truncate(0): {fs.stat('seq/0')}\n")
+
+
+def churn(fs: LogStructuredFS, files: int, rewrites: int, seed: int) -> None:
+    """Create a file population, then rewrite files with owner-correlated
+    frequency: owner 0's files churn constantly, owner 2's are cold."""
+    rng = np.random.default_rng(seed)
+    rewrite_bias = {0: 0.90, 1: 0.09, 2: 0.01}
+    for i in range(files):
+        fs.create(f"/f{i}", size_pages=2, owner=i % 3)
+    for _ in range(rewrites):
+        owner = rng.choice([0, 1, 2], p=[rewrite_bias[0], rewrite_bias[1], rewrite_bias[2]])
+        candidates = [p for p in fs.list_files() if fs.stat(p).owner == owner]
+        fs.overwrite(candidates[int(rng.integers(0, len(candidates)))])
+
+
+def demo_lfs_hints() -> None:
+    print("=== LFS: does file metadata help placement? ===")
+    zone_count = ZonedGeometry.small().zone_count
+    files = (zone_count * ZonedGeometry.small().pages_per_zone) // 2 // 2 * 2 // 2
+    files = int(files * 0.8)  # ~80% device utilization of 2-page files
+    for label, use_hints in [("metadata-blind", False), ("owner-aware", True)]:
+        fs = LogStructuredFS(
+            ZNSDevice(ZonedGeometry.small()), use_metadata_hints=use_hints
+        )
+        churn(fs, files=files, rewrites=4 * files, seed=7)
+        stats = fs.store.stats
+        print(
+            f"{label:15s} WA {fs.write_amplification:5.3f}  "
+            f"free resets {stats.free_resets}/{stats.zones_reset}  "
+            f"relocated {stats.relocated_pages} pages"
+        )
+    print(
+        "\nTakeaway: the filesystem already *knows* which application owns "
+        "each file; using it separates churning files from cold ones so "
+        "zones die whole (§4.1: 'current Linux kernel filesystems for ZNS "
+        "SSDs do not yet use this information')."
+    )
+
+
+if __name__ == "__main__":
+    demo_zonefs()
+    demo_lfs_hints()

@@ -1,0 +1,41 @@
+"""zns-repro: a reproduction of "Don't Be a Blockhead" (HotOS '21).
+
+The package rebuilds, from scratch, everything the paper's argument rests
+on:
+
+- :mod:`repro.flash` -- the NAND substrate (cells, pages, erasure blocks,
+  planes/channels, timing, wear);
+- :mod:`repro.ftl` -- the conventional SSD the paper wants retired
+  (page-mapped FTL, garbage collection, overprovisioning, and the
+  DRAM-less DFTL variant of footnote 1);
+- :mod:`repro.zns` -- the ZNS SSD (zone state machine, append, simple
+  copy, active-zone limits, thin FTL);
+- :mod:`repro.block`, :mod:`repro.hostio`, :mod:`repro.placement` -- the
+  host storage stack (block-on-ZNS translation, reclaim scheduling,
+  active-zone budgeting, lifetime-hint placement);
+- :mod:`repro.apps` -- applications held constant across interfaces (LSM
+  KV store, flash caches, persistent queue, ZoneFS, LFS);
+- :mod:`repro.workloads`, :mod:`repro.metrics`, :mod:`repro.sim` --
+  workload generation, measurement, and the discrete-event kernel;
+- :mod:`repro.cost`, :mod:`repro.survey` -- the economics and the Table 1
+  corpus;
+- :mod:`repro.experiments` -- one module per table/figure/claim, driven
+  by the ``zns-repro`` CLI.
+
+Quick taste::
+
+    from repro.zns.device import ZNSDevice
+    from repro.flash.geometry import ZonedGeometry
+
+    device = ZNSDevice(ZonedGeometry.small())
+    device.write(0, npages=4)       # sequential, at the write pointer
+    offset, _ = device.append(0)    # device assigns the offset
+    device.reset_zone(0)            # erase; write pointer rewinds
+
+See README.md for the tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

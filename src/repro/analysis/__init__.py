@@ -1,0 +1,6 @@
+"""Result rendering: markdown/CSV tables and terminal charts."""
+
+from repro.analysis.render import to_csv, to_markdown
+from repro.analysis.charts import ascii_bars, ascii_series
+
+__all__ = ["ascii_bars", "ascii_series", "to_csv", "to_markdown"]

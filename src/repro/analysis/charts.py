@@ -1,0 +1,67 @@
+"""Terminal charts: quick visual checks without a plotting stack.
+
+``ascii_series`` draws an x/y line (the E1 WA-vs-OP curve, say) on a
+character grid; ``ascii_bars`` draws labeled horizontal bars (per-stack
+comparisons). Both return strings, so they compose with the CLI and logs.
+"""
+
+from __future__ import annotations
+
+
+def ascii_series(
+    xs: list[float],
+    ys: list[float],
+    width: int = 60,
+    height: int = 15,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot a series on a ``width x height`` character grid."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    if width < 10 or height < 4:
+        raise ValueError("grid too small")
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines = [f"{y_label} (max {y_max:g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_min:g} .. {x_max:g}   (min y {y_min:g})")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: list[str],
+    values: list[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with aligned labels and values."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("need at least one bar")
+    if any(v < 0 for v in values):
+        raise ValueError("bars must be non-negative")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(value / peak * width), 1 if value > 0 else 0)
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+__all__ = ["ascii_bars", "ascii_series"]

@@ -1,0 +1,64 @@
+"""Markdown and CSV renderers for experiment results.
+
+The text renderer lives on :class:`~repro.experiments.base.ExperimentResult`
+itself; these produce machine-ingestible forms for reports and notebooks
+(EXPERIMENTS.md tables are generated this way).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any
+
+from repro.experiments.base import ExperimentResult
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def to_markdown(result: ExperimentResult, include_header: bool = True) -> str:
+    """Render a result's rows as a GitHub-flavored markdown table."""
+    lines: list[str] = []
+    if include_header:
+        lines.append(f"### {result.experiment_id} — {result.title}")
+        lines.append("")
+        lines.append(f"*Paper claim:* {result.paper_claim}")
+        lines.append("")
+    if result.rows:
+        keys = list(result.rows[0].keys())
+        lines.append("| " + " | ".join(str(k) for k in keys) + " |")
+        lines.append("|" + "|".join("---" for _ in keys) + "|")
+        for row in result.rows:
+            lines.append("| " + " | ".join(_cell(row.get(k, "")) for k in keys) + " |")
+    if result.headline:
+        lines.append("")
+        lines.append(
+            "**Measured:** "
+            + ", ".join(f"{k} = {_cell(v)}" for k, v in result.headline.items())
+        )
+    if result.notes:
+        lines.append("")
+        lines.append(f"*Notes:* {result.notes}")
+    return "\n".join(lines)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render a result's rows as CSV (header from the first row's keys)."""
+    if not result.rows:
+        return ""
+    keys = list(result.rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=keys, extrasaction="ignore")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({k: row.get(k, "") for k in keys})
+    return buffer.getvalue()
+
+
+__all__ = ["to_csv", "to_markdown"]

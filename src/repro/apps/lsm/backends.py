@@ -1,0 +1,545 @@
+"""Storage backends for SSTable files.
+
+The same LSM tree runs over either backend; the difference in how
+immutable files map to flash is exactly the paper's block-interface tax:
+
+- :class:`BlockFileBackend` places files in LBA extents on a block device.
+  Freed extents are either TRIMmed (cooperative filesystems) or silently
+  reused later (the common case the paper worries about), in which case
+  the FTL discovers the deaths only on overwrite and drags dead data
+  through garbage collection meanwhile.
+- :class:`ZoneFileBackend` appends files into zones segregated by LSM
+  level (ZenFS's layout insight: tables of one level share fate at
+  compaction). Zones usually become fully dead and reset for free.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.apps.lsm.sstable import SSTable
+from repro.block.interface import BlockDevice
+from repro.zns.device import ZNSDevice
+from repro.zns.zone import ZoneState
+
+
+@dataclass
+class BackendStats:
+    """Interface-level traffic the backend generated."""
+
+    pages_written: int = 0
+    pages_read: int = 0
+    pages_trimmed: int = 0
+    pages_relocated: int = 0
+    zones_reset: int = 0
+    free_zone_resets: int = 0
+
+    @property
+    def backend_write_amplification(self) -> float:
+        """Relocation overhead the backend itself added (>= 1.0)."""
+        if self.pages_written == 0:
+            return 1.0
+        return (self.pages_written + self.pages_relocated) / self.pages_written
+
+
+class LsmBackend(abc.ABC):
+    """Where SSTable files live."""
+
+    stats: BackendStats
+
+    @property
+    @abc.abstractmethod
+    def page_size(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def capacity_pages(self) -> int: ...
+
+    @abc.abstractmethod
+    def write_table(self, table: SSTable) -> None:
+        """Persist a table's pages; sets ``table.handle``."""
+
+    @abc.abstractmethod
+    def delete_table(self, table: SSTable) -> None:
+        """Release a table's pages."""
+
+    @abc.abstractmethod
+    def read_table_page(self, table: SSTable, page_index: int) -> None:
+        """Perform the device read for one page of a table."""
+
+    def read_entry(self, table: SSTable, entry_index: int) -> None:
+        """Perform the device read for the page holding one entry."""
+        self.read_table_page(table, table.page_of_entry(entry_index))
+
+    @abc.abstractmethod
+    def append_wal_page(self) -> None:
+        """Durably append one page to the write-ahead log."""
+
+    @abc.abstractmethod
+    def reset_wal(self) -> None:
+        """Drop the WAL (its contents are now covered by a flushed table)."""
+
+
+# -- Block-device backend ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Extent:
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+class AllocationError(Exception):
+    """The backend has no space for the requested file."""
+
+
+class ExtentAllocator:
+    """Extent allocator with coalescing free list.
+
+    Three placement strategies:
+
+    - ``first-fit``: always allocate from the lowest free addresses.
+      Concentrates reuse in a small LBA region (unrealistically kind to
+      the FTL: most of the logical space never looks valid).
+    - ``next-fit`` (default): a rotating cursor, like real filesystems'
+      block allocators, which spreads files across the whole LBA space.
+      Combined with ``trim_on_delete=False`` this is what makes the FTL
+      see the entire logical space as live and pay GC for it.
+    - ``aged``: free extents are consumed in randomized order, modeling a
+      filesystem after months of churn whose free list is scattered. This
+      makes overwrite order approach random at the FTL -- the regime where
+      conventional-SSD GC pays multiples of write amplification.
+
+    Files may span multiple extents when no single free range fits, which
+    is precisely the fragmentation that interleaves unrelated files in the
+    FTL's write stream.
+    """
+
+    def __init__(
+        self,
+        total_blocks: int,
+        strategy: str = "next-fit",
+        rng: "np.random.Generator | None" = None,
+    ):
+        if total_blocks < 1:
+            raise ValueError("total_blocks must be >= 1")
+        if strategy not in ("first-fit", "next-fit", "aged"):
+            raise ValueError(f"unknown allocation strategy {strategy!r}")
+        self.total_blocks = total_blocks
+        self.strategy = strategy
+        self.rng = rng
+        self._cursor = 0
+        self._free: list[_Extent] = [_Extent(0, total_blocks)]
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(e.length for e in self._free)
+
+    def allocate(self, length: int) -> list[_Extent]:
+        """Allocate ``length`` blocks, possibly as several extents."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        if length > self.free_blocks:
+            raise AllocationError(
+                f"requested {length} blocks, {self.free_blocks} free"
+            )
+        if self.strategy == "next-fit":
+            # Rotate the scan order so allocation resumes at the cursor,
+            # splitting the extent that spans it so the region behind the
+            # cursor is only reused after a full wrap.
+            split: list[_Extent] = []
+            for extent in self._free:
+                if extent.start < self._cursor < extent.end:
+                    split.append(_Extent(extent.start, self._cursor - extent.start))
+                    split.append(_Extent(self._cursor, extent.end - self._cursor))
+                else:
+                    split.append(extent)
+            ordered = sorted(split, key=lambda e: (e.start < self._cursor, e.start))
+        elif self.strategy == "aged":
+            if self.rng is None:
+                self.rng = np.random.default_rng(0)
+            order = self.rng.permutation(len(self._free))
+            ordered = [self._free[i] for i in order]
+        else:
+            ordered = list(self._free)
+        taken: list[_Extent] = []
+        keep: list[_Extent] = []
+        remaining = length
+        for extent in ordered:
+            if remaining == 0:
+                keep.append(extent)
+            elif extent.length <= remaining:
+                taken.append(extent)
+                remaining -= extent.length
+            else:
+                taken.append(_Extent(extent.start, remaining))
+                keep.append(_Extent(extent.start + remaining, extent.length - remaining))
+                remaining = 0
+        self._free = sorted(keep, key=lambda e: e.start)
+        if taken:
+            self._cursor = taken[-1].end % self.total_blocks
+        return taken
+
+    def free(self, extents: list[_Extent]) -> None:
+        """Return extents to the free list, coalescing neighbors."""
+        merged = sorted(self._free + list(extents), key=lambda e: e.start)
+        out: list[_Extent] = []
+        for extent in merged:
+            if out and out[-1].end == extent.start:
+                out[-1] = _Extent(out[-1].start, out[-1].length + extent.length)
+            elif out and out[-1].end > extent.start:
+                raise ValueError(f"double free around block {extent.start}")
+            else:
+                out.append(extent)
+        self._free = out
+
+
+class BlockFileBackend(LsmBackend):
+    """SSTable files as LBA extents on a block device.
+
+    Parameters
+    ----------
+    device:
+        Any :class:`~repro.block.interface.BlockDevice`.
+    trim_on_delete:
+        If True, freed pages are TRIMmed immediately (the FTL learns of
+        deaths right away). If False -- the default, matching filesystems
+        without aggressive discard -- freed LBAs are only reused later,
+        so dead data lingers as "valid" inside the FTL.
+    """
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        trim_on_delete: bool = False,
+        allocation_strategy: str = "next-fit",
+    ):
+        self.device = device
+        self.trim_on_delete = trim_on_delete
+        self.allocator = ExtentAllocator(device.num_blocks, strategy=allocation_strategy)
+        self.stats = BackendStats()
+        self._wal_extents: list[_Extent] = []
+
+    @property
+    def page_size(self) -> int:
+        return self.device.block_size
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.device.num_blocks
+
+    def write_table(self, table: SSTable) -> None:
+        if table.handle is not None:
+            raise ValueError(f"table {table.table_id} already written")
+        extents = self.allocator.allocate(table.size_pages)
+        for extent in extents:
+            for lba in range(extent.start, extent.end):
+                self.device.write_block(lba)
+        table.handle = extents
+        self.stats.pages_written += table.size_pages
+
+    def delete_table(self, table: SSTable) -> None:
+        extents: list[_Extent] = table.handle
+        if extents is None:
+            raise ValueError(f"table {table.table_id} has no storage")
+        if self.trim_on_delete:
+            for extent in extents:
+                for lba in range(extent.start, extent.end):
+                    self.device.trim_block(lba)
+                    self.stats.pages_trimmed += 1
+        self.allocator.free(extents)
+        table.handle = None
+
+    def read_table_page(self, table: SSTable, page_index: int) -> None:
+        extents: list[_Extent] = table.handle
+        remaining = page_index
+        for extent in extents:
+            if remaining < extent.length:
+                self.device.read_block(extent.start + remaining)
+                self.stats.pages_read += 1
+                return
+            remaining -= extent.length
+        raise IndexError(f"page {page_index} beyond extents")
+
+    def append_wal_page(self) -> None:
+        """WAL pages are allocated one at a time from the shared allocator,
+        so they land adjacent to whatever file writes are in flight -- the
+        lifetime mixing inside erasure blocks that §4.1 describes."""
+        extents = self.allocator.allocate(1)
+        for extent in extents:
+            for lba in range(extent.start, extent.end):
+                self.device.write_block(lba)
+        self._wal_extents.extend(extents)
+        self.stats.pages_written += 1
+
+    def reset_wal(self) -> None:
+        if not self._wal_extents:
+            return
+        if self.trim_on_delete:
+            for extent in self._wal_extents:
+                for lba in range(extent.start, extent.end):
+                    self.device.trim_block(lba)
+                    self.stats.pages_trimmed += 1
+        self.allocator.free(self._wal_extents)
+        self._wal_extents = []
+
+
+# -- Zone-native backend (ZenFS-like) -------------------------------------------
+
+
+@dataclass
+class _ZoneExtent:
+    zone: int
+    offset: int
+    length: int
+
+
+@dataclass
+class _ZoneInfo:
+    live_pages: int = 0
+    tables: set[int] = field(default_factory=set)
+
+
+class ZoneFileBackend(LsmBackend):
+    """SSTable files appended into level-segregated zones.
+
+    Each LSM level gets its own write frontier, so a zone fills with
+    same-level tables that compaction will delete together. Fully-dead
+    zones reset for free; under space pressure, victims' surviving tables
+    are relocated with the device's simple-copy command.
+    """
+
+    def __init__(self, device: ZNSDevice, reserve_zones: int = 2):
+        if device.zone_count <= reserve_zones + 1:
+            raise ValueError("device too small for the configured reserve")
+        self.device = device
+        self.reserve_zones = reserve_zones
+        self.stats = BackendStats()
+        self._tables: dict[int, tuple[SSTable, list[_ZoneExtent]]] = {}
+        self._zones: dict[int, _ZoneInfo] = {}
+        self._open_by_stream: dict[str, int] = {}
+        self._free: list[int] = list(range(device.zone_count))
+        self._sealed: set[int] = set()
+        self._in_reclaim = False
+        self._wal_extents: list[_ZoneExtent] = []
+
+    @property
+    def page_size(self) -> int:
+        return self.device.page_size
+
+    @property
+    def capacity_pages(self) -> int:
+        return self.device.zone_count * self.device.geometry.pages_per_zone
+
+    @property
+    def free_zone_count(self) -> int:
+        return len(self._free)
+
+    # -- File operations --------------------------------------------------------
+
+    def write_table(self, table: SSTable) -> None:
+        if table.handle is not None:
+            raise ValueError(f"table {table.table_id} already written")
+        extents = self._append(f"level-{table.level}", table.size_pages)
+        table.handle = extents
+        self._tables[table.table_id] = (table, extents)
+        for extent in extents:
+            info = self._zones.setdefault(extent.zone, _ZoneInfo())
+            info.live_pages += extent.length
+            info.tables.add(table.table_id)
+        self.stats.pages_written += table.size_pages
+
+    def delete_table(self, table: SSTable) -> None:
+        entry = self._tables.pop(table.table_id, None)
+        if entry is None:
+            raise ValueError(f"table {table.table_id} has no storage")
+        _, extents = entry
+        for extent in extents:
+            info = self._zones[extent.zone]
+            info.live_pages -= extent.length
+            info.tables.discard(table.table_id)
+            if info.live_pages < 0:
+                raise AssertionError(f"zone {extent.zone} live count negative")
+        table.handle = None
+        # Opportunistic free rides: reset sealed zones that just died.
+        for zone in {e.zone for e in extents}:
+            if self._zones[zone].live_pages == 0 and zone in self._sealed:
+                self._reset(zone)
+                self.stats.free_zone_resets += 1
+
+    def read_table_page(self, table: SSTable, page_index: int) -> None:
+        extents: list[_ZoneExtent] = table.handle
+        remaining = page_index
+        for extent in extents:
+            if remaining < extent.length:
+                self.device.read(extent.zone, extent.offset + remaining)
+                self.stats.pages_read += 1
+                return
+            remaining -= extent.length
+        raise IndexError(f"page {page_index} beyond extents")
+
+    def append_wal_page(self) -> None:
+        """The WAL gets its own zone stream (ZenFS's layout), so its
+        rapidly-dying pages never share flash with SSTable data."""
+        extents = self._append("wal", 1)
+        self._wal_extents.extend(extents)
+        for extent in extents:
+            info = self._zones.setdefault(extent.zone, _ZoneInfo())
+            info.live_pages += extent.length
+        self.stats.pages_written += 1
+
+    def reset_wal(self) -> None:
+        for extent in self._wal_extents:
+            info = self._zones[extent.zone]
+            info.live_pages -= extent.length
+            if info.live_pages < 0:
+                raise AssertionError(f"zone {extent.zone} live count negative")
+        dead_zones = {e.zone for e in self._wal_extents}
+        self._wal_extents = []
+        for zone in dead_zones:
+            if self._zones.get(zone, _ZoneInfo()).live_pages == 0 and zone in self._sealed:
+                self._reset(zone)
+                self.stats.free_zone_resets += 1
+
+    # -- Zone plumbing ------------------------------------------------------------
+
+    def _append(self, stream: str, npages: int) -> list[_ZoneExtent]:
+        """Append ``npages`` to the stream's frontier, spanning zones."""
+        extents: list[_ZoneExtent] = []
+        remaining = npages
+        while remaining > 0:
+            zone = self._frontier(stream)
+            zone_obj = self.device.zone(zone)
+            chunk = min(remaining, zone_obj.remaining)
+            offset = zone_obj.wp
+            self.device.write(zone, npages=chunk)
+            extents.append(_ZoneExtent(zone, offset, chunk))
+            remaining -= chunk
+            if self.device.zone(zone).state is ZoneState.FULL:
+                self._seal(stream, zone)
+        return extents
+
+    def _frontier(self, stream: str) -> int:
+        zone = self._open_by_stream.get(stream)
+        if zone is not None and self.device.zone(zone).remaining > 0:
+            return zone
+        if zone is not None:
+            self._seal(stream, zone)
+        if len(self._free) <= self.reserve_zones and not self._in_reclaim:
+            self.reclaim(self.reserve_zones + 1)
+            # Reclaim may have evacuated tables *into* this very stream,
+            # opening a fresh frontier for it; reuse that instead of
+            # popping another zone (which would orphan the new one open).
+            zone = self._open_by_stream.get(stream)
+            if zone is not None and self.device.zone(zone).remaining > 0:
+                return zone
+        if not self._free:
+            raise AllocationError("no free zones")
+        new_zone = self._free.pop(0)
+        self._open_by_stream[stream] = new_zone
+        return new_zone
+
+    def _seal(self, stream: str, zone: int) -> None:
+        if self.device.zone(zone).state is not ZoneState.FULL:
+            self.device.finish_zone(zone)
+        self._sealed.add(zone)
+        if self._open_by_stream.get(stream) == zone:
+            del self._open_by_stream[stream]
+        # A zone can seal already dead (its tables were deleted mid-life).
+        if self._zones.get(zone, _ZoneInfo()).live_pages == 0:
+            self._reset(zone)
+            self.stats.free_zone_resets += 1
+
+    def _reset(self, zone: int) -> None:
+        self.device.reset_zone(zone)
+        self._sealed.discard(zone)
+        self._zones.pop(zone, None)
+        self._free.append(zone)
+        self.stats.zones_reset += 1
+
+    # -- Reclaim -------------------------------------------------------------------
+
+    def reclaim(self, target_free: int) -> None:
+        """Relocate survivors out of the emptiest zones and reset them."""
+        self._in_reclaim = True
+        try:
+            while len(self._free) < target_free:
+                # Zones holding live WAL pages cannot be evacuated (WAL
+                # extents have no table to relocate); they die at the next
+                # flush anyway.
+                wal_zones = {e.zone for e in self._wal_extents}
+                candidates = [z for z in self._sealed if z not in wal_zones]
+                if not candidates:
+                    raise AllocationError("nothing to reclaim")
+                victim = min(
+                    candidates, key=lambda z: self._zones.get(z, _ZoneInfo()).live_pages
+                )
+                info = self._zones.get(victim, _ZoneInfo())
+                if info.live_pages >= self.device.geometry.pages_per_zone:
+                    raise AllocationError("all zones fully live")
+                self._evacuate(victim)
+                self._reset(victim)
+        finally:
+            self._in_reclaim = False
+
+    def _evacuate(self, victim: int) -> None:
+        info = self._zones.get(victim)
+        if info is None:
+            return
+        for table_id in sorted(info.tables):
+            table, extents = self._tables[table_id]
+            new_extents: list[_ZoneExtent] = []
+            for extent in extents:
+                if extent.zone != victim:
+                    new_extents.append(extent)
+                    continue
+                # Relocate this extent via device-managed simple copy.
+                dst_extents = self._copy_extent(victim, extent, f"level-{table.level}")
+                new_extents.extend(dst_extents)
+                info.live_pages -= extent.length
+                self.stats.pages_relocated += extent.length
+            table.handle = new_extents
+            self._tables[table_id] = (table, new_extents)
+            for extent in new_extents:
+                dst_info = self._zones.setdefault(extent.zone, _ZoneInfo())
+                dst_info.tables.add(table_id)
+        info.tables.clear()
+
+    def _copy_extent(
+        self, victim: int, extent: _ZoneExtent, stream: str
+    ) -> list[_ZoneExtent]:
+        out: list[_ZoneExtent] = []
+        remaining = extent.length
+        src_offset = extent.offset
+        while remaining > 0:
+            dst_zone = self._frontier(stream)
+            room = self.device.zone(dst_zone).remaining
+            chunk = min(remaining, room)
+            sources = [(victim, src_offset + i) for i in range(chunk)]
+            dst_offset, _ = self.device.simple_copy(sources, dst_zone)
+            out.append(_ZoneExtent(dst_zone, dst_offset, chunk))
+            dst_info = self._zones.setdefault(dst_zone, _ZoneInfo())
+            dst_info.live_pages += chunk
+            src_offset += chunk
+            remaining -= chunk
+            if self.device.zone(dst_zone).state is ZoneState.FULL:
+                self._seal(stream, dst_zone)
+        return out
+
+
+__all__ = [
+    "AllocationError",
+    "BackendStats",
+    "BlockFileBackend",
+    "ExtentAllocator",
+    "LsmBackend",
+    "ZoneFileBackend",
+]

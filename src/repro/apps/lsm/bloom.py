@@ -1,0 +1,79 @@
+"""Bloom filters for SSTable point lookups.
+
+Every table carries a bloom filter so negative probes usually skip the
+flash read -- the standard LSM read-path optimization. Built from scratch
+on a Python ``bytearray`` with double hashing (Kirsch-Mitzenmacher): two
+base hashes combine as ``h1 + i*h2`` to derive the k probe positions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterable
+
+
+class BloomFilter:
+    """A fixed-size bloom filter.
+
+    Parameters
+    ----------
+    expected_items:
+        Sizing target; the bit array and hash count are derived for the
+        requested false-positive rate at this load.
+    fp_rate:
+        Target false-positive probability (default 1%, RocksDB's usual
+        10-bits-per-key territory).
+    """
+
+    def __init__(self, expected_items: int, fp_rate: float = 0.01):
+        if expected_items < 1:
+            raise ValueError("expected_items must be >= 1")
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        self.expected_items = expected_items
+        self.fp_rate = fp_rate
+        # Optimal sizing: m = -n ln(p) / (ln 2)^2, k = (m/n) ln 2.
+        bits = max(int(-expected_items * math.log(fp_rate) / (math.log(2) ** 2)), 8)
+        self.num_bits = bits
+        self.num_hashes = max(int(round(bits / expected_items * math.log(2))), 1)
+        self._bits = bytearray((bits + 7) // 8)
+        self.items_added = 0
+
+    @staticmethod
+    def _base_hashes(key: Any) -> tuple[int, int]:
+        digest = hashlib.blake2b(repr(key).encode(), digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1  # odd => full period
+        return h1, h2
+
+    def _positions(self, key: Any) -> Iterable[int]:
+        h1, h2 = self._base_hashes(key)
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, key: Any) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.items_added += 1
+
+    def might_contain(self, key: Any) -> bool:
+        """False means definitely absent; True means probably present."""
+        return all(
+            self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
+        )
+
+    @classmethod
+    def build(cls, keys: list[Any], fp_rate: float = 0.01) -> "BloomFilter":
+        """Construct and populate a filter sized for ``keys``."""
+        bloom = cls(expected_items=max(len(keys), 1), fp_rate=fp_rate)
+        for key in keys:
+            bloom.add(key)
+        return bloom
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+
+__all__ = ["BloomFilter"]

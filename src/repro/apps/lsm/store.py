@@ -1,0 +1,344 @@
+"""The LSM key-value store.
+
+Ties together the memtable, SSTable levels, leveled compaction, and a
+storage backend. The public API is ``put``/``get``/``delete``; flushes and
+compactions run inline when thresholds trip (the simulator equivalent of
+RocksDB's background threads -- timing experiments replay the resulting
+I/O plan through the DES separately, see :mod:`repro.experiments.e4`).
+
+Write-ahead logging is on by default: WAL pages are small and die at the
+next flush, and *where they land* is a major interface difference -- the
+block backend interleaves them with file data inside erasure blocks while
+the zone backend isolates them in their own zone (ZenFS's layout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.apps.lsm.backends import LsmBackend
+from repro.apps.lsm.compaction import LeveledCompaction
+from repro.apps.lsm.memtable import TOMBSTONE, MemTable
+from repro.apps.lsm.sstable import SSTable, size_in_pages
+
+
+@dataclass(frozen=True)
+class LSMConfig:
+    """Store tunables.
+
+    ``entry_bytes`` is the encoded size model for one key-value pair;
+    ``memtable_pages`` is the flush threshold expressed in flash pages so
+    the flush size is backend-independent.
+    """
+
+    memtable_pages: int = 64
+    entry_bytes: int = 128
+    l0_limit: int = 4
+    level0_pages: int = 256
+    level_multiplier: int = 10
+    max_table_pages: int = 64
+    max_levels: int = 7
+    wal_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.memtable_pages < 1 or self.entry_bytes < 1:
+            raise ValueError("invalid LSM configuration")
+
+
+@dataclass
+class LSMStats:
+    """Application-level accounting for the WA breakdown."""
+
+    user_writes: int = 0
+    user_bytes: int = 0
+    flush_pages: int = 0
+    compaction_pages: int = 0
+    wal_pages: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    gets: int = 0
+    table_reads: int = 0
+    bloom_skips: int = 0
+    scans: int = 0
+    scan_pages_read: int = 0
+    recoveries: int = 0
+    io_plan: list = field(default_factory=list, repr=False)
+
+    @property
+    def app_pages_written(self) -> int:
+        return self.flush_pages + self.compaction_pages + self.wal_pages
+
+    def app_write_amplification(self, page_size: int) -> float:
+        if self.user_bytes == 0:
+            return 1.0
+        return self.app_pages_written * page_size / self.user_bytes
+
+
+@dataclass(frozen=True)
+class IoPlanEntry:
+    """One step of the store's device-level I/O plan (for timed replay).
+
+    ``kind`` is 'flush' or 'compaction'; ``written_pages`` is the size of
+    the new file(s); ``freed_pages`` were deleted with the inputs;
+    ``after_user_ops`` is the user-op count when the step ran, so replay
+    can pace background I/O against foreground traffic.
+    """
+
+    kind: str
+    written_pages: int
+    freed_pages: int
+    after_user_ops: int
+    level: int
+
+
+class LSMStore:
+    """A leveled LSM-tree KV store over a pluggable backend."""
+
+    def __init__(self, backend: LsmBackend, config: LSMConfig | None = None):
+        self.backend = backend
+        self.config = config or LSMConfig()
+        self.memtable = MemTable()
+        self.levels: list[list[SSTable]] = [[] for _ in range(self.config.max_levels)]
+        self.stats = LSMStats()
+        self._wal_entries_pending = 0
+        self._wal_unsynced: list[tuple[Any, Any]] = []
+        self._wal_logged: list[tuple[Any, Any]] = []
+        self.compaction = LeveledCompaction(
+            l0_limit=self.config.l0_limit,
+            level0_pages=self.config.level0_pages,
+            level_multiplier=self.config.level_multiplier,
+            max_table_pages=self.config.max_table_pages,
+            entry_bytes=self.config.entry_bytes,
+            page_size=backend.page_size,
+        )
+
+    # -- Public API -------------------------------------------------------------
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or overwrite one key."""
+        self.stats.user_writes += 1
+        self.stats.user_bytes += self.config.entry_bytes
+        self.memtable.put(key, value)
+        self._log_to_wal(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: Any) -> None:
+        """Delete a key (tombstone write)."""
+        self.stats.user_writes += 1
+        self.stats.user_bytes += self.config.entry_bytes
+        self.memtable.delete(key)
+        self._log_to_wal(key, TOMBSTONE)
+        self._maybe_flush()
+
+    def _log_to_wal(self, key: Any, value: Any) -> None:
+        """Append to the WAL once enough entries accumulate for a page.
+
+        Entries buffer in ``_wal_unsynced`` until a full page is written,
+        then move to ``_wal_logged`` (durable). That boundary is what a
+        crash exposes: see :meth:`crash_and_recover`.
+        """
+        if not self.config.wal_enabled:
+            return
+        self._wal_unsynced.append((key, value))
+        self._wal_entries_pending += 1
+        entries_per_page = max(self.backend.page_size // self.config.entry_bytes, 1)
+        if self._wal_entries_pending >= entries_per_page:
+            self.backend.append_wal_page()
+            self.stats.wal_pages += 1
+            self._wal_entries_pending = 0
+            self._wal_logged.extend(self._wal_unsynced)
+            self._wal_unsynced.clear()
+
+    def crash_and_recover(self) -> int:
+        """Simulate power loss and WAL replay; returns entries lost.
+
+        Volatile state (the memtable and any WAL entries buffered but not
+        yet written to a full flash page) disappears; recovery replays the
+        durable WAL pages into a fresh memtable. SSTables are immutable
+        and survive untouched.
+        """
+        if not self.config.wal_enabled:
+            lost = len(self.memtable)
+            self.memtable.clear()
+            self.stats.recoveries += 1
+            return lost
+        lost = len(self._wal_unsynced)
+        self.memtable.clear()
+        self._wal_unsynced.clear()
+        self._wal_entries_pending = 0
+        for key, value in self._wal_logged:
+            self.memtable.put(key, value)
+        self.stats.recoveries += 1
+        return lost
+
+    def get(self, key: Any) -> Any:
+        """Point lookup; returns None for missing/deleted keys.
+
+        Search order: memtable, then L0 newest-first, then one candidate
+        table per deeper level. Each table probe that reaches flash does a
+        real backend page read.
+        """
+        self.stats.gets += 1
+        present, value = self.memtable.get(key)
+        if present:
+            return None if value is TOMBSTONE else value
+        for table in sorted(self.levels[0], key=lambda t: -t.table_id):
+            if not table.overlaps_range(key, key):
+                continue
+            if not table.might_contain(key):
+                self.stats.bloom_skips += 1
+                continue
+            found, value, index = table.find(key)
+            self.backend.read_entry(table, min(index, table.entry_count - 1))
+            self.stats.table_reads += 1
+            if found:
+                return None if value is TOMBSTONE else value
+        for level in range(1, len(self.levels)):
+            for table in self.levels[level]:
+                if table.overlaps_range(key, key):
+                    if not table.might_contain(key):
+                        self.stats.bloom_skips += 1
+                        break  # definitely absent from this level
+                    found, value, index = table.find(key)
+                    self.backend.read_entry(table, min(index, table.entry_count - 1))
+                    self.stats.table_reads += 1
+                    if found:
+                        return None if value is TOMBSTONE else value
+                    break  # non-overlapping level: only one candidate
+        return None
+
+    def scan(self, lo: Any, hi: Any) -> list[tuple[Any, Any]]:
+        """Range scan: live (key, value) pairs with lo <= key <= hi.
+
+        Merges all levels newest-first (bloom filters do not help ranges)
+        and charges the backend for every table page the range touches.
+        """
+        if lo > hi:
+            raise ValueError("scan requires lo <= hi")
+        self.stats.scans += 1
+        merged: dict[Any, Any] = {}
+        # Oldest data first so newer versions overwrite during the merge.
+        for level in range(len(self.levels) - 1, 0, -1):
+            for table in self.levels[level]:
+                if not table.overlaps_range(lo, hi):
+                    continue
+                self._charge_scan_pages(table, lo, hi)
+                for k, v in table.range_slice(lo, hi):
+                    merged[k] = v
+        for table in sorted(self.levels[0], key=lambda t: t.table_id):
+            if not table.overlaps_range(lo, hi):
+                continue
+            self._charge_scan_pages(table, lo, hi)
+            for k, v in table.range_slice(lo, hi):
+                merged[k] = v
+        for k, v in self.memtable.sorted_items():
+            if lo <= k <= hi:
+                merged[k] = v
+        return sorted(
+            (k, v) for k, v in merged.items() if v is not TOMBSTONE
+        )
+
+    def _charge_scan_pages(self, table: SSTable, lo: Any, hi: Any) -> None:
+        for page_index in table.pages_spanned(lo, hi):
+            self.backend.read_table_page(table, page_index)
+            self.stats.scan_pages_read += 1
+
+    def scan_count(self) -> int:
+        """Number of live keys (full merge view) -- test/debug helper."""
+        view: dict[Any, Any] = {}
+        for level in range(len(self.levels) - 1, 0, -1):
+            for table in self.levels[level]:
+                for k, v in table.entries:
+                    view[k] = v
+        for table in sorted(self.levels[0], key=lambda t: t.table_id):
+            for k, v in table.entries:
+                view[k] = v
+        for k, v in self.memtable.sorted_items():
+            view[k] = v
+        return sum(1 for v in view.values() if v is not TOMBSTONE)
+
+    # -- Flush and compaction ----------------------------------------------------
+
+    @property
+    def _memtable_pages(self) -> int:
+        # Sized with the same encoding model used for SSTables so the
+        # flush threshold and the flushed file agree.
+        return len(self.memtable) * self.config.entry_bytes // self.backend.page_size
+
+    def _maybe_flush(self) -> None:
+        if self._memtable_pages >= self.config.memtable_pages:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the memtable as a new L0 table and run due compactions."""
+        items = self.memtable.sorted_items()
+        if not items:
+            return
+        table = SSTable(
+            entries=items,
+            level=0,
+            size_pages=size_in_pages(
+                len(items), self.config.entry_bytes, self.backend.page_size
+            ),
+        )
+        self.backend.write_table(table)
+        self.levels[0].append(table)
+        self.memtable.clear()
+        if self.config.wal_enabled:
+            # Everything in the WAL is now covered by the flushed table.
+            self.backend.reset_wal()
+            self._wal_entries_pending = 0
+            self._wal_logged.clear()
+            self._wal_unsynced.clear()
+        self.stats.flushes += 1
+        self.stats.flush_pages += table.size_pages
+        self.stats.io_plan.append(
+            IoPlanEntry("flush", table.size_pages, 0, self.stats.user_writes, 0)
+        )
+        self._compact_until_stable()
+
+    def _compact_until_stable(self) -> None:
+        while True:
+            task = self.compaction.pick_task(self.levels)
+            if task is None:
+                return
+            if task.level + 1 >= self.config.max_levels:
+                return  # bottom level absorbs overflow
+            bottom = task.level + 1 == self.config.max_levels - 1 or not any(
+                self.levels[task.level + 2 :]
+            )
+            outputs = self.compaction.merge(task, bottom_level=bottom)
+            written = 0
+            for out in outputs:
+                self.backend.write_table(out)
+                self.levels[task.level + 1].append(out)
+                written += out.size_pages
+            freed = 0
+            for table in task.all_inputs:
+                level_list = self.levels[table.level]
+                level_list.remove(table)
+                self.backend.delete_table(table)
+                freed += table.size_pages
+            self.levels[task.level + 1].sort(key=lambda t: t.min_key)
+            self.stats.compactions += 1
+            self.stats.compaction_pages += written
+            self.stats.io_plan.append(
+                IoPlanEntry(
+                    "compaction", written, freed, self.stats.user_writes, task.level
+                )
+            )
+
+    # -- Reporting -----------------------------------------------------------------
+
+    def level_sizes_pages(self) -> list[int]:
+        return [sum(t.size_pages for t in level) for level in self.levels]
+
+    def total_write_amplification(self, flash_bytes_written: int) -> float:
+        """End-to-end WA: physical flash bytes per user byte."""
+        if self.stats.user_bytes == 0:
+            return 1.0
+        return flash_bytes_written / self.stats.user_bytes
+
+
+__all__ = ["IoPlanEntry", "LSMConfig", "LSMStats", "LSMStore"]

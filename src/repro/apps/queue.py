@@ -1,0 +1,105 @@
+"""A persistent append-only queue over zones.
+
+§4.2's problem child: multi-producer queues concentrate writes in one
+zone, and with plain writes the hosts must serialize on the write pointer.
+The queue supports both write modes so E7 can measure the contention
+directly:
+
+- ``use_append=False``: producers issue regular writes at the write
+  pointer (host-side lock required -- the pre-append world).
+- ``use_append=True``: producers issue zone appends; the device assigns
+  offsets and concurrent producers proceed without coordination.
+
+Consumed zones are reset once fully read, so the queue runs forever on a
+bounded device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.zns.device import ZNSDevice
+from repro.zns.zone import ZoneState
+
+
+class QueueEmptyError(Exception):
+    """Dequeue from an empty queue."""
+
+
+class QueueFullError(Exception):
+    """The device has no free zones for new entries."""
+
+
+@dataclass
+class QueueStats:
+    enqueued: int = 0
+    dequeued: int = 0
+    zones_recycled: int = 0
+
+
+class PersistentQueue:
+    """FIFO of single-page records across zones.
+
+    The tail appends to the newest zone; the head reads from the oldest.
+    A zone is recycled (reset) once every record in it has been consumed.
+    """
+
+    def __init__(self, device: ZNSDevice, use_append: bool = True):
+        self.device = device
+        self.use_append = use_append
+        self.stats = QueueStats()
+        self._zones: list[int] = []  # fill order; head reads from front
+        self._free: list[int] = list(range(device.zone_count))
+        self._tail_zone: int | None = None
+        self._head_offset = 0  # within the head zone
+
+    @property
+    def depth(self) -> int:
+        return self.stats.enqueued - self.stats.dequeued
+
+    def enqueue(self, data=None) -> tuple[int, int]:
+        """Append one record; returns its (zone, offset) position."""
+        zone = self._tail()
+        if self.use_append:
+            offset, _ = self.device.append(zone, npages=1, data=data)
+        else:
+            offset = self.device.zone(zone).wp
+            self.device.write(zone, offset=offset, npages=1, data=data)
+        self.stats.enqueued += 1
+        if self.device.zone(zone).state is ZoneState.FULL:
+            self._tail_zone = None
+        return zone, offset
+
+    def dequeue(self):
+        """Consume the oldest record; returns its payload."""
+        if self.depth <= 0:
+            raise QueueEmptyError("queue is empty")
+        zone = self._zones[0]
+        payload, _ = self.device.read(zone, self._head_offset)
+        self._head_offset += 1
+        self.stats.dequeued += 1
+        zone_obj = self.device.zone(zone)
+        fully_written = zone_obj.state is ZoneState.FULL
+        if fully_written and self._head_offset >= zone_obj.wp:
+            # Every record consumed: recycle the zone.
+            self._zones.pop(0)
+            self.device.reset_zone(zone)
+            self._free.append(zone)
+            self._head_offset = 0
+            self.stats.zones_recycled += 1
+        return payload
+
+    def _tail(self) -> int:
+        if self._tail_zone is not None:
+            if self.device.zone(self._tail_zone).remaining > 0:
+                return self._tail_zone
+            self._tail_zone = None
+        if not self._free:
+            raise QueueFullError("no free zones; consume faster")
+        zone = self._free.pop(0)
+        self._zones.append(zone)
+        self._tail_zone = zone
+        return zone
+
+
+__all__ = ["PersistentQueue", "QueueEmptyError", "QueueFullError", "QueueStats"]

@@ -1,0 +1,95 @@
+"""A ZoneFS-like filesystem: one file per zone.
+
+The paper's §4.1 interface survey contrasts full POSIX filesystems (F2FS)
+with ZoneFS, which "treats zones as files with the same restrictions as
+zones themselves". This is that: files are append-only, sized by the
+zone's write pointer, and truncation is all-or-nothing (a zone reset).
+It is the thinnest possible filesystem over ZNS -- no translation, no
+reclaim, no metadata blocks -- which is exactly its appeal.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.zns.device import ZNSDevice
+from repro.zns.errors import ZnsError
+
+
+class ZoneFsError(Exception):
+    """Filesystem-level misuse (bad path, bad offset)."""
+
+
+class ZoneFS:
+    """Zones exposed as files ``seq/0 .. seq/N-1``.
+
+    API mirrors the kernel zonefs semantics: files exist a priori (one per
+    zone), ``append`` grows a file, ``read`` is random-access below the
+    file size, ``truncate(path, 0)`` resets the zone.
+    """
+
+    def __init__(self, device: ZNSDevice):
+        self.device = device
+
+    # -- Path handling -----------------------------------------------------------
+
+    def _zone_of(self, path: str) -> int:
+        if not path.startswith("seq/"):
+            raise ZoneFsError(f"unknown path {path!r}; files live under seq/")
+        try:
+            zone_id = int(path[len("seq/") :])
+        except ValueError:
+            raise ZoneFsError(f"bad file name in {path!r}") from None
+        if not 0 <= zone_id < self.device.zone_count:
+            raise ZoneFsError(f"no such file {path!r}")
+        return zone_id
+
+    def list_files(self) -> list[str]:
+        return [f"seq/{z}" for z in range(self.device.zone_count)]
+
+    # -- File operations -----------------------------------------------------------
+
+    def size_pages(self, path: str) -> int:
+        """Current file size (the zone's write pointer)."""
+        return self.device.zone(self._zone_of(path)).wp
+
+    def max_size_pages(self, path: str) -> int:
+        return self.device.zone(self._zone_of(path)).capacity_pages
+
+    def append(self, path: str, npages: int = 1, data: Any = None) -> int:
+        """Append pages; returns the offset written at."""
+        zone_id = self._zone_of(path)
+        offset, _ = self.device.append(zone_id, npages=npages, data=data)
+        return offset
+
+    def read(self, path: str, offset: int) -> Any:
+        """Read one page at ``offset`` (must be below the file size)."""
+        zone_id = self._zone_of(path)
+        payload, _ = self.device.read(zone_id, offset)
+        return payload
+
+    def truncate(self, path: str, size: int = 0) -> None:
+        """Only truncation to 0 (zone reset) or to capacity (finish) is
+        representable on zones -- exactly zonefs's rule."""
+        zone_id = self._zone_of(path)
+        zone = self.device.zone(zone_id)
+        if size == 0:
+            self.device.reset_zone(zone_id)
+        elif size == zone.capacity_pages:
+            self.device.finish_zone(zone_id)
+        else:
+            raise ZoneFsError(
+                "zonefs files can only be truncated to 0 or to max size"
+            )
+
+    def stat(self, path: str) -> dict:
+        zone = self.device.zone(self._zone_of(path))
+        return {
+            "size_pages": zone.wp,
+            "max_size_pages": zone.capacity_pages,
+            "state": zone.state.value,
+            "resets": zone.reset_count,
+        }
+
+
+__all__ = ["ZoneFS", "ZoneFsError", "ZnsError"]

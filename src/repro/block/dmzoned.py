@@ -1,0 +1,358 @@
+"""Host-side block interface over a ZNS device (dm-zoned style).
+
+The paper (§2.3) notes "it was straightforward to implement the block
+interface on the host using ZNS SSDs", aided by the NVMe *simple copy*
+command that moves data inside the device without PCIe traffic. This
+module is that layer: a log-structured, page-mapped translation living on
+the *host*, exposing :class:`~repro.block.interface.BlockDevice` over a
+:class:`~repro.zns.device.ZNSDevice`.
+
+Functionally it is the conventional FTL relocated across the interface --
+which is the paper's cost argument: the mapping table lives in cheap host
+DIMMs instead of per-device embedded DRAM, spare capacity is a host policy
+knob instead of a fixed hardware tax, and the host can see application
+behaviour (see :mod:`repro.placement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.flash.ops import FlashOp
+from repro.ftl.gc import VictimPolicy, make_policy
+from repro.metrics.counters import OpCounter
+from repro.zns.device import ZNSDevice
+from repro.zns.zone import ZoneState
+
+UNMAPPED = -1
+
+
+class TranslationError(Exception):
+    """Raised for misuse of the translation layer (unmapped read, etc.)."""
+
+
+@dataclass(frozen=True)
+class ZonedBlockConfig:
+    """Tunables for :class:`ZonedBlockDevice`.
+
+    Parameters
+    ----------
+    op_ratio:
+        Host-chosen spare capacity as a fraction of exported capacity.
+        Unlike a conventional SSD this is a *configuration*, not silicon.
+    use_simple_copy:
+        Reclaim valid data with the device-managed simple-copy command
+        (no PCIe traffic) instead of host read+write.
+    gc_policy:
+        Victim-selection policy name (shared with the conventional FTL).
+    gc_low_zones / gc_high_zones:
+        Free-zone watermarks bracketing reclaim activity.
+    """
+
+    op_ratio: float = 0.07
+    use_simple_copy: bool = True
+    gc_policy: str = "greedy"
+    gc_low_zones: int = 2
+    gc_high_zones: int = 4
+
+    def __post_init__(self) -> None:
+        if self.op_ratio < 0:
+            raise ValueError("op_ratio must be >= 0")
+        if not 1 <= self.gc_low_zones < self.gc_high_zones:
+            raise ValueError("need 1 <= gc_low_zones < gc_high_zones")
+
+
+@dataclass
+class ZonedBlockStats:
+    """Host-layer accounting."""
+
+    user_pages_written: int = 0
+    user_pages_read: int = 0
+    gc_pages_copied: int = 0
+    gc_runs: int = 0
+    zones_reset: int = 0
+    pcie_copy_pages: int = 0  # GC pages that crossed the host interface
+
+    @property
+    def host_write_amplification(self) -> float:
+        if self.user_pages_written == 0:
+            return 1.0
+        return (self.user_pages_written + self.gc_pages_copied) / self.user_pages_written
+
+
+class ZonedBlockDevice:
+    """Block device emulated on the host over ZNS zones.
+
+    Mutating calls return the :class:`FlashOp` records the underlying
+    device performed, so timed experiments can replay contention.
+    """
+
+    #: Zones held back beyond advertised OP: the write frontier, the GC
+    #: destination, and one slack zone for forward progress.
+    _RESERVE_ZONES = 3
+
+    def __init__(
+        self,
+        device: ZNSDevice,
+        config: ZonedBlockConfig | None = None,
+    ):
+        self.device = device
+        self.config = config or ZonedBlockConfig()
+        self.policy: VictimPolicy = make_policy(self.config.gc_policy)
+        self.stats = ZonedBlockStats()
+        self.counters = OpCounter()
+
+        pages_per_zone = device.geometry.pages_per_zone
+        total_zones = device.zone_count
+        if total_zones <= self._RESERVE_ZONES:
+            raise ValueError("device too small for block translation")
+        usable_zones = total_zones - self._RESERVE_ZONES
+        by_op = int(usable_zones * pages_per_zone / (1.0 + self.config.op_ratio))
+        self.logical_pages = min(by_op, usable_zones * pages_per_zone)
+
+        self._l2p = np.full(self.logical_pages, UNMAPPED, dtype=np.int64)
+        self._p2l = np.full(total_zones * pages_per_zone, UNMAPPED, dtype=np.int64)
+        self._valid = np.zeros(total_zones, dtype=np.int32)
+        self._pages_per_zone = pages_per_zone
+        self._free_zones: list[int] = list(range(total_zones))
+        self._sealed: set[int] = set()
+        self._seal_times: dict[int, int] = {}
+        self._clock = 0
+        self._write_zone: int | None = None
+        self._gc_zone: int | None = None
+        # Incremental-reclaim state: the victim being drained and its
+        # remaining valid offsets (None when no victim is in progress).
+        self._victim: int | None = None
+        self._victim_offsets: list[int] = []
+
+    # -- BlockDevice protocol -----------------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        return self.device.page_size
+
+    @property
+    def num_blocks(self) -> int:
+        return self.logical_pages
+
+    def read_block(self, lba: int) -> Any:
+        payload, _ = self.read(lba)
+        return payload
+
+    def write_block(self, lba: int, data: Any = None) -> None:
+        self.write(lba, data)
+
+    def trim_block(self, lba: int) -> None:
+        self.trim(lba)
+
+    # -- Introspection ----------------------------------------------------------
+
+    @property
+    def free_zone_count(self) -> int:
+        return len(self._free_zones)
+
+    def gc_needed(self) -> bool:
+        return len(self._free_zones) <= self.config.gc_low_zones
+
+    def host_dram_bytes(self, bytes_per_entry: int = 4) -> int:
+        """Host DRAM consumed by the translation map (paper §2.3 tradeoff)."""
+        return self.logical_pages * bytes_per_entry
+
+    # -- Core operations -------------------------------------------------------------
+
+    def _check(self, lba: int) -> None:
+        if not 0 <= lba < self.logical_pages:
+            raise IndexError(f"lba {lba} out of range [0, {self.logical_pages})")
+
+    def _flat(self, zone: int, offset: int) -> int:
+        return zone * self._pages_per_zone + offset
+
+    def read(self, lba: int) -> tuple[Any, FlashOp]:
+        self._check(lba)
+        flat = int(self._l2p[lba])
+        if flat == UNMAPPED:
+            raise TranslationError(f"lba {lba} is unmapped")
+        zone, offset = divmod(flat, self._pages_per_zone)
+        payload, op = self.device.read(zone, offset)
+        self.stats.user_pages_read += 1
+        self.counters.note_read(self.block_size)
+        return payload, op
+
+    def write(self, lba: int, data: Any = None, auto_gc: bool = True) -> list[FlashOp]:
+        self._check(lba)
+        self._clock += 1
+        ops: list[FlashOp] = []
+        if self._frontier_full(self._write_zone):
+            if self._write_zone is not None:
+                self._seal(self._write_zone)
+                self._write_zone = None
+            if auto_gc and self.gc_needed():
+                ops.extend(self.collect(self.config.gc_high_zones))
+            self._write_zone = self._take_free_zone()
+        zone = self._write_zone
+        offset = self.device.zone(zone).wp
+        ops.extend(self.device.write(zone, npages=1, data=data))
+        self._map(lba, zone, offset)
+        self.stats.user_pages_written += 1
+        self.counters.note_write(self.block_size)
+        return ops
+
+    def trim(self, lba: int) -> None:
+        self._check(lba)
+        flat = int(self._l2p[lba])
+        if flat == UNMAPPED:
+            return
+        self._unmap_physical(flat)
+        self._l2p[lba] = UNMAPPED
+
+    # -- Mapping helpers ------------------------------------------------------------
+
+    def _map(self, lba: int, zone: int, offset: int) -> None:
+        flat = self._flat(zone, offset)
+        if self._p2l[flat] != UNMAPPED:
+            raise TranslationError(f"physical slot {flat} already mapped")
+        old = int(self._l2p[lba])
+        if old != UNMAPPED:
+            self._unmap_physical(old)
+        self._l2p[lba] = flat
+        self._p2l[flat] = lba
+        self._valid[zone] += 1
+
+    def _unmap_physical(self, flat: int) -> None:
+        self._p2l[flat] = UNMAPPED
+        zone = flat // self._pages_per_zone
+        self._valid[zone] -= 1
+        if self._valid[zone] < 0:
+            raise AssertionError(f"zone {zone} valid count went negative")
+
+    def _frontier_full(self, zone: int | None) -> bool:
+        if zone is None:
+            return True
+        return self.device.zone(zone).state is ZoneState.FULL
+
+    def _take_free_zone(self) -> int:
+        if not self._free_zones:
+            raise TranslationError("no free zones available")
+        return self._free_zones.pop(0)
+
+    def _seal(self, zone: int) -> None:
+        self._sealed.add(zone)
+        self._seal_times[zone] = self._clock
+        self.policy.notify_sealed(zone, self._clock)
+        # Finishing releases the device's active-zone resources.
+        if self.device.zone(zone).state is not ZoneState.FULL:
+            self.device.finish_zone(zone)
+
+    # -- Host garbage collection ---------------------------------------------------------
+
+    def _select_victim(self) -> None:
+        """Pick the next victim and stage its surviving offsets."""
+        if not self._sealed:
+            raise TranslationError("no sealed zones to collect")
+        victim = self.policy.select(
+            self._sealed,
+            lambda z: int(self._valid[z]),
+            self._pages_per_zone,
+            lambda z: self._seal_times.get(z, 0),
+            self._clock,
+        )
+        self._victim = victim
+        self._victim_offsets = [
+            offset
+            for offset in range(self.device.zone(victim).wp)
+            if self._p2l[self._flat(victim, offset)] != UNMAPPED
+        ]
+
+    @property
+    def reclaim_in_progress(self) -> bool:
+        return self._victim is not None
+
+    def reclaim_step(self, max_copies: int = 8) -> list[FlashOp]:
+        """One bounded quantum of reclaim work.
+
+        Relocates up to ``max_copies`` surviving pages of the current
+        victim (selecting one first if needed); once the victim is drained,
+        resets it and returns it to the free pool. Bounded quanta are what
+        let a host scheduler interleave reclaim with latency-sensitive
+        reads (§4.1) -- an in-device FTL offers no such knob.
+        """
+        if self._victim is None:
+            self._select_victim()
+        ops: list[FlashOp] = []
+        while self._victim_offsets and max_copies > 0:
+            offset = self._victim_offsets.pop(0)
+            # The page may have been overwritten (invalidated) since staging.
+            if self._p2l[self._flat(self._victim, offset)] == UNMAPPED:
+                continue
+            ops.extend(self._relocate(self._victim, offset))
+            max_copies -= 1
+        if not self._victim_offsets:
+            victim = self._victim
+            ops.extend(self.device.reset_zone(victim))
+            self._sealed.discard(victim)
+            self._seal_times.pop(victim, None)
+            self.policy.notify_erased(victim)
+            self._free_zones.append(victim)
+            self._victim = None
+            self.stats.zones_reset += 1
+            self.stats.gc_runs += 1
+        return ops
+
+    def collect_once(self) -> list[FlashOp]:
+        """Reclaim one full victim zone (drains any in-progress victim)."""
+        ops = self.reclaim_step(max_copies=self._pages_per_zone)
+        while self._victim is not None:
+            ops.extend(self.reclaim_step(max_copies=self._pages_per_zone))
+        return ops
+
+    def collect(self, target_free_zones: int) -> list[FlashOp]:
+        ops: list[FlashOp] = []
+        while len(self._free_zones) < target_free_zones:
+            ops.extend(self.collect_once())
+        return ops
+
+    def _relocate(self, victim: int, offset: int) -> list[FlashOp]:
+        dst_zone = self._gc_destination()
+        dst_offset = self.device.zone(dst_zone).wp
+        if self.config.use_simple_copy:
+            _, ops = self.device.simple_copy([(victim, offset)], dst_zone)
+        else:
+            payload, read_op = self.device.read(victim, offset)
+            write_ops = self.device.write(dst_zone, npages=1, data=payload)
+            ops = [read_op, *write_ops]
+            self.stats.pcie_copy_pages += 1
+        lba = int(self._p2l[self._flat(victim, offset)])
+        self._unmap_physical(self._flat(victim, offset))
+        self._l2p[lba] = self._flat(dst_zone, dst_offset)
+        self._p2l[self._flat(dst_zone, dst_offset)] = lba
+        self._valid[dst_zone] += 1
+        self.stats.gc_pages_copied += 1
+        return ops
+
+    def _gc_destination(self) -> int:
+        if self._gc_zone is not None and not self._frontier_full(self._gc_zone):
+            return self._gc_zone
+        if self._gc_zone is not None:
+            self._seal(self._gc_zone)
+        self._gc_zone = self._take_free_zone()
+        return self._gc_zone
+
+    # -- Invariant checking (property tests) -------------------------------------------
+
+    def check_invariants(self) -> None:
+        active = {z for z in (self._write_zone, self._gc_zone) if z is not None}
+        free = set(self._free_zones)
+        assert not (free & self._sealed), "zone both free and sealed"
+        assert not (free & active), "zone both free and active"
+        mapped = int((self._l2p != UNMAPPED).sum())
+        assert int(self._valid.sum()) == mapped, "valid counts disagree with map"
+        for lba in range(self.logical_pages):
+            flat = int(self._l2p[lba])
+            if flat != UNMAPPED:
+                assert int(self._p2l[flat]) == lba
+
+
+__all__ = ["TranslationError", "ZonedBlockConfig", "ZonedBlockDevice", "ZonedBlockStats"]

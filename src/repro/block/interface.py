@@ -1,0 +1,48 @@
+"""The conventional block-device interface.
+
+Everything above the device layer (filesystems, the LSM store's file
+backend, the flash cache) programs against this protocol, so the same
+application code runs over a conventional SSD, a RAM disk, or the
+dm-zoned-style translation layer over a ZNS device -- which is exactly the
+interchangeability argument the paper makes in §2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class BlockDevice(Protocol):
+    """A flat array of fixed-size logical blocks, randomly writable."""
+
+    @property
+    def block_size(self) -> int:
+        """Bytes per logical block."""
+        ...
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of addressable logical blocks."""
+        ...
+
+    def read_block(self, lba: int) -> Any:
+        """Return the payload stored at ``lba`` (None if payloads unset)."""
+        ...
+
+    def write_block(self, lba: int, data: Any = None) -> None:
+        """Store ``data`` at ``lba``, overwriting any previous contents."""
+        ...
+
+    def trim_block(self, lba: int) -> None:
+        """Hint that ``lba`` no longer holds useful data."""
+        ...
+
+
+def check_lba(device: BlockDevice, lba: int) -> None:
+    """Shared bounds check for block-device implementations."""
+    if not 0 <= lba < device.num_blocks:
+        raise IndexError(f"lba {lba} out of range [0, {device.num_blocks})")
+
+
+__all__ = ["BlockDevice", "check_lba"]

@@ -1,0 +1,36 @@
+"""Cost models: mapping-table DRAM, DIMM pricing, device bill of materials.
+
+These reproduce the paper's §2.2/§2.3 economics: the conventional FTL's
+per-page map needs ~1 GB of embedded DRAM per TB while a ZNS FTL needs
+~256 KB; overprovisioned flash inflates $/usable-GB; and host DIMMs are
+far cheaper per GB than the small embedded DRAM chips soldered to SSDs.
+"""
+
+from repro.cost.bom import DeviceBom, compare_cost_per_gb
+from repro.cost.dimms import DIMM_PRICES_2020, dimm_price_per_gb, small_dimm_premium
+from repro.cost.lifetime import (
+    LifetimeEstimate,
+    estimate,
+    lifetime_years,
+    qlc_enablement_table,
+)
+from repro.cost.dram import (
+    conventional_mapping_dram_bytes,
+    dram_overhead_table,
+    zns_mapping_dram_bytes,
+)
+
+__all__ = [
+    "DIMM_PRICES_2020",
+    "LifetimeEstimate",
+    "estimate",
+    "lifetime_years",
+    "qlc_enablement_table",
+    "DeviceBom",
+    "compare_cost_per_gb",
+    "conventional_mapping_dram_bytes",
+    "dimm_price_per_gb",
+    "dram_overhead_table",
+    "small_dimm_premium",
+    "zns_mapping_dram_bytes",
+]

@@ -1,0 +1,141 @@
+"""Device bill of materials and $/usable-GB comparison (experiment E6).
+
+§2.2's claim decomposed: a conventional SSD charges the buyer for (a)
+overprovisioned flash they cannot address (7-28% of usable capacity) and
+(b) ~1 GB of embedded DRAM per TB at a small-chip price premium. A ZNS
+device reserves only a sliver of flash for bad-block spares and carries
+kilobytes of DRAM. The host-side DRAM a ZNS deployment might add (e.g.
+for a translation layer) is charged at commodity-DIMM $/GB to keep the
+comparison honest -- that is footnote 2's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.dimms import dimm_price_per_gb
+from repro.cost.dram import (
+    conventional_mapping_dram_bytes,
+    zns_mapping_dram_bytes,
+)
+from repro.flash.geometry import GIB, TIB
+
+#: Representative 2020 raw TLC NAND cost, $/GB (wafer-level).
+FLASH_COST_PER_GB = 0.085
+
+#: Embedded (on-SSD, small-package) DRAM $/GB: the small-DIMM premium of
+#: footnote 2 applied to commodity pricing.
+EMBEDDED_DRAM_COST_PER_GB = 2.0 * dimm_price_per_gb(16)
+
+#: Fixed controller/PCB/firmware cost per device, same for both designs.
+CONTROLLER_COST = 12.0
+
+
+@dataclass(frozen=True)
+class DeviceBom:
+    """Bill of materials for one SSD design point.
+
+    ``usable_bytes`` is what the host can address; ``raw_flash_bytes``
+    includes overprovisioning/spares. DRAM is the FTL mapping footprint.
+    """
+
+    name: str
+    usable_bytes: int
+    raw_flash_bytes: int
+    dram_bytes: int
+    host_dram_bytes: int = 0
+
+    @property
+    def flash_cost(self) -> float:
+        return self.raw_flash_bytes / GIB * FLASH_COST_PER_GB
+
+    @property
+    def dram_cost(self) -> float:
+        return self.dram_bytes / GIB * EMBEDDED_DRAM_COST_PER_GB
+
+    @property
+    def host_dram_cost(self) -> float:
+        # Host DRAM comes on big commodity DIMMs.
+        return self.host_dram_bytes / GIB * dimm_price_per_gb(32)
+
+    @property
+    def total_cost(self) -> float:
+        return self.flash_cost + self.dram_cost + self.host_dram_cost + CONTROLLER_COST
+
+    @property
+    def cost_per_usable_gb(self) -> float:
+        return self.total_cost / (self.usable_bytes / GIB)
+
+
+def conventional_bom(usable_bytes: int = TIB, op_ratio: float = 0.14) -> DeviceBom:
+    """A conventional SSD: OP flash plus a page-map's worth of DRAM."""
+    if not 0 <= op_ratio <= 1:
+        raise ValueError("op_ratio must be in [0, 1]")
+    raw = int(usable_bytes * (1 + op_ratio))
+    return DeviceBom(
+        name=f"conventional(op={op_ratio:.0%})",
+        usable_bytes=usable_bytes,
+        raw_flash_bytes=raw,
+        dram_bytes=conventional_mapping_dram_bytes(raw),
+    )
+
+
+def zns_bom(
+    usable_bytes: int = TIB,
+    spare_ratio: float = 0.02,
+    host_translation: bool = False,
+) -> DeviceBom:
+    """A ZNS SSD: bad-block spares only, zone-map DRAM.
+
+    With ``host_translation`` the BOM charges host DIMM space for a
+    page-granularity map (the dm-zoned-style use case); zone-native
+    applications skip it.
+    """
+    if not 0 <= spare_ratio <= 1:
+        raise ValueError("spare_ratio must be in [0, 1]")
+    raw = int(usable_bytes * (1 + spare_ratio))
+    host_dram = conventional_mapping_dram_bytes(raw) if host_translation else 0
+    return DeviceBom(
+        name="zns+host-ftl" if host_translation else "zns",
+        usable_bytes=usable_bytes,
+        raw_flash_bytes=raw,
+        dram_bytes=zns_mapping_dram_bytes(raw),
+        host_dram_bytes=host_dram,
+    )
+
+
+def compare_cost_per_gb(
+    usable_bytes: int = TIB, op_ratios: tuple[float, ...] = (0.07, 0.14, 0.28)
+) -> list[dict]:
+    """The E6 table: $/usable-GB across design points."""
+    rows = []
+    for op in op_ratios:
+        bom = conventional_bom(usable_bytes, op)
+        rows.append(_row(bom))
+    rows.append(_row(zns_bom(usable_bytes)))
+    rows.append(_row(zns_bom(usable_bytes, host_translation=True)))
+    baseline = rows[0]["cost_per_usable_gb"]
+    for row in rows:
+        row["vs_conventional_7pct"] = row["cost_per_usable_gb"] / baseline
+    return rows
+
+
+def _row(bom: DeviceBom) -> dict:
+    return {
+        "design": bom.name,
+        "flash_cost": round(bom.flash_cost, 2),
+        "dram_cost": round(bom.dram_cost + bom.host_dram_cost, 2),
+        "total_cost": round(bom.total_cost, 2),
+        "cost_per_usable_gb": bom.cost_per_usable_gb,
+    }
+
+
+__all__ = [
+    "CONTROLLER_COST",
+    "DeviceBom",
+    "EMBEDDED_DRAM_COST_PER_GB",
+    "FLASH_COST_PER_GB",
+    "compare_cost_per_gb",
+    "conventional_bom",
+    "zns_bom",
+]

@@ -1,0 +1,45 @@
+"""Host DIMM pricing (paper §2.3, footnote 2).
+
+The paper's footnote: "Using end-user prices as a proxy, we find that a
+1 GB DIMM costs more than twice as much per GB as 16-32 GB DIMMs." The
+table below holds representative 2020 street prices for DDR4 UDIMMs; the
+experiment checks the *shape* (small DIMMs carry a per-GB premium), which
+is robust to the exact dollar figures.
+"""
+
+from __future__ import annotations
+
+#: size_gb -> street price (USD, representative 2020 DDR4).
+DIMM_PRICES_2020: dict[int, float] = {
+    1: 14.0,
+    2: 18.0,
+    4: 22.0,
+    8: 30.0,
+    16: 52.0,
+    32: 98.0,
+}
+
+
+def dimm_price_per_gb(size_gb: int, prices: dict[int, float] | None = None) -> float:
+    """$/GB for a DIMM of the given size."""
+    prices = prices or DIMM_PRICES_2020
+    if size_gb not in prices:
+        raise KeyError(f"no price for {size_gb} GB DIMM; have {sorted(prices)}")
+    return prices[size_gb] / size_gb
+
+
+def small_dimm_premium(
+    small_gb: int = 1,
+    large_gbs: tuple[int, ...] = (16, 32),
+    prices: dict[int, float] | None = None,
+) -> float:
+    """Per-GB price of the small DIMM over the mean of the large ones.
+
+    The paper's footnote asserts this exceeds 2x for 1 GB vs 16-32 GB.
+    """
+    small = dimm_price_per_gb(small_gb, prices)
+    large = sum(dimm_price_per_gb(g, prices) for g in large_gbs) / len(large_gbs)
+    return small / large
+
+
+__all__ = ["DIMM_PRICES_2020", "dimm_price_per_gb", "small_dimm_premium"]

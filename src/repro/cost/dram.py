@@ -1,0 +1,72 @@
+"""Mapping-table DRAM arithmetic (paper §2.2, experiment E2).
+
+The paper's estimate: with 4 KiB pages and ~4 bytes per mapping entry, a
+page-mapped conventional FTL needs about 1 GB of on-board DRAM per TB of
+flash; a ZNS FTL mapping 16 MiB erasure blocks needs only ~256 KB.
+These are closed-form functions of the geometry -- no simulation.
+"""
+
+from __future__ import annotations
+
+from repro.flash.geometry import GIB, KIB, MIB, TIB
+
+
+def conventional_mapping_dram_bytes(
+    capacity_bytes: int,
+    page_size: int = 4 * KIB,
+    bytes_per_entry: int = 4,
+) -> int:
+    """DRAM for a page-granularity L2P map."""
+    if capacity_bytes < page_size:
+        raise ValueError("capacity smaller than one page")
+    return (capacity_bytes // page_size) * bytes_per_entry
+
+
+def zns_mapping_dram_bytes(
+    capacity_bytes: int,
+    erasure_block_size: int = 16 * MIB,
+    bytes_per_entry: int = 4,
+) -> int:
+    """DRAM for a zone-to-erasure-block map (one entry per block)."""
+    if capacity_bytes < erasure_block_size:
+        raise ValueError("capacity smaller than one erasure block")
+    return (capacity_bytes // erasure_block_size) * bytes_per_entry
+
+
+def dram_overhead_table(capacities: list[int] | None = None) -> list[dict]:
+    """The E2 table: conventional vs ZNS mapping DRAM per device size.
+
+    Returns one row per capacity with both footprints and their ratio.
+    Defaults reproduce the paper's 1 TB example plus the 2-16 TB range
+    datacenter devices span.
+    """
+    capacities = capacities or [TIB, 2 * TIB, 4 * TIB, 8 * TIB, 16 * TIB]
+    rows = []
+    for capacity in capacities:
+        conv = conventional_mapping_dram_bytes(capacity)
+        zns = zns_mapping_dram_bytes(capacity)
+        rows.append(
+            {
+                "capacity_tb": capacity / TIB,
+                "conventional_dram_bytes": conv,
+                "conventional_dram_human": _human(conv),
+                "zns_dram_bytes": zns,
+                "zns_dram_human": _human(zns),
+                "reduction_factor": conv / zns,
+            }
+        )
+    return rows
+
+
+def _human(nbytes: float) -> str:
+    for unit, size in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if nbytes >= size:
+            return f"{nbytes / size:.1f} {unit}"
+    return f"{nbytes:.0f} B"
+
+
+__all__ = [
+    "conventional_mapping_dram_bytes",
+    "dram_overhead_table",
+    "zns_mapping_dram_bytes",
+]

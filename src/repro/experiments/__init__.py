@@ -1,0 +1,13 @@
+"""The paper's evaluation, regenerated.
+
+One module per table/figure/claim (see DESIGN.md §4 for the index). Each
+module exposes ``run(quick=True, seed=0) -> ExperimentResult``; ``quick``
+trades workload length for runtime (benchmarks use quick mode, EXPERIMENTS.md
+numbers come from full runs). The registry in :mod:`repro.experiments.runner`
+drives them all from one entry point (the ``zns-repro`` CLI).
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "run_experiment"]

@@ -1,0 +1,75 @@
+"""Common result container and formatting for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        The DESIGN.md index id (e.g. "E1", "T1").
+    title:
+        Human-readable name.
+    paper_claim:
+        What the paper reports, verbatim-ish, for side-by-side comparison.
+    rows:
+        The regenerated table: list of dicts with consistent keys.
+    headline:
+        The single number/factor the claim turns on, as measured here.
+    notes:
+        Caveats, substitutions, parameters.
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: list[dict] = field(default_factory=list)
+    headline: dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def format(self) -> str:
+        """Render as readable text (used by the CLI and EXPERIMENTS.md)."""
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+        ]
+        if self.rows:
+            keys = list(self.rows[0].keys())
+            widths = {
+                k: max(len(str(k)), *(len(_fmt(row.get(k))) for row in self.rows))
+                for k in keys
+            }
+            lines.append("  " + "  ".join(str(k).ljust(widths[k]) for k in keys))
+            for row in self.rows:
+                lines.append(
+                    "  " + "  ".join(_fmt(row.get(k)).ljust(widths[k]) for k in keys)
+                )
+        if self.headline:
+            lines.append(
+                "measured: "
+                + ", ".join(f"{k}={_fmt(v)}" for k, v in self.headline.items())
+            )
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,108 @@
+"""The ``zns-repro`` command-line entry point.
+
+Usage::
+
+    zns-repro list                 # show the experiment index
+    zns-repro run E1 [--full]      # run one experiment
+    zns-repro run all [--full]     # run everything, in index order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+_DESCRIPTIONS = {
+    "T1": "Table 1: survey taxonomy counts per venue",
+    "E1": "WA vs overprovisioning (random writes)",
+    "E2": "Mapping-table DRAM: conventional vs ZNS",
+    "E3": "Mixed-workload read latency and throughput",
+    "E4": "LSM replay: read tails and write throughput",
+    "E5": "LSM write amplification per backend",
+    "E6": "$/usable-GB and the small-DIMM premium",
+    "E7": "Write-pointer contention vs zone append",
+    "E8": "Active-zone budgets under bursty tenants",
+    "E9": "Lifetime-hint placement ladder",
+    "E10": "NAND timing ladder; erase/program ratio",
+    "E11": "Host reclaim scheduling vs read tails",
+    "E12": "Block-on-ZNS translation vs conventional SSD",
+    "E13": "Flash cache designs per interface",
+    "E14": "Device lifetime: measured WA x cell endurance",
+    "A1": "Ablation: GC victim policy x workload skew",
+    "A2": "Ablation: zone width vs LSM reclaim overhead",
+    "A3": "Ablation: erase suspension vs read tails",
+    "A4": "Ablation: DRAM-less mapping (DFTL) vs ZNS",
+    "A5": "Ablation: mapping-durability checkpoint overhead",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="zns-repro",
+        description="Reproduction experiments for 'Don't Be a Blockhead' (HotOS '21)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments")
+    chart_parser = sub.add_parser("chart", help="run an experiment and draw its figure")
+    chart_parser.add_argument("experiment", help="experiment id with a figure (E1, E7, E9, E14)")
+    chart_parser.add_argument("--full", action="store_true")
+    chart_parser.add_argument("--seed", type=int, default=0)
+    run_parser = sub.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument("experiment", help="experiment id (e.g. E1) or 'all'")
+    run_parser.add_argument(
+        "--full", action="store_true", help="full-size workloads (slower, tighter numbers)"
+    )
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--format",
+        choices=["text", "markdown", "csv"],
+        default="text",
+        help="output format for the result tables",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for key in EXPERIMENTS:
+            print(f"{key:>4}  {_DESCRIPTIONS.get(key, '')}")
+        return 0
+
+    if args.command == "chart":
+        from repro.experiments.figures import render_figure
+
+        try:
+            result = run_experiment(args.experiment, quick=not args.full, seed=args.seed)
+            print(f"{result.experiment_id}: {result.title}")
+            print(render_figure(result))
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        return 0
+
+    ids = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
+    for experiment_id in ids:
+        started = time.perf_counter()
+        try:
+            result = run_experiment(experiment_id, quick=not args.full, seed=args.seed)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - started
+        if args.format == "markdown":
+            from repro.analysis.render import to_markdown
+
+            print(to_markdown(result))
+        elif args.format == "csv":
+            from repro.analysis.render import to_csv
+
+            print(to_csv(result), end="")
+        else:
+            print(result.format())
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

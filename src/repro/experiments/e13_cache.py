@@ -1,0 +1,79 @@
+"""E13: Flash caching on each interface (§2.4 IBM numbers, §4.1).
+
+Caching is the paper's recurring motivating application (CacheLib, RIPQ,
+SALSA). A set-associative small-object cache does random in-place page
+rewrites -- the conventional FTL's worst case -- while a zone-log cache
+admits by appending and evicts whole zones by reset. Same zipfian
+workload, same cache capacity; compare the device-level WA, erase counts
+(endurance), and hit ratios.
+"""
+
+from __future__ import annotations
+
+from repro.apps.cache import SetAssociativeCache, ZoneLogCache
+from repro.experiments.base import ExperimentResult
+from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.ftl.device import ConventionalSSD
+from repro.ftl.ftl import FTLConfig
+from repro.workloads.synthetic import zipfian_stream
+from repro.zns.device import ZNSDevice
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    universe = 60_000
+    requests = 150_000 if quick else 500_000
+
+    conv = ConventionalSSD(FlashGeometry.small(), FTLConfig(op_ratio=0.07))
+    set_cache = SetAssociativeCache(conv, ways=4)
+    for obj in zipfian_stream(universe, requests, theta=0.9, seed=seed):
+        if not set_cache.get(obj):
+            set_cache.admit(obj)
+    conv_flash = conv.ftl.nand.physical_bytes_written() // 4096
+    conv_row = {
+        "cache": "set-assoc/conventional",
+        "hit_ratio": round(set_cache.stats.hit_ratio, 3),
+        "device_wa": round(conv_flash / max(set_cache.stats.insertions, 1), 2),
+        "erases": conv.ftl.nand.counters.erases,
+    }
+
+    zoned = ZonedGeometry(
+        flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
+    )
+    zns = ZNSDevice(zoned)
+    log_cache = ZoneLogCache(zns, readmit_hot=True)
+    for obj in zipfian_stream(universe, requests, theta=0.9, seed=seed):
+        if not log_cache.get(obj):
+            log_cache.admit(obj)
+    zns_flash = zns.nand.physical_bytes_written() // 4096
+    zns_row = {
+        "cache": "zone-log/zns",
+        "hit_ratio": round(log_cache.stats.hit_ratio, 3),
+        "device_wa": round(zns_flash / max(log_cache.stats.insertions, 1), 2),
+        "erases": zns.nand.counters.erases,
+    }
+
+    rows = [conv_row, zns_row]
+    return ExperimentResult(
+        experiment_id="E13",
+        title="Flash cache: in-place set-associative vs zone log",
+        paper_claim=(
+            "Flash caches fight the block interface (buckets, DRAM "
+            "buffers); on ZNS the log design gets WA~1 and host-controlled "
+            "eviction (cf. IBM SALSA's 22x tails / 65% throughput)"
+        ),
+        rows=rows,
+        headline={
+            "conventional_wa": conv_row["device_wa"],
+            "zns_wa": zns_row["device_wa"],
+            "erase_reduction": round(conv_row["erases"] / max(zns_row["erases"], 1), 2),
+            "hit_ratio_delta": round(zns_row["hit_ratio"] - conv_row["hit_ratio"], 3),
+        },
+        notes=(
+            "Identical zipfian(0.9) traffic and flash capacity. The zone-log "
+            "cache readmits objects hit since insertion, trading a little "
+            "relocation for hit ratio -- a knob only the host-side design has."
+        ),
+    )
+
+
+__all__ = ["run"]

@@ -1,0 +1,221 @@
+"""E3: Mean read latency and throughput, conventional vs ZNS (§2.4).
+
+"Western Digital reports 60% lower average read latency and 3x higher
+throughput in benchmarks."
+
+The comparison is the paper's thesis in miniature: the *same update
+stream*, stored the way each interface makes natural. On the conventional
+SSD the application overwrites logical blocks in place and the FTL
+garbage-collects inside the device. On ZNS the application is ported to
+the zoned interface: it appends to zones and recycles the oldest zone
+wholesale once its contents are superseded (log/stream semantics -- RIPQ,
+ZenFS, and SALSA all work this way), so reclaim is resets only.
+
+Methodology mirrors vendor benchmarking: **write throughput** is measured
+at saturation (closed-loop writers, no reads); **read latency** is
+measured with both devices offered the *same* moderate write rate (a rate
+the conventional device can sustain) plus an identical open-loop read
+stream. Comparing latency at saturation instead would just measure queue
+explosion on whichever device is slower.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.ftl.device import TimedConventionalSSD
+from repro.ftl.ftl import FTLConfig
+from repro.sim.engine import Engine, Timeout
+from repro.sim.rng import make_rng
+from repro.zns.device import TimedZNSDevice
+from repro.zns.zone import ZoneState
+
+_WRITERS = 8
+
+
+class _ConvRig:
+    """A prefilled, pre-churned conventional SSD with submission hooks.
+
+    Pre-churning (untimed random overwrites after the fill) parks the
+    free pool at the GC watermark, so the timed phase starts in the
+    steady GC regime a deployed drive lives in.
+    """
+
+    def __init__(self, op_ratio: float):
+        self.engine = Engine()
+        self.geometry = FlashGeometry.small()
+        self.ssd = TimedConventionalSSD(
+            self.engine, self.geometry, FTLConfig(op_ratio=op_ratio)
+        )
+        self.n = self.ssd.ftl.logical_pages
+        for lpn in range(self.n):
+            self.ssd.ftl.write(lpn)
+        churn_rng = make_rng(5)
+        for _ in range(self.n // 2):
+            self.ssd.ftl.write(int(churn_rng.integers(0, self.n)))
+        self.rng = make_rng(1234)
+
+    def submit_write(self):
+        return self.ssd.submit_write(int(self.rng.integers(0, self.n)))
+
+    def submit_read(self, rng):
+        return self.ssd.submit_read(int(rng.integers(0, self.n)))
+
+    @property
+    def read_latency(self):
+        return self.ssd.read_latency
+
+
+class _ZnsRig:
+    """Zone-native log writer: per-stream zones, reset-on-wrap."""
+
+    def __init__(self):
+        self.engine = Engine()
+        self.geometry = ZonedGeometry.small()
+        self.device = TimedZNSDevice(self.engine, self.geometry)
+        self.zone_count = self.device.device.zone_count
+        self._cursors = {}
+        zones_per_writer = self.zone_count // _WRITERS
+        self._slices = {
+            i: list(range(i * zones_per_writer, (i + 1) * zones_per_writer))
+            for i in range(_WRITERS)
+        }
+        self._next_writer = 0
+        self.rng = make_rng(1234)
+
+    def submit_write(self):
+        writer = self._next_writer
+        self._next_writer = (self._next_writer + 1) % _WRITERS
+        return self.engine.process(self._write_proc(writer))
+
+    def _write_proc(self, writer):
+        zones = self._slices[writer]
+        cursor = self._cursors.get(writer, 0)
+        zone = zones[cursor % len(zones)]
+        if self.device.device.zone(zone).state is ZoneState.FULL:
+            yield self.device.submit_reset(zone)
+        latency = yield self.device.submit_append(zone)
+        if self.device.device.zone(zone).state is ZoneState.FULL:
+            self._cursors[writer] = cursor + 1
+        return latency
+
+    def submit_read(self, rng):
+        zones = [z for z in self.device.device.report_zones() if z.wp > 0]
+        if not zones:
+            return self.engine.process(self._noop())
+        zone = zones[int(rng.integers(0, len(zones)))]
+        offset = int(rng.integers(0, zone.wp))
+        return self.device.submit_read(zone.zone_id, offset)
+
+    def _noop(self):
+        yield Timeout(self.engine, 0.0)
+
+    @property
+    def read_latency(self):
+        return self.device.read_latency
+
+
+def _saturation_mb_s(rig, total_writes: int) -> float:
+    per_writer = total_writes // _WRITERS
+
+    def writer(engine):
+        for _ in range(per_writer):
+            yield rig.submit_write()
+
+    done = rig.engine.all_of([rig.engine.process(writer(rig.engine)) for _ in range(_WRITERS)])
+    rig.engine.run(until=done)
+    issued = per_writer * _WRITERS
+    return issued * 4096 / (1024 * 1024) / (rig.engine.now / 1e6)
+
+
+def _read_latency_at_rate(rig, write_rate_mb_s: float, reads: int, seed: int) -> dict:
+    """Open-loop writes at a fixed rate + open-loop reads.
+
+    Returns mean/p99/p99.9 read latency in microseconds.
+    """
+    interarrival_us = 4096 / (write_rate_mb_s * 1024 * 1024) * 1e6
+    rng_r = make_rng(seed)
+    stop = [False]
+
+    def writer(engine):
+        rng = make_rng(seed + 7)
+        while not stop[0]:
+            yield Timeout(engine, float(rng.exponential(interarrival_us)))
+            rig.submit_write()  # open loop: do not wait for completion
+
+    def reader(engine):
+        for _ in range(reads):
+            yield Timeout(engine, float(rng_r.exponential(200.0)))
+            yield rig.submit_read(rng_r)
+        stop[0] = True
+
+    rig.engine.process(writer(rig.engine))
+    done = rig.engine.process(reader(rig.engine))
+    rig.engine.run(until=done)
+    summary = rig.read_latency.summary()
+    return {"mean": summary.mean, "p99": summary.p99, "p999": summary.p999}
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    writes = 2000 if quick else 4800
+    reads = 1200 if quick else 3000
+
+    rows = []
+    saturation = {}
+    for label, make in [
+        ("conventional/op=7%", lambda: _ConvRig(0.07)),
+        ("conventional/op=28%", lambda: _ConvRig(0.28)),
+        ("zns/zone-native", lambda: _ZnsRig()),
+    ]:
+        tp = _saturation_mb_s(make(), writes)
+        saturation[label] = tp
+        # Latency runs use a fresh rig at a common moderate offered load.
+        rows.append({"stack": label, "write_mb_s_saturated": round(tp, 2)})
+
+    # Latency is compared near the weakest device's capacity: that is
+    # where GC interference lives (far below it, every device looks idle).
+    common_rate = 0.85 * min(saturation.values())
+    for row in rows:
+        rig = (
+            _ConvRig(0.07)
+            if row["stack"] == "conventional/op=7%"
+            else _ConvRig(0.28)
+            if row["stack"] == "conventional/op=28%"
+            else _ZnsRig()
+        )
+        lat = _read_latency_at_rate(rig, common_rate, reads, seed)
+        row["mean_read_us"] = round(lat["mean"], 1)
+        row["p99_read_us"] = round(lat["p99"], 1)
+        row["p999_read_us"] = round(lat["p999"], 1)
+
+    conv7, conv28, zns = rows
+    return ExperimentResult(
+        experiment_id="E3",
+        title="Same update stream: block encoding vs zone-native port",
+        paper_claim="ZNS: ~60% lower average read latency, ~3x higher throughput (WD)",
+        rows=rows,
+        headline={
+            "read_latency_reduction_vs_7pct_op": round(
+                (1 - zns["mean_read_us"] / conv7["mean_read_us"]) * 100, 1
+            ),
+            "read_latency_reduction_vs_28pct_op": round(
+                (1 - zns["mean_read_us"] / conv28["mean_read_us"]) * 100, 1
+            ),
+            "throughput_factor_vs_28pct_op": round(
+                saturation["zns/zone-native"] / saturation["conventional/op=28%"], 2
+            ),
+            "throughput_factor_vs_7pct_op": round(
+                saturation["zns/zone-native"] / saturation["conventional/op=7%"], 2
+            ),
+        },
+        notes=(
+            "Throughput at saturation; read latency at a common offered "
+            "write load both devices sustain. The zone-native port never "
+            "relocates data (resets only), so its advantage grows as the "
+            "conventional device's OP shrinks -- buying back the gap costs "
+            "28% spare flash (see E6)."
+        ),
+    )
+
+
+__all__ = ["run"]

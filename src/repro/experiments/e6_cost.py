@@ -1,0 +1,40 @@
+"""E6: Device economics (§2.2, §2.3 footnote 2)."""
+
+from __future__ import annotations
+
+from repro.cost.bom import compare_cost_per_gb
+from repro.cost.dimms import DIMM_PRICES_2020, dimm_price_per_gb, small_dimm_premium
+from repro.experiments.base import ExperimentResult
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    bom_rows = compare_cost_per_gb()
+    dimm_rows = [
+        {"dimm_gb": size, "price_usd": price, "usd_per_gb": round(dimm_price_per_gb(size), 2)}
+        for size, price in sorted(DIMM_PRICES_2020.items())
+    ]
+    conv28 = next(r for r in bom_rows if "28" in r["design"])
+    zns = next(r for r in bom_rows if r["design"] == "zns")
+    return ExperimentResult(
+        experiment_id="E6",
+        title="$/usable-GB and the small-DIMM premium",
+        paper_claim=(
+            "ZNS SSDs cost less per gigabyte (no OP flash, KBs of DRAM); a "
+            "1 GB DIMM costs >2x per GB vs 16-32 GB DIMMs (footnote 2)"
+        ),
+        rows=bom_rows + dimm_rows,
+        headline={
+            "zns_saving_vs_28pct_op": round(
+                1 - zns["cost_per_usable_gb"] / conv28["cost_per_usable_gb"], 3
+            ),
+            "small_dimm_premium": round(small_dimm_premium(), 2),
+            "premium_exceeds_2x": small_dimm_premium() > 2.0,
+        },
+        notes=(
+            "Representative 2020 component prices; the claims are about the "
+            "shape of the curves, not the exact dollars."
+        ),
+    )
+
+
+__all__ = ["run"]

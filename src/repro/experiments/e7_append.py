@@ -1,0 +1,112 @@
+"""E7: Write-pointer contention vs the zone-append command (§4.2).
+
+"A zone's write pointer can suffer from lock contention ... The append
+command ... allows the device to serialize concurrent writes to the same
+zone."
+
+N producers write records into one shared zone (the persistent-queue
+pattern). With regular writes each producer must hold the zone's
+write-pointer lock across its whole request; with appends the device
+assigns offsets and producers contend only for flash resources (the
+zone's blocks stripe across planes).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.sim.engine import Engine
+from repro.zns.device import TimedZNSDevice
+from repro.zns.zone import ZoneState
+
+
+def _throughput(writers: int, use_append: bool, records_per_writer: int) -> dict:
+    engine = Engine()
+    # Wide zones (8 blocks) so appends have parallelism to exploit.
+    geometry = ZonedGeometry(
+        flash=FlashGeometry.bench(), blocks_per_zone=8, max_active_zones=14
+    )
+    device = TimedZNSDevice(engine, geometry)
+    zone_cursor = [0]
+
+    def producer(engine):
+        from repro.zns.errors import ZnsError
+
+        written = 0
+        while written < records_per_writer:
+            zone = zone_cursor[0]
+            # The write pointer is stale by up to one in-flight write per
+            # producer (writes apply when the zone lock is acquired, not
+            # at submission), so the advance guard leaves 2x slack.
+            if device.device.zone(zone).remaining <= 2 * writers:
+                # Move the shared frontier to the next zone (all producers
+                # share one hot zone -- the §4.2 workload).
+                if device.device.zone(zone).state is not ZoneState.FULL:
+                    device.device.finish_zone(zone)
+                zone_cursor[0] = max(zone_cursor[0], zone + 1)
+                zone = zone_cursor[0]
+            try:
+                if use_append:
+                    yield device.submit_append(zone)
+                else:
+                    yield device.submit_write(zone)
+            except ZnsError:
+                # "Zone full" status: another producer sealed the zone
+                # under us. Exactly the §4.2 coordination cost -- retry on
+                # the new frontier.
+                continue
+            written += 1
+
+    procs = [engine.process(producer(engine)) for _ in range(writers)]
+    for proc in procs:
+        engine.run(until=proc)
+    total_records = writers * records_per_writer
+    elapsed_s = engine.now / 1e6
+    recorder = device.append_latency if use_append else device.write_latency
+    return {
+        "writers": writers,
+        "mode": "append" if use_append else "write",
+        "krecords_per_s": total_records / elapsed_s / 1000,
+        "mean_latency_us": recorder.mean,
+    }
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    writer_counts = [1, 2, 4, 8] if quick else [1, 2, 4, 8, 16, 32]
+    records = 60 if quick else 150
+    rows = []
+    for writers in writer_counts:
+        rows.append(_throughput(writers, use_append=False, records_per_writer=records))
+        rows.append(_throughput(writers, use_append=True, records_per_writer=records))
+    max_writers = writer_counts[-1]
+    write_tp = next(
+        r["krecords_per_s"] for r in rows if r["writers"] == max_writers and r["mode"] == "write"
+    )
+    append_tp = next(
+        r["krecords_per_s"] for r in rows if r["writers"] == max_writers and r["mode"] == "append"
+    )
+    single_write = next(
+        r["krecords_per_s"] for r in rows if r["writers"] == 1 and r["mode"] == "write"
+    )
+    return ExperimentResult(
+        experiment_id="E7",
+        title="Single-zone multi-writer: regular writes vs zone append",
+        paper_claim=(
+            "Multi-writer single-zone workloads serialize on the write "
+            "pointer; zone append removes the bottleneck"
+        ),
+        rows=rows,
+        headline={
+            "append_speedup_at_max_writers": round(append_tp / write_tp, 2),
+            "write_mode_scaling": round(write_tp / single_write, 2),
+            "append_tp_krec_s": round(append_tp, 1),
+        },
+        notes=(
+            "Writes hold the zone's host-side write-pointer lock end-to-end; "
+            "appends stripe across the zone's planes. write_mode_scaling ~1 "
+            "shows regular writes gain nothing from more producers."
+        ),
+    )
+
+
+__all__ = ["run"]

@@ -1,0 +1,95 @@
+"""E8: Sharing the active-zone budget among bursty tenants (§4.2).
+
+"A simple strategy is to assign a fixed number of zones to each
+application together with a fixed active zone budget. However, this
+approach does not scale for typical bursty workloads as it does not allow
+multiplexing of this scarce resource."
+
+Bursty tenants (two-state Markov demand) share a 14-active-zone device.
+Each step every tenant tries to adjust its held zones toward its demand
+through an allocator. Static partitioning denies bursts even when the
+device is idle; dynamic allocation multiplexes; fair-share multiplexes
+while preserving guarantees.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.hostio.zonealloc import make_allocator
+from repro.sim.rng import make_rng
+from repro.workloads.multitenant import BurstyTenant, demand_trace
+
+
+def simulate_allocator(
+    name: str,
+    tenants: int = 4,
+    max_active: int = 14,
+    steps: int = 5000,
+    seed: int = 0,
+) -> dict:
+    """Drive one allocator with the shared demand trace."""
+    allocator = make_allocator(name, max_active, tenants)
+    profiles = [
+        BurstyTenant(tenant_id=t, idle_zones=1, burst_zones=8) for t in range(tenants)
+    ]
+    demand = {t: 1 for t in range(tenants)}
+    satisfied_steps = 0
+    demand_total = 0
+    held_total = 0
+    events = sorted(demand_trace(profiles, steps, seed=make_rng(seed)), key=lambda e: e.time)
+    index = 0
+    for step in range(steps):
+        while index < len(events) and events[index].time <= step:
+            demand[events[index].tenant] = events[index].zones_wanted
+            index += 1
+        for tenant in range(tenants):
+            want = demand[tenant]
+            while allocator.held[tenant] > want:
+                allocator.release(tenant)
+            while allocator.held[tenant] < want:
+                if not allocator.try_acquire(tenant):
+                    break
+        step_demand = sum(min(demand[t], max_active) for t in range(tenants))
+        step_held = allocator.total_held
+        demand_total += step_demand
+        held_total += step_held
+        if step_held >= step_demand:
+            satisfied_steps += 1
+    return {
+        "allocator": name,
+        "denial_rate": round(allocator.stats.denial_rate, 4),
+        "demand_satisfaction": round(held_total / max(demand_total, 1), 3),
+        "fully_satisfied_steps_pct": round(100.0 * satisfied_steps / steps, 1),
+        "mean_zones_held": round(held_total / steps, 2),
+    }
+
+
+def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+    steps = 3000 if quick else 20000
+    rows = [
+        simulate_allocator(name, steps=steps, seed=seed)
+        for name in ("static", "dynamic", "fair-share")
+    ]
+    static = rows[0]["demand_satisfaction"]
+    dynamic = rows[1]["demand_satisfaction"]
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Active-zone budgets under bursty multi-tenant demand",
+        paper_claim=(
+            "Fixed per-tenant budgets do not scale for bursty workloads; "
+            "dynamic assignment multiplexes the scarce resource"
+        ),
+        rows=rows,
+        headline={
+            "static_satisfaction": static,
+            "dynamic_satisfaction": dynamic,
+            "multiplexing_gain": round(dynamic / static, 2),
+        },
+        notes=(
+            "4 tenants, 14 active zones (the paper's reference device), "
+            "idle demand 1 zone, burst demand 8 zones."
+        ),
+    )
+
+
+__all__ = ["run", "simulate_allocator"]

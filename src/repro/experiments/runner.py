@@ -1,0 +1,68 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import (
+    a1_gc_policy,
+    a2_zone_size,
+    a3_erase_suspend,
+    a4_dramless,
+    a5_metadata,
+    e1_wa_vs_op,
+    e2_dram,
+    e3_read_latency,
+    e4_lsm_latency,
+    e5_lsm_wa,
+    e6_cost,
+    e7_append,
+    e8_active_zones,
+    e9_placement,
+    e10_timing,
+    e11_gc_scheduling,
+    e12_dmzoned,
+    e13_cache,
+    e14_endurance,
+    t1_survey,
+)
+from repro.experiments.base import ExperimentResult
+
+#: id -> run callable. Ordered as in DESIGN.md's per-experiment index.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "T1": t1_survey.run,
+    "E1": e1_wa_vs_op.run,
+    "E2": e2_dram.run,
+    "E3": e3_read_latency.run,
+    "E4": e4_lsm_latency.run,
+    "E5": e5_lsm_wa.run,
+    "E6": e6_cost.run,
+    "E7": e7_append.run,
+    "E8": e8_active_zones.run,
+    "E9": e9_placement.run,
+    "E10": e10_timing.run,
+    "E11": e11_gc_scheduling.run,
+    "E12": e12_dmzoned.run,
+    "E13": e13_cache.run,
+    "E14": e14_endurance.run,
+    "A1": a1_gc_policy.run,
+    "A2": a2_zone_size.run,
+    "A3": a3_erase_suspend.run,
+    "A4": a4_dramless.run,
+    "A5": a5_metadata.run,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Run one experiment by its DESIGN.md id."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key](quick=quick, seed=seed)
+
+
+def run_all(quick: bool = True, seed: int = 0) -> list[ExperimentResult]:
+    return [run(quick=quick, seed=seed) for run in EXPERIMENTS.values()]
+
+
+__all__ = ["EXPERIMENTS", "run_all", "run_experiment"]

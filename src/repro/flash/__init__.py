@@ -1,0 +1,33 @@
+"""NAND flash substrate: geometry, cells, timing, and the raw array.
+
+This package models flash at the level the paper's §2.1 primer describes:
+cells of 1-5 bits form pages, pages form erasure blocks, blocks form
+planes, planes form channels (dies). The raw array enforces the physical
+write constraints (program pages sequentially within a block; erase only
+whole blocks; cells wear out) that both the conventional FTL
+(:mod:`repro.ftl`) and the ZNS device (:mod:`repro.zns`) are built on.
+"""
+
+from repro.flash.cells import CellType
+from repro.flash.errors import (
+    BadBlockError,
+    FlashError,
+    ProgramOrderError,
+    ReadUnwrittenError,
+)
+from repro.flash.geometry import FlashGeometry
+from repro.flash.nand import NandArray
+from repro.flash.timing import TimingModel
+from repro.flash.wear import WearTracker
+
+__all__ = [
+    "BadBlockError",
+    "CellType",
+    "FlashError",
+    "FlashGeometry",
+    "NandArray",
+    "ProgramOrderError",
+    "ReadUnwrittenError",
+    "TimingModel",
+    "WearTracker",
+]

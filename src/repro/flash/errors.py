@@ -1,0 +1,37 @@
+"""Exception hierarchy for the flash substrate."""
+
+from __future__ import annotations
+
+
+class FlashError(Exception):
+    """Base class for violations of NAND physical constraints."""
+
+
+class ProgramOrderError(FlashError):
+    """A page was programmed out of order within its erasure block.
+
+    NAND pages must be programmed sequentially within a block; conventional
+    FTLs and ZNS write pointers both exist to satisfy this constraint, so a
+    violation here means a bug in the layer above.
+    """
+
+
+class ReadUnwrittenError(FlashError):
+    """A read targeted a page that has not been programmed since erase."""
+
+
+class BadBlockError(FlashError):
+    """An operation targeted a block retired for wear-out or grown defects."""
+
+
+class EraseLimitError(FlashError):
+    """A block exceeded its endurance budget and failed during erase."""
+
+
+__all__ = [
+    "BadBlockError",
+    "EraseLimitError",
+    "FlashError",
+    "ProgramOrderError",
+    "ReadUnwrittenError",
+]

@@ -1,0 +1,245 @@
+"""The raw NAND array state machine.
+
+:class:`NandArray` is the single physical substrate under both device
+models. It enforces exactly the constraints the paper's flash primer lays
+out, and nothing more:
+
+- a page can be read only after it has been programmed;
+- pages within an erasure block must be programmed strictly sequentially;
+- a programmed page cannot be reprogrammed until its block is erased;
+- erases cover whole blocks and consume endurance.
+
+It deliberately knows nothing about logical addresses, validity, zones, or
+garbage collection -- those are FTL/host concepts layered above. Payloads
+are optional Python objects; experiments that only count operations skip
+them and pay no storage cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.flash.errors import (
+    BadBlockError,
+    ProgramOrderError,
+    ReadUnwrittenError,
+)
+from repro.flash.geometry import FlashGeometry
+from repro.flash.timing import TimingModel
+from repro.flash.wear import WearTracker
+from repro.metrics.counters import OpCounter
+
+
+class NandArray:
+    """Raw flash: program/read/erase with physical constraints enforced.
+
+    Parameters
+    ----------
+    geometry:
+        Shape of the array.
+    timing:
+        Latency model; every operation returns its latency in microseconds
+        so callers can feed a DES or ignore it.
+    wear:
+        Endurance tracker; defaults to one with wear-out disabled.
+    store_data:
+        If True, :meth:`program` accepts payload objects returned verbatim
+        by :meth:`read`. Off by default: counting experiments do not pay
+        for payload storage.
+    """
+
+    #: Reads a block can absorb after erase before neighboring cells
+    #: degrade enough to warrant a refresh (read disturb). Representative
+    #: for TLC; the FTL is responsible for scrubbing before this point.
+    DEFAULT_READ_DISTURB_LIMIT = 100_000
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        timing: TimingModel | None = None,
+        wear: WearTracker | None = None,
+        store_data: bool = False,
+        read_disturb_limit: int = DEFAULT_READ_DISTURB_LIMIT,
+    ):
+        self.geometry = geometry
+        self.timing = timing or TimingModel.for_cell(geometry.cell_type)
+        self.wear = wear or WearTracker(total_blocks=geometry.total_blocks)
+        if self.wear.total_blocks != geometry.total_blocks:
+            raise ValueError(
+                f"wear tracker covers {self.wear.total_blocks} blocks, "
+                f"geometry has {geometry.total_blocks}"
+            )
+        self.store_data = store_data
+        if read_disturb_limit < 1:
+            raise ValueError("read_disturb_limit must be >= 1")
+        self.read_disturb_limit = read_disturb_limit
+        self.counters = OpCounter()
+        # Next programmable page offset within each block; == pages_per_block
+        # means the block is full.
+        self._write_offsets = np.zeros(geometry.total_blocks, dtype=np.int32)
+        self._reads_since_erase = np.zeros(geometry.total_blocks, dtype=np.int64)
+        self._data: dict[int, Any] = {}
+
+    # -- Introspection -------------------------------------------------------
+
+    def write_offset(self, block: int) -> int:
+        """Offset of the next programmable page in ``block``."""
+        self.geometry.check_block(block)
+        return int(self._write_offsets[block])
+
+    def is_block_full(self, block: int) -> bool:
+        return self.write_offset(block) >= self.geometry.pages_per_block
+
+    def is_block_erased(self, block: int) -> bool:
+        return self.write_offset(block) == 0
+
+    def is_programmed(self, page: int) -> bool:
+        block = self.geometry.block_of_page(page)
+        return self.geometry.page_offset_in_block(page) < self._write_offsets[block]
+
+    def free_pages_in_block(self, block: int) -> int:
+        return self.geometry.pages_per_block - self.write_offset(block)
+
+    # -- Operations ------------------------------------------------------------
+
+    def program(self, page: int, data: Any = None) -> float:
+        """Program one page; returns operation latency in microseconds.
+
+        Raises :class:`ProgramOrderError` unless ``page`` is exactly the
+        next free page of its block, and :class:`BadBlockError` if the
+        block has been retired.
+        """
+        block = self.geometry.block_of_page(page)
+        if self.wear.is_bad(block):
+            raise BadBlockError(f"program on retired block {block}")
+        offset = self.geometry.page_offset_in_block(page)
+        expected = self._write_offsets[block]
+        if offset != expected:
+            raise ProgramOrderError(
+                f"page {page} is offset {offset} of block {block}; next "
+                f"programmable offset is {expected}"
+            )
+        self._write_offsets[block] = offset + 1
+        if self.store_data:
+            self._data[page] = data
+        self.counters.note_write(self.geometry.page_size)
+        return self.timing.program_total_us(self.geometry.page_size)
+
+    def program_next(self, block: int, data: Any = None) -> tuple[int, float]:
+        """Program the next free page of ``block``; returns (page, latency).
+
+        Convenience used by append-style writers that track blocks, not
+        page offsets.
+        """
+        offset = self.write_offset(block)
+        if offset >= self.geometry.pages_per_block:
+            raise ProgramOrderError(f"block {block} is full")
+        page = self.geometry.first_page_of_block(block) + offset
+        return page, self.program(page, data)
+
+    def read(self, page: int) -> tuple[Any, float]:
+        """Read one page; returns (payload, latency_us).
+
+        Payload is ``None`` unless the array stores data.
+        """
+        block = self.geometry.block_of_page(page)
+        if self.wear.is_bad(block):
+            raise BadBlockError(f"read on retired block {block}")
+        if not self.is_programmed(page):
+            raise ReadUnwrittenError(f"page {page} has not been programmed")
+        self._reads_since_erase[block] += 1
+        self.counters.note_read(self.geometry.page_size)
+        payload = self._data.get(page) if self.store_data else None
+        return payload, self.timing.read_total_us(self.geometry.page_size)
+
+    def erase(self, block: int) -> float:
+        """Erase a block; returns latency. May retire the block (wear-out).
+
+        Raises :class:`BadBlockError` if the block was already retired or
+        fails during this erase; the erase still consumed time and a cycle.
+        """
+        self.geometry.check_block(block)
+        if self.wear.is_bad(block):
+            raise BadBlockError(f"erase on retired block {block}")
+        survived = self.wear.record_erase(block)
+        self._write_offsets[block] = 0
+        self._reads_since_erase[block] = 0
+        if self.store_data:
+            for page in self.geometry.pages_of_block(block):
+                self._data.pop(page, None)
+        self.counters.note_erase()
+        if not survived:
+            raise BadBlockError(f"block {block} failed erase and was retired")
+        return self.timing.erase_us
+
+    def copy_page(self, src_page: int, dst_page: int) -> float:
+        """On-die copy (copyback / NVMe simple-copy building block).
+
+        Moves a page without crossing the host interface: read array time
+        plus program array time, but no channel transfers. Used by the
+        device-side implementation of the NVMe *simple copy* command
+        (paper §2.3) and by copyback-capable FTL garbage collection.
+        """
+        payload, _ = self.read(src_page)
+        # Undo the read's counter bump: a copy is not a host read.
+        self.counters.reads -= 1
+        self.counters.bytes_read -= self.geometry.page_size
+        block = self.geometry.block_of_page(dst_page)
+        if self.wear.is_bad(block):
+            raise BadBlockError(f"copy into retired block {block}")
+        offset = self.geometry.page_offset_in_block(dst_page)
+        if offset != self._write_offsets[block]:
+            raise ProgramOrderError(
+                f"copy destination page {dst_page} out of order in block {block}"
+            )
+        self._write_offsets[block] = offset + 1
+        if self.store_data:
+            self._data[dst_page] = payload
+        self.counters.note_copy(self.geometry.page_size)
+        # Physical programming still happened; count it as flash bytes.
+        self.counters.bytes_written += self.geometry.page_size
+        return self.timing.read_us + self.timing.program_us
+
+    # -- Bulk helpers -----------------------------------------------------------
+
+    def erased_blocks(self) -> list[int]:
+        """All live blocks currently erased (write offset 0)."""
+        return [
+            b
+            for b in range(self.geometry.total_blocks)
+            if self._write_offsets[b] == 0 and not self.wear.is_bad(b)
+        ]
+
+    def physical_bytes_written(self) -> int:
+        """Total bytes programmed to flash (host writes + copies)."""
+        return self.counters.bytes_written
+
+    # -- Read disturb ------------------------------------------------------------
+
+    def reads_since_erase(self, block: int) -> int:
+        """Reads the block has absorbed since its last erase."""
+        self.geometry.check_block(block)
+        return int(self._reads_since_erase[block])
+
+    def disturb_pressure(self, block: int) -> float:
+        """Fraction of the read-disturb budget consumed (>= 1.0 is overdue)."""
+        return self.reads_since_erase(block) / self.read_disturb_limit
+
+    def disturbed_blocks(self, threshold: float = 0.8) -> list[int]:
+        """Live blocks whose disturb pressure is at or past ``threshold``.
+
+        FTL firmware scrubs these (copies valid data forward and erases)
+        before the data becomes unreadable -- one more maintenance task
+        the block interface hides from hosts and ZNS surfaces to them.
+        """
+        limit = threshold * self.read_disturb_limit
+        return [
+            b
+            for b in range(self.geometry.total_blocks)
+            if self._reads_since_erase[b] >= limit and not self.wear.is_bad(b)
+        ]
+
+
+__all__ = ["NandArray"]

@@ -1,0 +1,50 @@
+"""Operation records emitted by device state machines.
+
+Device models (conventional FTL, ZNS) mutate state immediately and emit
+:class:`FlashOp` records describing the physical operations that occurred.
+Untimed experiments ignore the records (or sum their latencies); timed
+experiments replay them against the :class:`~repro.flash.service.FlashServiceModel`
+so operations contend for planes and channels in the DES.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+    COPY = "copy"  # device-internal copy (copyback / simple copy)
+
+
+@dataclass(frozen=True)
+class FlashOp:
+    """One physical NAND operation that a device performed.
+
+    ``latency_us`` is the array+transfer time from the timing model;
+    ``block`` locates the operation for plane/channel contention. ``page``
+    is None for erases. ``uses_channel`` distinguishes device-internal
+    copies (no host-interface transfer, and for on-die copyback no channel
+    transfer at all) from host reads/programs.
+    """
+
+    kind: OpKind
+    block: int
+    page: int | None
+    latency_us: float
+    uses_channel: bool = True
+
+    @property
+    def is_background(self) -> bool:
+        return self.kind in (OpKind.ERASE, OpKind.COPY)
+
+
+def total_latency(ops: list[FlashOp]) -> float:
+    """Sum of op latencies -- the fully-serialized service time."""
+    return sum(op.latency_us for op in ops)
+
+
+__all__ = ["FlashOp", "OpKind", "total_latency"]

@@ -1,0 +1,73 @@
+"""Operation latency model.
+
+Latency of a NAND operation has two parts:
+
+- *array time*: the plane is busy sensing (read), programming, or erasing.
+  Only operations on other planes can proceed meanwhile.
+- *transfer time*: page data crosses the channel between the controller
+  and the die. The channel serializes transfers from all its planes.
+
+The DES in :mod:`repro.sim` models both resources; untimed experiments use
+this model only for reporting (e.g. E10's erase/program ratio table).
+
+Erase suspension: per Wu & He (FAST'12, the paper's [54]), controllers can
+suspend an in-flight erase to service a read and resume it afterwards. The
+model exposes the resume overhead so schedulers can weigh suspension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flash.cells import CellType
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Latency parameters (microseconds) for one device.
+
+    Defaults derive from the cell type's characteristics; override fields
+    to model faster or slower parts. The channel transfer rate default of
+    800 MB/s approximates an ONFI 4.x channel.
+    """
+
+    cell_type: CellType = CellType.TLC
+    read_us: float = field(default=0.0)
+    program_us: float = field(default=0.0)
+    erase_us: float = field(default=0.0)
+    channel_mb_per_s: float = 800.0
+    erase_suspend_overhead_us: float = 50.0
+
+    def __post_init__(self) -> None:
+        chars = self.cell_type.characteristics
+        if self.read_us <= 0:
+            object.__setattr__(self, "read_us", chars.read_us)
+        if self.program_us <= 0:
+            object.__setattr__(self, "program_us", chars.program_us)
+        if self.erase_us <= 0:
+            object.__setattr__(self, "erase_us", chars.erase_us)
+        if self.channel_mb_per_s <= 0:
+            raise ValueError("channel_mb_per_s must be positive")
+
+    def transfer_us(self, nbytes: int) -> float:
+        """Time for ``nbytes`` to cross the channel."""
+        return nbytes / (self.channel_mb_per_s * 1024 * 1024) * 1e6
+
+    def read_total_us(self, page_size: int) -> float:
+        """Array read plus channel transfer for one page."""
+        return self.read_us + self.transfer_us(page_size)
+
+    def program_total_us(self, page_size: int) -> float:
+        """Channel transfer plus array program for one page."""
+        return self.program_us + self.transfer_us(page_size)
+
+    @property
+    def erase_program_ratio(self) -> float:
+        return self.erase_us / self.program_us
+
+    @staticmethod
+    def for_cell(cell_type: CellType) -> "TimingModel":
+        return TimingModel(cell_type=cell_type)
+
+
+__all__ = ["TimingModel"]

@@ -1,0 +1,439 @@
+"""The conventional FTL: page-mapped translation with garbage collection.
+
+This is the machinery the paper wants to delete from the device. It exposes
+a flat logical page space (sized by the overprovisioning ratio), maintains
+the page map, appends host writes to per-stream active blocks, and reclaims
+space by copying valid pages forward out of victim blocks before erasing
+them -- the write amplification the paper's §2.2 experiment measures.
+
+Multi-stream support models the NVMe multi-stream directive (paper §2.3):
+hosts tag writes with a stream id and the FTL segregates streams into
+different erasure blocks, a conventional-SSD workaround for data placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flash.errors import FlashError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.nand import NandArray
+from repro.flash.ops import FlashOp, OpKind
+from repro.flash.timing import TimingModel
+from repro.flash.wear import WearTracker
+from repro.ftl.gc import VictimPolicy, make_policy
+from repro.ftl.mapping import UNMAPPED, PageMap
+
+
+class GCStuckError(FlashError):
+    """GC cannot reclaim space: every candidate block is fully valid.
+
+    Indicates the device was configured with no effective spare capacity.
+    """
+
+
+class UnmappedReadError(FlashError):
+    """A read targeted a logical page that holds no data."""
+
+
+class CapacityError(FlashError):
+    """The configuration exports more logical space than flash can back."""
+
+
+@dataclass(frozen=True)
+class FTLConfig:
+    """Tunables for :class:`ConventionalFTL`.
+
+    Parameters
+    ----------
+    op_ratio:
+        Overprovisioning as a fraction of *exported* capacity (the paper's
+        "7-28% of usable capacity"). 0.0 means no advertised spare beyond
+        the FTL's minimum internal reserve.
+    gc_policy:
+        Victim selection: 'greedy', 'cost-benefit', or 'fifo'.
+    streams:
+        Number of write streams (active blocks) for host data. 1 models a
+        plain block device; >1 models the multi-stream directive.
+    gc_low_watermark / gc_high_watermark:
+        Free-block thresholds: GC starts when the pool drops to the low
+        mark and runs until it recovers to the high mark. Defaults scale
+        with stream count.
+    copyback:
+        If True, GC copies stay on-die (no channel occupancy in timed
+        runs); if False every copy crosses the channel.
+    """
+
+    op_ratio: float = 0.07
+    gc_policy: str = "greedy"
+    streams: int = 1
+    gc_low_watermark: int | None = None
+    gc_high_watermark: int | None = None
+    copyback: bool = True
+    gc_streams: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op_ratio < 0:
+            raise ValueError("op_ratio must be >= 0")
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
+        if self.gc_streams < 1:
+            raise ValueError("gc_streams must be >= 1")
+
+
+@dataclass
+class FTLStats:
+    """Cumulative accounting; device WA derives from these."""
+
+    host_pages_written: int = 0
+    gc_pages_copied: int = 0
+    gc_runs: int = 0
+    blocks_erased: int = 0
+    host_pages_read: int = 0
+    trims: int = 0
+    foreground_gc_stalls: int = 0
+    scrubs: int = 0
+
+    @property
+    def device_write_amplification(self) -> float:
+        if self.host_pages_written == 0:
+            return 1.0
+        return (self.host_pages_written + self.gc_pages_copied) / self.host_pages_written
+
+
+class ConventionalFTL:
+    """Page-mapped FTL over a :class:`NandArray`.
+
+    All mutating methods return the list of :class:`FlashOp` records
+    describing the physical work performed, for optional replay in the DES.
+    """
+
+    #: Free blocks the FTL always holds back from exported capacity:
+    #: one per user stream, one GC destination, and safety slack so GC can
+    #: always make forward progress.
+    _INTERNAL_RESERVE_SLACK = 2
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        config: FTLConfig | None = None,
+        nand: NandArray | None = None,
+        timing: TimingModel | None = None,
+        wear: WearTracker | None = None,
+    ):
+        self.geometry = geometry
+        self.config = config or FTLConfig()
+        self.nand = nand or NandArray(geometry, timing=timing, wear=wear)
+        self.policy: VictimPolicy = make_policy(self.config.gc_policy)
+        self.stats = FTLStats()
+
+        reserve_blocks = (
+            self.config.streams + self.config.gc_streams + self._INTERNAL_RESERVE_SLACK
+        )
+        if reserve_blocks >= geometry.total_blocks:
+            raise CapacityError(
+                f"device has {geometry.total_blocks} blocks; "
+                f"{reserve_blocks} needed for internal reserve alone"
+            )
+        max_exported = (geometry.total_blocks - reserve_blocks) * geometry.pages_per_block
+        by_op = int(geometry.total_pages / (1.0 + self.config.op_ratio))
+        self.logical_pages = min(by_op, max_exported)
+        if self.logical_pages < 1:
+            raise CapacityError("configuration exports zero logical pages")
+        self.map = PageMap(geometry, self.logical_pages)
+
+        self._free: list[int] = list(range(geometry.total_blocks))
+        self._sealed: set[int] = set()
+        self._seal_times: dict[int, int] = {}
+        self._clock = 0  # logical time: one tick per host write
+        self._active: dict[int, int | None] = {s: None for s in range(self.config.streams)}
+        self._gc_active: dict[int, int | None] = {
+            s: None for s in range(self.config.gc_streams)
+        }
+        self._gc_cursor = 0
+        self._plane_cursor = 0
+
+        low = self.config.gc_low_watermark
+        high = self.config.gc_high_watermark
+        # The low mark must cover the worst-case transient demand of one
+        # collection pass: every GC destination stream may need a fresh
+        # block before the victim's erase returns one.
+        default_low = self.config.streams + self.config.gc_streams
+        self.gc_low_watermark = low if low is not None else default_low
+        self.gc_high_watermark = high if high is not None else self.gc_low_watermark + 2
+        if self.gc_high_watermark <= self.gc_low_watermark:
+            raise ValueError("gc_high_watermark must exceed gc_low_watermark")
+
+    # -- Introspection --------------------------------------------------------
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def sealed_blocks(self) -> frozenset[int]:
+        return frozenset(self._sealed)
+
+    @property
+    def exported_bytes(self) -> int:
+        return self.logical_pages * self.geometry.page_size
+
+    @property
+    def effective_spare_factor(self) -> float:
+        """Physical pages beyond exported, as a fraction of exported."""
+        return (self.geometry.total_pages - self.logical_pages) / self.logical_pages
+
+    def utilization(self) -> float:
+        """Fraction of exported logical space currently mapped."""
+        return self.map.mapped_pages / self.logical_pages
+
+    def gc_needed(self) -> bool:
+        return len(self._free) <= self.gc_low_watermark
+
+    # -- Block allocation -----------------------------------------------------
+
+    def _take_free_block(self) -> int:
+        """Least-worn free block, tie-broken by rotating plane preference.
+
+        Choosing the least-worn block is dynamic wear leveling; rotating
+        the preferred plane spreads consecutive allocations across planes
+        so sequential fills exploit parallelism.
+        """
+        if not self._free:
+            raise GCStuckError("free block pool is empty")
+        wear = self.nand.wear.erase_counts
+        planes = self.geometry.total_planes
+        preferred = self._plane_cursor % planes
+        self._plane_cursor += 1
+
+        def key(block: int) -> tuple[int, int]:
+            plane_distance = (self.geometry.plane_of_block(block) - preferred) % planes
+            return (int(wear[block]), plane_distance)
+
+        best = min(self._free, key=key)
+        self._free.remove(best)
+        return best
+
+    def _seal(self, block: int) -> None:
+        self._sealed.add(block)
+        self._seal_times[block] = self._clock
+        self.policy.notify_sealed(block, self._clock)
+
+    # -- Host operations -------------------------------------------------------
+
+    def write(self, lpn: int, stream: int = 0, auto_gc: bool = True) -> list[FlashOp]:
+        """Write one logical page; may trigger foreground GC.
+
+        Returns the op records: any GC copies/erases performed to make
+        room, then the host program itself.
+        """
+        self.map.check_lpn(lpn)
+        if stream not in self._active:
+            raise ValueError(f"stream {stream} out of range [0, {self.config.streams})")
+        self._clock += 1
+        ops: list[FlashOp] = []
+
+        active = self._active[stream]
+        if active is None or self.nand.is_block_full(active):
+            if active is not None:
+                self._seal(active)
+                self._active[stream] = None
+            if auto_gc and self.gc_needed():
+                self.stats.foreground_gc_stalls += 1
+                ops.extend(self.collect(self.gc_high_watermark))
+            self._active[stream] = self._take_free_block()
+            active = self._active[stream]
+
+        page, latency = self.nand.program_next(active)
+        self.map.map(lpn, page)
+        self.stats.host_pages_written += 1
+        ops.append(FlashOp(OpKind.PROGRAM, active, page, latency))
+        return ops
+
+    def read(self, lpn: int) -> FlashOp:
+        """Read one logical page; raises :class:`UnmappedReadError` if empty."""
+        ppn = self.map.lookup(lpn)
+        if ppn == UNMAPPED:
+            raise UnmappedReadError(f"lpn {lpn} is unmapped")
+        _, latency = self.nand.read(ppn)
+        self.stats.host_pages_read += 1
+        return FlashOp(OpKind.READ, self.geometry.block_of_page(ppn), ppn, latency)
+
+    def trim(self, lpn: int) -> None:
+        """Discard a logical page (TRIM/deallocate); no flash ops needed."""
+        if self.map.unmap(lpn) != UNMAPPED:
+            self.stats.trims += 1
+
+    # -- Garbage collection -----------------------------------------------------
+
+    def collect_once(self) -> list[FlashOp]:
+        """Reclaim one victim block; returns the copy and erase ops."""
+        candidates = self._sealed
+        if not candidates:
+            raise GCStuckError("no sealed blocks to collect")
+        victim = self.policy.select(
+            candidates,
+            self.map.block_valid_count,
+            self.geometry.pages_per_block,
+            lambda b: self._seal_times.get(b, 0),
+            self._clock,
+        )
+        if self.map.block_valid_count(victim) >= self.geometry.pages_per_block:
+            # Validity-blind policies (FIFO) can pick a fully-valid block,
+            # which reclaims nothing; fall back to the emptiest candidate,
+            # as production cleaners do.
+            victim = min(candidates, key=self.map.block_valid_count)
+        valid = self.map.valid_pages_in_block(victim)
+        if len(valid) >= self.geometry.pages_per_block:
+            raise GCStuckError(
+                f"victim block {victim} is fully valid; no spare capacity"
+            )
+        ops: list[FlashOp] = []
+        for src in valid:
+            dst_block = self._gc_destination()
+            offset = self.nand.write_offset(dst_block)
+            dst_page = self.geometry.first_page_of_block(dst_block) + offset
+            latency = self.nand.copy_page(src, dst_page)
+            self.map.relocate(src, dst_page)
+            self.stats.gc_pages_copied += 1
+            ops.append(
+                FlashOp(
+                    OpKind.COPY,
+                    dst_block,
+                    dst_page,
+                    latency,
+                    uses_channel=not self.config.copyback,
+                )
+            )
+        erase_latency = self.nand.erase(victim)
+        self._sealed.discard(victim)
+        self._seal_times.pop(victim, None)
+        self.policy.notify_erased(victim)
+        self._free.append(victim)
+        self.stats.blocks_erased += 1
+        ops.append(FlashOp(OpKind.ERASE, victim, None, erase_latency))
+        self.stats.gc_runs += 1
+        return ops
+
+    def collect(self, target_free_blocks: int) -> list[FlashOp]:
+        """Run GC until the free pool reaches ``target_free_blocks``."""
+        ops: list[FlashOp] = []
+        while len(self._free) < target_free_blocks:
+            ops.extend(self.collect_once())
+        return ops
+
+    def _gc_destination(self) -> int:
+        """Current GC copy-forward block, opening a new one as needed.
+
+        GC gets its own active block(s) so relocated (cold-leaning) data
+        is not interleaved with fresh host writes. With ``gc_streams > 1``
+        destinations rotate round-robin across several open blocks (which
+        land on different planes), letting timed replays reclaim with
+        plane parallelism as real controllers do.
+        """
+        stream = self._gc_cursor % self.config.gc_streams
+        self._gc_cursor += 1
+        block = self._gc_active[stream]
+        if block is not None and not self.nand.is_block_full(block):
+            return block
+        if block is not None:
+            self._seal(block)
+        self._gc_active[stream] = self._take_free_block()
+        return self._gc_active[stream]
+
+    # -- Wear leveling -----------------------------------------------------------
+
+    def wear_spread(self) -> int:
+        """Max minus min erase count across live blocks."""
+        stats = self.nand.wear.stats()
+        return stats.max_erases - stats.min_erases
+
+    def wear_level_once(self) -> list[FlashOp]:
+        """Static wear leveling: migrate the coldest sealed block.
+
+        Moves the valid data of the least-recently-sealed block (cold data
+        pins low-wear blocks) so its block rejoins circulation. Returns the
+        ops performed; empty if there is nothing to migrate.
+        """
+        if not self._sealed:
+            return []
+        coldest = min(self._sealed, key=lambda b: self._seal_times.get(b, 0))
+        ops: list[FlashOp] = []
+        for src in self.map.valid_pages_in_block(coldest):
+            dst_block = self._gc_destination()
+            offset = self.nand.write_offset(dst_block)
+            dst_page = self.geometry.first_page_of_block(dst_block) + offset
+            latency = self.nand.copy_page(src, dst_page)
+            self.map.relocate(src, dst_page)
+            self.stats.gc_pages_copied += 1
+            ops.append(FlashOp(OpKind.COPY, dst_block, dst_page, latency, uses_channel=False))
+        erase_latency = self.nand.erase(coldest)
+        self._sealed.discard(coldest)
+        self._seal_times.pop(coldest, None)
+        self.policy.notify_erased(coldest)
+        self._free.append(coldest)
+        self.stats.blocks_erased += 1
+        ops.append(FlashOp(OpKind.ERASE, coldest, None, erase_latency))
+        return ops
+
+    # -- Read-disturb scrubbing ---------------------------------------------------
+
+    def scrub_disturbed(self, threshold: float = 0.8) -> list[FlashOp]:
+        """Refresh sealed blocks nearing their read-disturb budget.
+
+        Valid pages are copied forward and the block erased -- like GC,
+        but triggered by reads rather than space pressure, and entirely
+        invisible through the block interface (another source of the
+        "unpredictable performance" of §2.4; on ZNS the host sees and
+        schedules the equivalent zone rewrite itself).
+        """
+        ops: list[FlashOp] = []
+        for block in self.nand.disturbed_blocks(threshold):
+            if block not in self._sealed:
+                continue  # active/free blocks refresh naturally
+            for src in self.map.valid_pages_in_block(block):
+                dst_block = self._gc_destination()
+                offset = self.nand.write_offset(dst_block)
+                dst_page = self.geometry.first_page_of_block(dst_block) + offset
+                latency = self.nand.copy_page(src, dst_page)
+                self.map.relocate(src, dst_page)
+                self.stats.gc_pages_copied += 1
+                ops.append(
+                    FlashOp(OpKind.COPY, dst_block, dst_page, latency, uses_channel=False)
+                )
+            erase_latency = self.nand.erase(block)
+            self._sealed.discard(block)
+            self._seal_times.pop(block, None)
+            self.policy.notify_erased(block)
+            self._free.append(block)
+            self.stats.blocks_erased += 1
+            self.stats.scrubs += 1
+            ops.append(FlashOp(OpKind.ERASE, block, None, erase_latency))
+        return ops
+
+    # -- Consistency checking (used by property tests) -----------------------------
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises AssertionError on violation."""
+        active_blocks = {b for b in self._active.values() if b is not None}
+        active_blocks |= {b for b in self._gc_active.values() if b is not None}
+        free = set(self._free)
+        assert not (free & self._sealed), "block both free and sealed"
+        assert not (free & active_blocks), "block both free and active"
+        assert not (self._sealed & active_blocks), "block both sealed and active"
+        for block in free:
+            assert self.nand.is_block_erased(block), f"free block {block} not erased"
+        for block in self._sealed:
+            assert self.nand.is_block_full(block), f"sealed block {block} not full"
+        total_valid = int(self.map.valid_counts.sum())
+        assert total_valid == self.map.mapped_pages, "valid counts disagree with map"
+
+
+__all__ = [
+    "CapacityError",
+    "ConventionalFTL",
+    "FTLConfig",
+    "FTLStats",
+    "GCStuckError",
+    "UnmappedReadError",
+]

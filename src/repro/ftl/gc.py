@@ -1,0 +1,154 @@
+"""Garbage-collection victim-selection policies.
+
+Given the set of sealed (fully-programmed, non-active) blocks, a policy
+picks the next victim to reclaim. The classics:
+
+- **Greedy** minimizes copy-forward work *now* by taking the block with the
+  fewest valid pages. Optimal for uniform random traffic; suboptimal when
+  hot and cold data mix, because a recently-sealed hot block may momentarily
+  look emptiest yet its remaining pages are about to die anyway.
+- **Cost-benefit** (Rosenblum & Ousterhout's LFS cleaner) scores blocks by
+  ``(1 - u) * age / (1 + u)`` where ``u`` is valid fraction, preferring old,
+  mostly-empty blocks -- better under skew.
+- **FIFO** reclaims blocks in seal order; endurance-friendly (perfectly
+  even erase pressure) but oblivious to validity, so it copies more.
+
+The paper's point (§2.4, §4.1) is that *no* policy can beat application
+knowledge: even a near-optimal cleaner is capped by the information
+barrier, which is what moving GC to the host removes.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable
+
+
+class VictimPolicy(abc.ABC):
+    """Strategy interface for choosing the next GC victim block."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        candidates: Iterable[int],
+        valid_count: "callable",
+        pages_per_block: int,
+        seal_time: "callable",
+        now: int,
+    ) -> int:
+        """Return the victim block id.
+
+        Parameters
+        ----------
+        candidates:
+            Sealed block ids eligible for collection (non-empty).
+        valid_count:
+            ``block -> int`` callable giving current valid pages.
+        pages_per_block:
+            Block capacity, for computing utilization.
+        seal_time:
+            ``block -> int`` callable giving the logical time the block was
+            sealed (monotonic counter maintained by the FTL).
+        now:
+            Current logical time (same counter).
+        """
+
+    def notify_sealed(self, block: int, now: int) -> None:
+        """Hook: a block just became sealed. FIFO uses this for ordering."""
+
+    def notify_erased(self, block: int) -> None:
+        """Hook: a block was erased and returned to the free pool."""
+
+
+class GreedyPolicy(VictimPolicy):
+    """Pick the sealed block with the fewest valid pages."""
+
+    name = "greedy"
+
+    def select(self, candidates, valid_count, pages_per_block, seal_time, now):
+        best = None
+        best_valid = None
+        for block in candidates:
+            v = valid_count(block)
+            if best_valid is None or v < best_valid:
+                best, best_valid = block, v
+                if v == 0:
+                    break  # cannot do better than a fully-invalid block
+        if best is None:
+            raise ValueError("no GC candidates")
+        return best
+
+
+class CostBenefitPolicy(VictimPolicy):
+    """LFS-style cost-benefit cleaning: maximize (1-u)*age/(1+u)."""
+
+    name = "cost-benefit"
+
+    def select(self, candidates, valid_count, pages_per_block, seal_time, now):
+        best = None
+        best_score = None
+        for block in candidates:
+            u = valid_count(block) / pages_per_block
+            age = max(now - seal_time(block), 1)
+            score = (1.0 - u) * age / (1.0 + u)
+            if best_score is None or score > best_score:
+                best, best_score = block, score
+        if best is None:
+            raise ValueError("no GC candidates")
+        return best
+
+
+class FifoPolicy(VictimPolicy):
+    """Reclaim blocks strictly in the order they were sealed."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._order: dict[int, int] = {}
+        self._counter = 0
+
+    def notify_sealed(self, block: int, now: int) -> None:
+        self._counter += 1
+        self._order[block] = self._counter
+
+    def notify_erased(self, block: int) -> None:
+        self._order.pop(block, None)
+
+    def select(self, candidates, valid_count, pages_per_block, seal_time, now):
+        best = None
+        best_rank = None
+        for block in candidates:
+            rank = self._order.get(block, 0)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = block, rank
+        if best is None:
+            raise ValueError("no GC candidates")
+        return best
+
+
+_POLICIES = {
+    "greedy": GreedyPolicy,
+    "cost-benefit": CostBenefitPolicy,
+    "fifo": FifoPolicy,
+}
+
+
+def make_policy(name: str) -> VictimPolicy:
+    """Construct a victim policy by name ('greedy', 'cost-benefit', 'fifo')."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown GC policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+
+
+__all__ = [
+    "CostBenefitPolicy",
+    "FifoPolicy",
+    "GreedyPolicy",
+    "VictimPolicy",
+    "make_policy",
+]

@@ -1,0 +1,130 @@
+"""Page-granularity logical-to-physical address mapping.
+
+The mapping table is the conventional FTL's largest DRAM consumer: one
+entry per logical page (~4 bytes in optimized implementations, paper
+§2.2). :class:`PageMap` maintains the forward map, the reverse map needed
+by garbage collection (to find which logical page a physical page holds),
+and per-block valid-page counts that victim-selection policies consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.geometry import FlashGeometry
+
+UNMAPPED = -1
+
+
+class PageMap:
+    """Forward (L2P) and reverse (P2L) page maps with validity tracking.
+
+    Invariants (checked by the test suite, relied on by GC):
+
+    - ``l2p[l] == p`` iff ``p2l[p] == l`` (the maps are mutual inverses on
+      their mapped domains);
+    - a physical page is *valid* iff it appears in the reverse map;
+    - ``valid_counts[b]`` equals the number of valid pages in block ``b``.
+    """
+
+    def __init__(self, geometry: FlashGeometry, logical_pages: int):
+        if logical_pages < 1:
+            raise ValueError("logical_pages must be >= 1")
+        if logical_pages > geometry.total_pages:
+            raise ValueError(
+                f"cannot export {logical_pages} logical pages from "
+                f"{geometry.total_pages} physical pages"
+            )
+        self.geometry = geometry
+        self.logical_pages = logical_pages
+        self.l2p = np.full(logical_pages, UNMAPPED, dtype=np.int64)
+        self.p2l = np.full(geometry.total_pages, UNMAPPED, dtype=np.int64)
+        self.valid_counts = np.zeros(geometry.total_blocks, dtype=np.int32)
+        self.mapped_pages = 0
+
+    def check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise IndexError(f"lpn {lpn} out of range [0, {self.logical_pages})")
+
+    def lookup(self, lpn: int) -> int:
+        """Physical page for ``lpn`` or :data:`UNMAPPED`."""
+        self.check_lpn(lpn)
+        return int(self.l2p[lpn])
+
+    def is_mapped(self, lpn: int) -> bool:
+        return self.lookup(lpn) != UNMAPPED
+
+    def owner_of(self, ppn: int) -> int:
+        """Logical page stored at physical ``ppn`` or :data:`UNMAPPED`."""
+        self.geometry.check_page(ppn)
+        return int(self.p2l[ppn])
+
+    def is_valid(self, ppn: int) -> bool:
+        return self.owner_of(ppn) != UNMAPPED
+
+    def map(self, lpn: int, ppn: int) -> int:
+        """Bind ``lpn`` to ``ppn``; returns the invalidated old ppn or UNMAPPED.
+
+        The caller must have programmed ``ppn`` already; double-mapping a
+        physical page is a logic error.
+        """
+        self.check_lpn(lpn)
+        self.geometry.check_page(ppn)
+        if self.p2l[ppn] != UNMAPPED:
+            raise ValueError(f"physical page {ppn} is already mapped to lpn {self.p2l[ppn]}")
+        old_ppn = int(self.l2p[lpn])
+        if old_ppn != UNMAPPED:
+            self._invalidate_physical(old_ppn)
+        else:
+            self.mapped_pages += 1
+        self.l2p[lpn] = ppn
+        self.p2l[ppn] = lpn
+        self.valid_counts[self.geometry.block_of_page(ppn)] += 1
+        return old_ppn
+
+    def unmap(self, lpn: int) -> int:
+        """Remove the binding for ``lpn`` (TRIM); returns the freed ppn."""
+        self.check_lpn(lpn)
+        ppn = int(self.l2p[lpn])
+        if ppn == UNMAPPED:
+            return UNMAPPED
+        self._invalidate_physical(ppn)
+        self.l2p[lpn] = UNMAPPED
+        self.mapped_pages -= 1
+        return ppn
+
+    def _invalidate_physical(self, ppn: int) -> None:
+        self.p2l[ppn] = UNMAPPED
+        block = self.geometry.block_of_page(ppn)
+        self.valid_counts[block] -= 1
+        if self.valid_counts[block] < 0:
+            raise AssertionError(f"valid count of block {block} went negative")
+
+    def valid_pages_in_block(self, block: int) -> list[int]:
+        """Physical pages in ``block`` that currently hold valid data."""
+        self.geometry.check_block(block)
+        return [p for p in self.geometry.pages_of_block(block) if self.p2l[p] != UNMAPPED]
+
+    def block_valid_count(self, block: int) -> int:
+        self.geometry.check_block(block)
+        return int(self.valid_counts[block])
+
+    def relocate(self, ppn_from: int, ppn_to: int) -> int:
+        """Move a valid page's binding (GC copy-forward); returns the lpn."""
+        lpn = self.owner_of(ppn_from)
+        if lpn == UNMAPPED:
+            raise ValueError(f"relocate of invalid physical page {ppn_from}")
+        if self.p2l[ppn_to] != UNMAPPED:
+            raise ValueError(f"relocate target {ppn_to} already mapped")
+        self._invalidate_physical(ppn_from)
+        self.l2p[lpn] = ppn_to
+        self.p2l[ppn_to] = lpn
+        self.valid_counts[self.geometry.block_of_page(ppn_to)] += 1
+        return lpn
+
+    def dram_bytes(self, bytes_per_entry: int = 4) -> int:
+        """On-board DRAM the forward map would occupy (paper §2.2)."""
+        return self.logical_pages * bytes_per_entry
+
+
+__all__ = ["PageMap", "UNMAPPED"]

@@ -1,0 +1,35 @@
+"""Host-side I/O machinery: reclaim scheduling and active-zone budgeting.
+
+These are the paper's §4 research-agenda knobs, the ones that simply do not
+exist on a conventional SSD: when host-driven reclaim is allowed to touch
+flash (:mod:`repro.hostio.scheduler`) and how the scarce active-zone budget
+is shared among tenants (:mod:`repro.hostio.zonealloc`).
+"""
+
+from repro.hostio.scheduler import (
+    AlwaysOnScheduler,
+    IdleWindowScheduler,
+    ReclaimScheduler,
+    make_scheduler,
+)
+from repro.hostio.timed import TimedZonedBlockDevice
+from repro.hostio.zonealloc import (
+    DynamicAllocator,
+    FairShareAllocator,
+    StaticPartitionAllocator,
+    ZoneBudgetAllocator,
+    make_allocator,
+)
+
+__all__ = [
+    "AlwaysOnScheduler",
+    "DynamicAllocator",
+    "FairShareAllocator",
+    "IdleWindowScheduler",
+    "ReclaimScheduler",
+    "StaticPartitionAllocator",
+    "TimedZonedBlockDevice",
+    "ZoneBudgetAllocator",
+    "make_allocator",
+    "make_scheduler",
+]

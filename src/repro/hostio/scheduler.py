@@ -1,0 +1,141 @@
+"""Reclaim (host GC) scheduling policies.
+
+On a conventional SSD the FTL schedules garbage collection with opaque
+internal logic; the host cannot defer it around latency-sensitive reads
+(the LinnOS-style workarounds the paper cites). On ZNS the host owns
+reclaim, so it can be *scheduled*. A :class:`ReclaimScheduler` answers one
+question -- "may reclaim run right now?" -- given what the host knows:
+outstanding foreground reads, time since the last read, and how desperate
+the free-zone situation is.
+
+The paper's §4.1 asks what policies make sense; we provide the two poles
+(always-on, strict idle-window) and experiments compare them (E11).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass
+class HostIOState:
+    """What the scheduler sees when deciding.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time (us).
+    pending_reads:
+        Foreground read requests submitted but not completed.
+    last_read_at:
+        Completion time of the most recent read (-inf if none yet).
+    free_zones / low_watermark:
+        Reclaim-urgency inputs: when the free pool is at or below the low
+        watermark, space pressure may override latency goals.
+    """
+
+    now: float = 0.0
+    pending_reads: int = 0
+    last_read_at: float = float("-inf")
+    free_zones: int = 0
+    low_watermark: int = 1
+
+
+class ReclaimScheduler(abc.ABC):
+    """Policy deciding whether host reclaim may proceed at this instant."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def may_reclaim(self, state: HostIOState) -> bool:
+        """True if one reclaim step may start now."""
+
+
+class AlwaysOnScheduler(ReclaimScheduler):
+    """Reclaim whenever the watermark asks for it.
+
+    This mirrors the conventional FTL's behaviour: space pressure wins,
+    reads be damned. Used as the baseline in E11.
+    """
+
+    name = "always-on"
+
+    def may_reclaim(self, state: HostIOState) -> bool:
+        return True
+
+
+class IdleWindowScheduler(ReclaimScheduler):
+    """Reclaim only in read-idle windows, unless space is critical.
+
+    A reclaim step is allowed when no reads are pending *and* at least
+    ``idle_threshold_us`` has passed since the last read completed. When
+    the free pool falls to ``urgent_free_zones`` or below, space pressure
+    overrides the latency goal (otherwise writes would deadlock).
+    """
+
+    name = "idle-window"
+
+    def __init__(self, idle_threshold_us: float = 500.0, urgent_free_zones: int = 1):
+        if idle_threshold_us < 0:
+            raise ValueError("idle_threshold_us must be >= 0")
+        self.idle_threshold_us = idle_threshold_us
+        self.urgent_free_zones = urgent_free_zones
+
+    def may_reclaim(self, state: HostIOState) -> bool:
+        if state.free_zones <= self.urgent_free_zones:
+            return True
+        if state.pending_reads > 0:
+            return False
+        return (state.now - state.last_read_at) >= self.idle_threshold_us
+
+
+class RateLimitedScheduler(ReclaimScheduler):
+    """Allow at most one reclaim step per ``min_interval_us``.
+
+    A middle ground: reclaim is paced rather than gated on idleness, so it
+    never starves but also never monopolizes planes.
+    """
+
+    name = "rate-limited"
+
+    def __init__(self, min_interval_us: float = 2000.0, urgent_free_zones: int = 1):
+        if min_interval_us <= 0:
+            raise ValueError("min_interval_us must be > 0")
+        self.min_interval_us = min_interval_us
+        self.urgent_free_zones = urgent_free_zones
+        self._last_reclaim_at = float("-inf")
+
+    def may_reclaim(self, state: HostIOState) -> bool:
+        if state.free_zones <= self.urgent_free_zones:
+            self._last_reclaim_at = state.now
+            return True
+        if state.now - self._last_reclaim_at >= self.min_interval_us:
+            self._last_reclaim_at = state.now
+            return True
+        return False
+
+
+def make_scheduler(name: str, **kwargs) -> ReclaimScheduler:
+    """Construct a scheduler by name: 'always-on', 'idle-window', 'rate-limited'."""
+    registry = {
+        "always-on": AlwaysOnScheduler,
+        "idle-window": IdleWindowScheduler,
+        "rate-limited": RateLimitedScheduler,
+    }
+    try:
+        return registry[name](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from {sorted(registry)}"
+        ) from None
+
+
+__all__ = [
+    "AlwaysOnScheduler",
+    "HostIOState",
+    "IdleWindowScheduler",
+    "RateLimitedScheduler",
+    "ReclaimScheduler",
+    "make_scheduler",
+]

@@ -1,0 +1,114 @@
+"""Timed host stack: the zoned block device inside the DES.
+
+Combines :class:`~repro.block.dmzoned.ZonedBlockDevice` (state machine),
+:class:`~repro.flash.service.FlashServiceModel` (plane/channel contention),
+and a :class:`~repro.hostio.scheduler.ReclaimScheduler` (when reclaim may
+run). This is the host-side counterpart of
+:class:`~repro.ftl.device.TimedConventionalSSD` and powers experiments E3,
+E11, and E12: same workload, but reclaim is scheduled by the host and GC
+copies can stay inside the device via simple copy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.block.dmzoned import ZonedBlockConfig, ZonedBlockDevice
+from repro.flash.geometry import ZonedGeometry
+from repro.flash.service import FlashServiceModel
+from repro.flash.timing import TimingModel
+from repro.hostio.scheduler import AlwaysOnScheduler, HostIOState, ReclaimScheduler
+from repro.metrics.latency import LatencyRecorder
+from repro.sim.engine import Engine, Timeout
+from repro.zns.device import ZNSDevice
+
+
+class TimedZonedBlockDevice:
+    """DES wrapper around the host block-on-ZNS translation layer."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        geometry: ZonedGeometry | None = None,
+        config: ZonedBlockConfig | None = None,
+        scheduler: ReclaimScheduler | None = None,
+        timing: TimingModel | None = None,
+        prioritize_reads: bool = True,
+        reclaim_poll_interval_us: float = 100.0,
+        reclaim_quantum_copies: int = 4,
+    ):
+        geometry = geometry or ZonedGeometry.bench()
+        self.engine = engine
+        device = ZNSDevice(geometry, timing=timing)
+        self.layer = ZonedBlockDevice(device, config=config)
+        self.service = FlashServiceModel(
+            engine, geometry.flash, timing=device.nand.timing,
+            prioritize_reads=prioritize_reads,
+        )
+        self.scheduler = scheduler or AlwaysOnScheduler()
+        self.read_latency = LatencyRecorder()
+        self.write_latency = LatencyRecorder()
+        self.reclaim_poll_interval_us = reclaim_poll_interval_us
+        self.reclaim_quantum_copies = reclaim_quantum_copies
+        self._io_state = HostIOState(low_watermark=self.layer.config.gc_low_zones)
+        self._reclaimer = engine.process(self._reclaim_loop(), name="host-reclaim")
+
+    # -- Host requests --------------------------------------------------------
+
+    def submit_read(self, lba: int):
+        return self.engine.process(self._read_proc(lba))
+
+    def submit_write(self, lba: int):
+        return self.engine.process(self._write_proc(lba))
+
+    def _read_proc(self, lba: int) -> Generator:
+        start = self.engine.now
+        self._io_state.pending_reads += 1
+        try:
+            _, op = self.layer.read(lba)
+            yield self.engine.process(self.service.execute(op))
+        finally:
+            self._io_state.pending_reads -= 1
+            self._io_state.last_read_at = self.engine.now
+        latency = self.engine.now - start
+        self.read_latency.record(latency)
+        return latency
+
+    def _write_proc(self, lba: int) -> Generator:
+        start = self.engine.now
+        # Stall while the host is out of zones (reclaim will free some).
+        while self.layer.free_zone_count <= 1:
+            yield Timeout(self.engine, self.reclaim_poll_interval_us)
+        ops = self.layer.write(lba, auto_gc=False)
+        for op in ops:
+            yield self.engine.process(self.service.execute(op))
+        latency = self.engine.now - start
+        self.write_latency.record(latency)
+        return latency
+
+    # -- Background reclaim -----------------------------------------------------
+
+    def _reclaim_loop(self) -> Generator:
+        """Reclaim in bounded quanta, consulting the scheduler between them.
+
+        The quantum (a handful of simple-copy pages) is short enough to
+        fit inside read-idle gaps, so an idle-window scheduler genuinely
+        moves reclaim out of the way of read bursts.
+        """
+        while True:
+            self._io_state.now = self.engine.now
+            self._io_state.free_zones = self.layer.free_zone_count
+            wants_work = (
+                self.layer.gc_needed() and self.layer._sealed
+            ) or self.layer.reclaim_in_progress
+            if wants_work and self.scheduler.may_reclaim(self._io_state):
+                ops = self.layer.reclaim_step(self.reclaim_quantum_copies)
+                for op in ops:
+                    yield self.engine.process(
+                        self.service.execute(op, priority=FlashServiceModel.PRIO_BACKGROUND)
+                    )
+            else:
+                yield Timeout(self.engine, self.reclaim_poll_interval_us)
+
+
+__all__ = ["TimedZonedBlockDevice"]

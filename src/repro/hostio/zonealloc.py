@@ -1,0 +1,179 @@
+"""Active-zone budget allocation across tenants.
+
+ZNS devices cap the number of simultaneously active zones (14 on the
+paper's reference device). When several kernel-bypass applications share a
+device, that budget must be divided (paper §4.2). The paper observes that
+a fixed per-tenant assignment "does not scale for typical bursty
+workloads as it does not allow multiplexing of this scarce resource".
+
+Allocators here are pure state machines (grant/deny/release); the E8
+experiment drives them from a bursty multi-tenant arrival process and
+measures denial rates and achieved concurrency.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AllocatorStats:
+    """Grant/deny accounting, total and per tenant."""
+
+    grants: int = 0
+    denials: int = 0
+    per_tenant_grants: dict[int, int] = field(default_factory=dict)
+    per_tenant_denials: dict[int, int] = field(default_factory=dict)
+
+    def note(self, tenant: int, granted: bool) -> None:
+        if granted:
+            self.grants += 1
+            self.per_tenant_grants[tenant] = self.per_tenant_grants.get(tenant, 0) + 1
+        else:
+            self.denials += 1
+            self.per_tenant_denials[tenant] = self.per_tenant_denials.get(tenant, 0) + 1
+
+    @property
+    def denial_rate(self) -> float:
+        total = self.grants + self.denials
+        return self.denials / total if total else 0.0
+
+
+class ZoneBudgetAllocator(abc.ABC):
+    """Divides ``max_active`` zone slots among ``tenants`` applications."""
+
+    name: str = "abstract"
+
+    def __init__(self, max_active: int, tenants: int):
+        if max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        if tenants < 1:
+            raise ValueError("tenants must be >= 1")
+        self.max_active = max_active
+        self.tenants = tenants
+        self.held: dict[int, int] = {t: 0 for t in range(tenants)}
+        self.stats = AllocatorStats()
+
+    @property
+    def total_held(self) -> int:
+        return sum(self.held.values())
+
+    def _check_tenant(self, tenant: int) -> None:
+        if tenant not in self.held:
+            raise ValueError(f"tenant {tenant} out of range [0, {self.tenants})")
+
+    def try_acquire(self, tenant: int) -> bool:
+        """Attempt to activate one more zone for ``tenant``."""
+        self._check_tenant(tenant)
+        granted = self._admit(tenant)
+        if granted:
+            self.held[tenant] += 1
+        self.stats.note(tenant, granted)
+        return granted
+
+    def release(self, tenant: int) -> None:
+        """Return one active-zone slot (zone finished or reset)."""
+        self._check_tenant(tenant)
+        if self.held[tenant] <= 0:
+            raise ValueError(f"tenant {tenant} holds no zones")
+        self.held[tenant] -= 1
+
+    @abc.abstractmethod
+    def _admit(self, tenant: int) -> bool:
+        """Policy decision: may this tenant activate one more zone?"""
+
+
+class StaticPartitionAllocator(ZoneBudgetAllocator):
+    """Fixed equal share per tenant; unused slots cannot be borrowed.
+
+    The strawman of §4.2: simple and isolating, but a bursty tenant is
+    capped at its share even while the device sits idle.
+    """
+
+    name = "static"
+
+    def __init__(self, max_active: int, tenants: int):
+        super().__init__(max_active, tenants)
+        self.share = max_active // tenants
+        if self.share < 1:
+            raise ValueError(
+                f"{tenants} tenants cannot each get a zone from {max_active}"
+            )
+
+    def _admit(self, tenant: int) -> bool:
+        return self.held[tenant] < self.share
+
+
+class DynamicAllocator(ZoneBudgetAllocator):
+    """Work-conserving first-come-first-served pool.
+
+    Any tenant may take any free slot. Maximizes utilization but offers no
+    isolation: one greedy tenant can starve the rest.
+    """
+
+    name = "dynamic"
+
+    def _admit(self, tenant: int) -> bool:
+        return self.total_held < self.max_active
+
+
+class FairShareAllocator(ZoneBudgetAllocator):
+    """Guaranteed minimum share plus borrowing of idle slots.
+
+    Each tenant is guaranteed ``max_active // tenants`` slots. Slots beyond
+    the guarantee may be borrowed while free, but a tenant already at or
+    above its fair share is denied once the pool is down to what other
+    tenants' guarantees still require -- preserving their ability to claim
+    their minimum at any moment.
+    """
+
+    name = "fair-share"
+
+    def __init__(self, max_active: int, tenants: int):
+        super().__init__(max_active, tenants)
+        self.guarantee = max_active // tenants
+        if self.guarantee < 1:
+            raise ValueError(
+                f"{tenants} tenants cannot each be guaranteed a zone from {max_active}"
+            )
+
+    def _admit(self, tenant: int) -> bool:
+        if self.total_held >= self.max_active:
+            return False
+        if self.held[tenant] < self.guarantee:
+            return True
+        # Borrowing: leave enough free slots to honor everyone else's
+        # unmet guarantees.
+        reserved = sum(
+            max(self.guarantee - held, 0)
+            for t, held in self.held.items()
+            if t != tenant
+        )
+        free = self.max_active - self.total_held
+        return free > reserved
+
+
+def make_allocator(name: str, max_active: int, tenants: int) -> ZoneBudgetAllocator:
+    """Construct an allocator by name: 'static', 'dynamic', 'fair-share'."""
+    registry = {
+        "static": StaticPartitionAllocator,
+        "dynamic": DynamicAllocator,
+        "fair-share": FairShareAllocator,
+    }
+    try:
+        return registry[name](max_active, tenants)
+    except KeyError:
+        raise ValueError(
+            f"unknown allocator {name!r}; choose from {sorted(registry)}"
+        ) from None
+
+
+__all__ = [
+    "AllocatorStats",
+    "DynamicAllocator",
+    "FairShareAllocator",
+    "StaticPartitionAllocator",
+    "ZoneBudgetAllocator",
+    "make_allocator",
+]

@@ -1,0 +1,21 @@
+"""Measurement utilities shared by devices, hosts, and experiments.
+
+- :mod:`repro.metrics.latency` -- streaming latency recorders with exact and
+  reservoir-sampled percentiles.
+- :mod:`repro.metrics.counters` -- byte/op counters and throughput windows.
+- :mod:`repro.metrics.wa` -- write-amplification accounting split into the
+  layers the paper discusses (application, host translation, device FTL).
+"""
+
+from repro.metrics.counters import OpCounter, ThroughputMeter
+from repro.metrics.latency import LatencyRecorder, LatencySummary
+from repro.metrics.wa import WriteAmpAccounting, WriteAmpBreakdown
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencySummary",
+    "OpCounter",
+    "ThroughputMeter",
+    "WriteAmpAccounting",
+    "WriteAmpBreakdown",
+]

@@ -1,0 +1,30 @@
+"""Application-aware data placement over zones.
+
+§4.1's central question: how much can lifetime knowledge (owner, creation
+time, declared class, or a perfect oracle) reduce write amplification when
+the host controls which zone each object lands in?
+:mod:`repro.placement.hints` defines the knowledge levels;
+:mod:`repro.placement.store` is a zoned object store whose open zones are
+segregated by placement label.
+"""
+
+from repro.placement.hints import (
+    HintPolicy,
+    by_batch,
+    by_lifetime_oracle,
+    by_owner,
+    no_hint,
+    HINT_POLICIES,
+)
+from repro.placement.store import StoreFullError, ZonedObjectStore
+
+__all__ = [
+    "HINT_POLICIES",
+    "HintPolicy",
+    "StoreFullError",
+    "ZonedObjectStore",
+    "by_batch",
+    "by_lifetime_oracle",
+    "by_owner",
+    "no_hint",
+]

@@ -1,0 +1,66 @@
+"""Placement hint policies: what the host knows about data lifetimes.
+
+A hint policy maps an object's metadata to a *placement label*; the store
+keeps one open zone per label so objects sharing a label die together (or
+don't -- that is what the experiment measures). The ladder of §4.1:
+
+- ``no_hint``: everything in one stream (the conventional-FTL view).
+- ``by_owner``: the filesystem knows which application created the file.
+- ``by_batch``: files created together expire together (creation-time
+  bucketing of intermediate files).
+- ``by_lifetime_oracle``: perfect knowledge of the expiry class -- the
+  upper bound the paper asks about ("how does the theoretically optimal
+  garbage collection algorithm change?").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.workloads.lifetime import ObjectEvent
+
+#: A hint policy maps an object's create event to a placement label.
+HintPolicy = Callable[[ObjectEvent], str]
+
+
+def no_hint(event: ObjectEvent) -> str:
+    """Single stream: host places blindly, like an FTL would."""
+    return "all"
+
+
+def by_owner(event: ObjectEvent) -> str:
+    """Segregate by owning application (filesystem-level knowledge)."""
+    return f"owner-{event.owner}"
+
+
+def by_batch(event: ObjectEvent, buckets: int = 4) -> str:
+    """Segregate by creation batch modulo a few open streams.
+
+    Files created around the same time land together; the modulo keeps the
+    number of simultaneously-open zones bounded.
+    """
+    return f"batch-{event.batch % buckets}"
+
+
+def by_lifetime_oracle(event: ObjectEvent) -> str:
+    """Perfect expiry-class knowledge: the placement upper bound."""
+    return f"life-{event.lifetime_class.name}"
+
+
+#: Registry used by experiments to sweep the knowledge ladder.
+HINT_POLICIES: dict[str, HintPolicy] = {
+    "none": no_hint,
+    "owner": by_owner,
+    "batch": by_batch,
+    "oracle": by_lifetime_oracle,
+}
+
+
+__all__ = [
+    "HINT_POLICIES",
+    "HintPolicy",
+    "by_batch",
+    "by_lifetime_oracle",
+    "by_owner",
+    "no_hint",
+]

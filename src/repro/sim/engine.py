@@ -1,0 +1,385 @@
+"""Event loop, events, and generator-based processes.
+
+The engine is a classic calendar-queue DES:
+
+- :class:`Event` is a one-shot occurrence with callbacks and an optional
+  value. Events are *triggered* (scheduled at a time) and then *processed*
+  (callbacks run) when the clock reaches that time.
+- :class:`Process` wraps a Python generator. Each ``yield`` must produce an
+  :class:`Event`; the process suspends until that event is processed, then
+  resumes with the event's value (``event.value``). A process is itself an
+  event that triggers when the generator returns, so processes can wait on
+  each other.
+- :class:`Timeout` is an event that triggers ``delay`` after creation.
+
+Example::
+
+    eng = Engine()
+
+    def worker(eng, results):
+        yield Timeout(eng, 5.0)
+        results.append(eng.now)
+
+    results = []
+    eng.process(worker(eng, results))
+    eng.run()
+    assert results == [5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Generator
+from typing import Any
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+_PENDING = 0  # created, not yet triggered
+_TRIGGERED = 1  # scheduled on the event queue
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    Events start *pending*. :meth:`succeed` or :meth:`fail` triggers them,
+    scheduling callback execution at the current simulation time (or later,
+    for :class:`Timeout`). Waiting processes are resumed with
+    :attr:`value`; if the event failed, the stored exception is thrown into
+    them instead.
+    """
+
+    __slots__ = ("engine", "callbacks", "value", "_state", "_exception")
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self.callbacks: list[Callable[[Event], None]] = []
+        self.value: Any = None
+        self._state = _PENDING
+        self._exception: BaseException | None = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (not failed)."""
+        return self.triggered and self._exception is None
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully, carrying ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self.value = value
+        self._state = _TRIGGERED
+        self.engine._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters get ``exception`` thrown."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._state = _TRIGGERED
+        self.engine._schedule(self, delay)
+        return self
+
+    def _process(self) -> None:
+        """Run callbacks. Called by the engine when the clock reaches us."""
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        if (
+            not callbacks
+            and self._exception is not None
+            and isinstance(self, Process)
+        ):
+            # A process died and nobody was waiting on it: re-raise here
+            # rather than letting the error vanish. (Waited-on failures
+            # are delivered to the waiter instead.)
+            raise self._exception
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: Engine, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self.value = value
+        self._state = _TRIGGERED
+        engine._schedule(self, delay)
+
+
+class AllOf(Event):
+    """Triggers once every child event has been processed.
+
+    The value is a list of child values in the order given.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, engine: Engine, events: list[Event]):
+        super().__init__(engine)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)  # propagate the first failure
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event is processed; value is that child."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, engine: Engine, events: list[Event]):
+        super().__init__(engine)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in self._events:
+            if event.processed:
+                self._on_child(event)
+                break
+            event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)
+            return
+        self.succeed(event)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on return.
+
+    The generator must yield :class:`Event` instances. The process resumes
+    when each yielded event is processed, receiving ``event.value`` as the
+    result of the ``yield`` expression. When the generator returns, the
+    process event succeeds with the generator's return value.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(self, engine: Engine, generator: Generator, name: str | None = None):
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Bootstrap: resume on an immediately-triggered event.
+        start = Event(engine)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        interrupt_event = Event(self.engine)
+        interrupt_event._exception = Interrupt(cause)
+        interrupt_event._state = _TRIGGERED
+        interrupt_event.callbacks.append(self._resume)
+        # Detach from whatever we were waiting on so a late trigger of that
+        # event does not resume us twice.
+        if self._waiting_on is not None:
+            try:
+                self._waiting_on.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        self.engine._schedule(interrupt_event, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        engine = self.engine
+        while True:
+            try:
+                if event._exception is not None:
+                    target = self.generator.throw(event._exception)
+                else:
+                    target = self.generator.send(event.value)
+            except StopIteration as stop:
+                if not self.triggered:
+                    self.succeed(stop.value)
+                return
+            except Interrupt as exc:
+                # Unhandled interrupt kills the process as a failure.
+                if not self.triggered:
+                    self.fail(exc)
+                return
+            except BaseException as exc:
+                # Any other exception fails the process; waiters receive
+                # it at their own yield (and run(until=...) re-raises it),
+                # so errors surface where they can be handled instead of
+                # tearing down the whole event loop.
+                if not self.triggered:
+                    self.fail(exc)
+                    return
+                raise
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes must "
+                    "yield Event instances"
+                )
+            if target.processed:
+                # Already done -- loop and resume immediately with its value.
+                event = target
+                continue
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+            return
+
+
+class Engine:
+    """The simulation event loop.
+
+    Maintains the clock (:attr:`now`, microseconds) and a priority queue of
+    triggered events. :meth:`run` processes events in time order until the
+    queue is empty or ``until`` is reached.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self._processed_count = 0
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far (observability/debugging)."""
+        return self._processed_count
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), event))
+
+    # -- Public factory helpers ------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- Execution --------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:
+            raise SimulationError("event scheduled in the past")
+        self.now = when
+        self._processed_count += 1
+        event._process()
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, ``until`` time passes, or event fires.
+
+        If ``until`` is an :class:`Event`, returns its value (raising its
+        exception if it failed). If it is a number, the clock is advanced
+        exactly to it. Failed process events with no waiters raise here, so
+        errors never pass silently.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before `until` event triggered"
+                    )
+                self.step()
+            if stop._exception is not None:
+                raise stop._exception
+            return stop.value
+
+        horizon = float("inf") if until is None else float(until)
+        if horizon < self.now:
+            raise SimulationError(f"cannot run until {horizon}; now is {self.now}")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        if horizon != float("inf"):
+            self.now = horizon
+        return None
+
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]

@@ -1,0 +1,126 @@
+"""Shared resources with FCFS and priority queueing.
+
+A :class:`Resource` models a server pool with fixed capacity (e.g. a NAND
+plane that can execute one operation at a time, or a channel that can carry
+one transfer at a time). Processes ``yield resource.request()`` to acquire a
+slot and call ``resource.release(req)`` when done; the ``with``-less style
+mirrors the explicit request/release protocol of SimPy.
+
+:class:`PriorityResource` adds a numeric priority (lower value = served
+first) so host I/O schedulers can let reads overtake background erases.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.sim.engine import Engine, Event, SimulationError
+
+
+class Request(Event):
+    """A pending or granted claim on a resource slot."""
+
+    __slots__ = ("resource", "priority")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.engine)
+        self.resource = resource
+        self.priority = priority
+
+
+class Resource:
+    """A fixed-capacity FCFS resource.
+
+    Attributes
+    ----------
+    capacity:
+        Number of slots that can be held simultaneously.
+    count:
+        Number of slots currently held.
+    queue_length:
+        Number of requests waiting (not yet granted).
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.count = 0
+        self._waiting: list[tuple[float, int, Request]] = []
+        self._sequence = itertools.count()
+        # Observability: total grants and cumulative wait time.
+        self.total_grants = 0
+        self.total_wait_time = 0.0
+        self._request_times: dict[int, float] = {}
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self, priority: float = 0.0) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        req = Request(self, priority)
+        self._request_times[id(req)] = self.engine.now
+        if self.count < self.capacity and not self._waiting:
+            self._grant(req)
+        else:
+            heapq.heappush(self._waiting, self._key(req))
+        return req
+
+    def _key(self, req: Request) -> tuple[float, int, Request]:
+        # Plain Resource ignores priority: strict FCFS via sequence numbers.
+        return (0.0, next(self._sequence), req)
+
+    def _grant(self, req: Request) -> None:
+        self.count += 1
+        self.total_grants += 1
+        requested_at = self._request_times.pop(id(req), self.engine.now)
+        self.total_wait_time += self.engine.now - requested_at
+        req.succeed(req)
+
+    def release(self, req: Request) -> None:
+        """Return a granted slot; the longest-waiting request is granted."""
+        if not req.triggered:
+            # The request was never granted -- cancel it instead.
+            self.cancel(req)
+            return
+        if self.count <= 0:
+            raise SimulationError("release() without matching grant")
+        self.count -= 1
+        while self._waiting and self.count < self.capacity:
+            _prio, _seq, waiter = heapq.heappop(self._waiting)
+            if waiter.triggered:  # cancelled while queued
+                continue
+            self._grant(waiter)
+
+    def cancel(self, req: Request) -> None:
+        """Withdraw a request that has not been granted yet."""
+        if req.triggered:
+            raise SimulationError("cannot cancel a granted request")
+        self._request_times.pop(id(req), None)
+        # Mark as failed so the queue scan skips it; nobody awaits it.
+        req._state = 2  # processed, no callbacks to run
+
+    def mean_wait(self) -> float:
+        """Average time requests spent queued before being granted."""
+        if self.total_grants == 0:
+            return 0.0
+        return self.total_wait_time / self.total_grants
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by request priority.
+
+    Lower priority values are granted first; ties are FCFS. Grants are
+    non-preemptive: a running low-priority holder is never evicted, which
+    matches NAND reality (an in-flight erase cannot be revoked, only
+    suspended -- see :mod:`repro.flash.timing` for erase-suspend modeling).
+    """
+
+    def _key(self, req: Request) -> tuple[float, int, Request]:
+        return (req.priority, next(self._sequence), req)
+
+
+__all__ = ["PriorityResource", "Request", "Resource"]

@@ -1,0 +1,83 @@
+"""Aggregation and rendering of Table 1."""
+
+from __future__ import annotations
+
+from repro.survey.corpus import PaperRecord, build_corpus
+from repro.survey.taxonomy import Category
+
+#: Total publications per venue over the survey window (paper's #Pubs).
+VENUE_TOTALS: dict[str, int] = {"FAST": 126, "OSDI": 164, "SOSP": 77, "MSST": 98}
+
+#: The published Table 1, for verification.
+PAPER_TABLE1: dict[str, dict[str, int]] = {
+    "FAST": {"Simpl": 9, "Appr": 8, "Res": 23, "Orth": 8},
+    "OSDI": {"Simpl": 3, "Appr": 0, "Res": 4, "Orth": 0},
+    "SOSP": {"Simpl": 2, "Appr": 2, "Res": 2, "Orth": 0},
+    "MSST": {"Simpl": 10, "Appr": 7, "Res": 16, "Orth": 10},
+}
+
+_VENUE_ORDER = ["FAST", "OSDI", "SOSP", "MSST"]
+_CATEGORY_ORDER = [Category.SIMPLIFIED, Category.APPROACH, Category.RESULTS, Category.ORTHOGONAL]
+
+
+def aggregate(corpus: list[PaperRecord] | None = None) -> dict[str, dict[str, int]]:
+    """Venue x category counts from the record set."""
+    corpus = corpus if corpus is not None else build_corpus()
+    table: dict[str, dict[str, int]] = {
+        venue: {c.value: 0 for c in _CATEGORY_ORDER} for venue in _VENUE_ORDER
+    }
+    for record in corpus:
+        if record.venue not in table:
+            raise ValueError(f"record from unsurveyed venue {record.venue!r}")
+        table[record.venue][record.category.value] += 1
+    return table
+
+
+def summary_percentages(corpus: list[PaperRecord] | None = None) -> dict[str, float]:
+    """The paper's headline shares: 23% simplified, 59% affected, 18% orthogonal."""
+    corpus = corpus if corpus is not None else build_corpus()
+    total = len(corpus)
+    by_cat = {c: sum(1 for r in corpus if r.category is c) for c in Category}
+    return {
+        "simplified_pct": 100.0 * by_cat[Category.SIMPLIFIED] / total,
+        "affected_pct": 100.0
+        * (by_cat[Category.APPROACH] + by_cat[Category.RESULTS])
+        / total,
+        "orthogonal_pct": 100.0 * by_cat[Category.ORTHOGONAL] / total,
+        "classified_total": total,
+    }
+
+
+def render_table1(corpus: list[PaperRecord] | None = None) -> str:
+    """Text rendering in the paper's row/column layout."""
+    table = aggregate(corpus)
+    lines = [f"{'Venue':<6} {'#Pubs.':>6} {'Simpl':>6} {'Appr':>6} {'Res':>6} {'Orth':>6}"]
+    totals = {c.value: 0 for c in _CATEGORY_ORDER}
+    for venue in _VENUE_ORDER:
+        row = table[venue]
+        for key, count in row.items():
+            totals[key] += count
+        lines.append(
+            f"{venue:<6} {VENUE_TOTALS[venue]:>6} "
+            + " ".join(f"{row[c.value]:>6}" for c in _CATEGORY_ORDER)
+        )
+    lines.append(
+        f"{'Total':<6} {sum(VENUE_TOTALS.values()):>6} "
+        + " ".join(f"{totals[c.value]:>6}" for c in _CATEGORY_ORDER)
+    )
+    return "\n".join(lines)
+
+
+def matches_paper(corpus: list[PaperRecord] | None = None) -> bool:
+    """True iff the corpus aggregation reproduces the published table."""
+    return aggregate(corpus) == PAPER_TABLE1
+
+
+__all__ = [
+    "PAPER_TABLE1",
+    "VENUE_TOTALS",
+    "aggregate",
+    "matches_paper",
+    "render_table1",
+    "summary_percentages",
+]

@@ -1,0 +1,128 @@
+"""Synthetic address-stream generators.
+
+All generators are lazy (yield one address per step), deterministic given a
+seed, and sized in *logical pages* so they plug straight into device
+facades. The shapes match the workloads the paper's experiments imply:
+uniform random overwrites (the §2.2 WA curve), skewed traffic (cache and
+KV workloads), and mixed read/write streams (the §2.4 latency claims).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+
+def uniform_stream(
+    num_pages: int, count: int, seed: int | np.random.Generator | None = 0
+) -> Iterator[int]:
+    """Uniform random page addresses: the classic worst case for GC."""
+    if num_pages < 1:
+        raise ValueError("num_pages must be >= 1")
+    rng = make_rng(seed)
+    for _ in range(count):
+        yield int(rng.integers(0, num_pages))
+
+
+def sequential_stream(num_pages: int, count: int, start: int = 0) -> Iterator[int]:
+    """Sequential addresses with wraparound: the best case (WA -> 1)."""
+    if num_pages < 1:
+        raise ValueError("num_pages must be >= 1")
+    for i in range(count):
+        yield (start + i) % num_pages
+
+
+def zipfian_stream(
+    num_pages: int,
+    count: int,
+    theta: float = 0.99,
+    seed: int | np.random.Generator | None = 0,
+) -> Iterator[int]:
+    """Zipfian-skewed addresses (YCSB-style) with parameter ``theta``.
+
+    Uses the rejection-inversion-free approximation: rank ~ U^( -1/(1-theta) )
+    via the standard bounded-Zipf inverse-CDF on a precomputed harmonic
+    table for small spaces, falling back to the power-law approximation
+    for large ones. Hot pages are the low addresses; callers that need hot
+    pages scattered can permute.
+    """
+    if num_pages < 1:
+        raise ValueError("num_pages must be >= 1")
+    if not 0 < theta < 1:
+        raise ValueError("theta must be in (0, 1)")
+    rng = make_rng(seed)
+    if num_pages <= 1 << 16:
+        ranks = np.arange(1, num_pages + 1, dtype=np.float64)
+        weights = ranks ** (-theta)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        for _ in range(count):
+            yield int(np.searchsorted(cdf, rng.random()))
+    else:
+        # Power-law approximation adequate for large address spaces.
+        exponent = 1.0 / (1.0 - theta)
+        for _ in range(count):
+            u = rng.random()
+            yield min(int(num_pages * (u**exponent)), num_pages - 1)
+
+
+def hot_cold_stream(
+    num_pages: int,
+    count: int,
+    hot_fraction: float = 0.1,
+    hot_traffic: float = 0.9,
+    seed: int | np.random.Generator | None = 0,
+) -> Iterator[tuple[int, bool]]:
+    """Two-temperature traffic: yields ``(page, is_hot)``.
+
+    ``hot_fraction`` of the address space receives ``hot_traffic`` of the
+    writes (e.g. 10% of pages get 90% of traffic). The tuple's flag lets
+    placement-aware callers route hot and cold to different streams.
+    """
+    if not 0 < hot_fraction < 1:
+        raise ValueError("hot_fraction must be in (0, 1)")
+    if not 0 < hot_traffic < 1:
+        raise ValueError("hot_traffic must be in (0, 1)")
+    rng = make_rng(seed)
+    hot_pages = max(int(num_pages * hot_fraction), 1)
+    for _ in range(count):
+        if rng.random() < hot_traffic:
+            yield int(rng.integers(0, hot_pages)), True
+        else:
+            yield int(rng.integers(hot_pages, num_pages)), False
+
+
+def read_write_mix(
+    num_pages: int,
+    count: int,
+    read_fraction: float = 0.5,
+    seed: int | np.random.Generator | None = 0,
+) -> Iterator[tuple[str, int]]:
+    """Mixed stream of ('read'|'write', page) with uniform addresses.
+
+    Reads only target pages already written in this stream (or page 0 as a
+    warmed default), so replay never reads unwritten space.
+    """
+    if not 0 <= read_fraction <= 1:
+        raise ValueError("read_fraction must be in [0, 1]")
+    rng = make_rng(seed)
+    written_high = 0  # pages [0, written_high) have been written
+    for _ in range(count):
+        if rng.random() < read_fraction and written_high > 0:
+            yield "read", int(rng.integers(0, written_high))
+        else:
+            page = int(rng.integers(0, num_pages))
+            written_high = max(written_high, page + 1)
+            yield "write", page
+
+
+__all__ = [
+    "hot_cold_stream",
+    "read_write_mix",
+    "sequential_stream",
+    "uniform_stream",
+    "zipfian_stream",
+]

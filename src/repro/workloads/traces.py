@@ -1,0 +1,102 @@
+"""Trace records, synthesis, and replay.
+
+A thin common format so experiments can (a) snapshot any generator into a
+replayable list, (b) replay the same trace against multiple devices for
+apples-to-apples comparisons, and (c) serialize traces for inspection.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.block.interface import BlockDevice
+
+
+class TraceOp(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    TRIM = "trim"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: operation, logical address, optional timestamp."""
+
+    op: TraceOp
+    lba: int
+    time: float = 0.0
+
+    def to_line(self) -> str:
+        return f"{self.time:.3f} {self.op.value} {self.lba}"
+
+    @staticmethod
+    def from_line(line: str) -> "TraceRecord":
+        time_str, op_str, lba_str = line.split()
+        return TraceRecord(op=TraceOp(op_str), lba=int(lba_str), time=float(time_str))
+
+
+def synthesize_trace(
+    ops: Iterable[tuple[str, int]],
+    interarrival_us: float = 0.0,
+) -> list[TraceRecord]:
+    """Materialize ('read'|'write'|'trim', lba) pairs into a timed trace."""
+    trace = []
+    now = 0.0
+    for op_str, lba in ops:
+        trace.append(TraceRecord(op=TraceOp(op_str), lba=lba, time=now))
+        now += interarrival_us
+    return trace
+
+
+def replay_trace(
+    trace: Iterable[TraceRecord], device: BlockDevice
+) -> dict[str, int]:
+    """Replay a trace against a block device; returns op counts.
+
+    Reads of never-written LBAs are skipped (counted separately) so
+    generated traces need not be read-after-write consistent.
+    """
+    counts = {"read": 0, "write": 0, "trim": 0, "skipped_reads": 0}
+    written: set[int] = set()
+    for record in trace:
+        if record.op is TraceOp.WRITE:
+            device.write_block(record.lba)
+            written.add(record.lba)
+            counts["write"] += 1
+        elif record.op is TraceOp.READ:
+            if record.lba in written:
+                device.read_block(record.lba)
+                counts["read"] += 1
+            else:
+                counts["skipped_reads"] += 1
+        elif record.op is TraceOp.TRIM:
+            device.trim_block(record.lba)
+            written.discard(record.lba)
+            counts["trim"] += 1
+    return counts
+
+
+def trace_lines(trace: Iterable[TraceRecord]) -> Iterator[str]:
+    """Serialize a trace to text lines (one record per line)."""
+    for record in trace:
+        yield record.to_line()
+
+
+def parse_trace(lines: Iterable[str]) -> Iterator[TraceRecord]:
+    """Parse text lines back into records, skipping blanks and comments."""
+    for line in lines:
+        line = line.strip()
+        if line and not line.startswith("#"):
+            yield TraceRecord.from_line(line)
+
+
+__all__ = [
+    "TraceOp",
+    "TraceRecord",
+    "parse_trace",
+    "replay_trace",
+    "synthesize_trace",
+    "trace_lines",
+]

@@ -1,0 +1,35 @@
+"""Zoned Namespaces (ZNS) SSD: zones, the thin FTL, and the device model.
+
+Implements the NVMe ZNS interface semantics the paper describes (§2.1,
+§2.3, §4.2): sequential-only zones with write pointers, the six-state zone
+lifecycle, active/open zone limits, the zone-append command, zone resets,
+and the NVMe simple-copy command. The FTL underneath is *thin*: it maps
+zones to erasure-block sets (zone-granularity translation, minimal DRAM)
+and never garbage-collects.
+"""
+
+from repro.zns.device import TimedZNSDevice, ZNSDevice
+from repro.zns.errors import (
+    ActiveZoneLimitError,
+    OpenZoneLimitError,
+    ZnsError,
+    ZoneFullError,
+    ZoneStateError,
+    WritePointerError,
+)
+from repro.zns.ftl import ZnsFTL
+from repro.zns.zone import Zone, ZoneState
+
+__all__ = [
+    "ActiveZoneLimitError",
+    "OpenZoneLimitError",
+    "TimedZNSDevice",
+    "WritePointerError",
+    "ZNSDevice",
+    "ZnsError",
+    "ZnsFTL",
+    "Zone",
+    "ZoneFullError",
+    "ZoneState",
+    "ZoneStateError",
+]

@@ -1,0 +1,422 @@
+"""The ZNS device model.
+
+:class:`ZNSDevice` implements the NVMe ZNS command set over the NAND
+substrate: zone report, explicit open/close/finish/reset, sequential
+writes validated against the write pointer, the zone-append command, and
+the simple-copy command (paper §2.3). Zone data is striped across the
+zone's erasure blocks so sequential zone fills exploit plane parallelism,
+as real devices do.
+
+:class:`TimedZNSDevice` runs the same state machine inside the DES. Its
+crucial modeling choice reproduces §4.2's contention discussion: regular
+writes must present the current write pointer, so concurrent writers to
+one zone serialize on a host-side lock; zone appends let the *device*
+assign offsets, so they only contend for planes and channels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import Any
+
+from repro.flash.geometry import ZonedGeometry
+from repro.flash.nand import NandArray
+from repro.flash.ops import FlashOp, OpKind
+from repro.flash.service import FlashServiceModel
+from repro.flash.timing import TimingModel
+from repro.metrics.counters import OpCounter
+from repro.metrics.latency import LatencyRecorder
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+from repro.zns.errors import (
+    ActiveZoneLimitError,
+    OpenZoneLimitError,
+    WritePointerError,
+    ZoneStateError,
+)
+from repro.zns.ftl import ZnsFTL
+from repro.zns.zone import Zone, ZoneState
+
+
+class ZNSDevice:
+    """Untimed ZNS SSD: zone state machines over a thin FTL.
+
+    Parameters
+    ----------
+    geometry:
+        Zoned geometry (flash shape, zone width, active/open limits).
+    store_data / nand / timing:
+        Substrate configuration; see :class:`~repro.flash.nand.NandArray`.
+    spare_blocks:
+        Blocks reserved for bad-block replacement (not exposed as zones).
+    striped:
+        Stripe zone pages round-robin across the zone's erasure blocks
+        (page offset ``i`` lands in block ``i % blocks_per_zone``). Real
+        controllers do this for parallelism; disable to get a strictly
+        linear layout.
+    """
+
+    def __init__(
+        self,
+        geometry: ZonedGeometry | None = None,
+        store_data: bool = False,
+        nand: NandArray | None = None,
+        timing: TimingModel | None = None,
+        spare_blocks: int = 0,
+        striped: bool = True,
+    ):
+        self.geometry = geometry or ZonedGeometry.bench()
+        self.nand = nand or NandArray(
+            self.geometry.flash, timing=timing, store_data=store_data
+        )
+        self.ftl = ZnsFTL(self.geometry, self.nand, spare_blocks=spare_blocks)
+        self.striped = striped
+        self.zones: list[Zone] = [
+            Zone(zone_id=z, size_pages=self.geometry.pages_per_zone)
+            for z in range(self.ftl.zone_count)
+        ]
+        self.counters = OpCounter()
+        self._open_order: list[int] = []  # implicitly-open zones, LRU first
+
+    # -- Introspection / report ----------------------------------------------------
+
+    @property
+    def zone_count(self) -> int:
+        return len(self.zones)
+
+    @property
+    def page_size(self) -> int:
+        return self.geometry.flash.page_size
+
+    def zone(self, zone_id: int) -> Zone:
+        if not 0 <= zone_id < len(self.zones):
+            raise IndexError(f"zone {zone_id} out of range [0, {len(self.zones)})")
+        return self.zones[zone_id]
+
+    def report_zones(self) -> list[Zone]:
+        """Zone report: the live zone descriptors (do not mutate)."""
+        return list(self.zones)
+
+    def zones_in_state(self, state: ZoneState) -> list[int]:
+        return [z.zone_id for z in self.zones if z.state is state]
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for z in self.zones if z.state.is_active)
+
+    @property
+    def open_count(self) -> int:
+        return sum(1 for z in self.zones if z.state.is_open)
+
+    def dram_bytes(self) -> int:
+        """On-board DRAM for translation (thin FTL, paper §2.2)."""
+        return self.ftl.dram_bytes()
+
+    # -- Address translation -----------------------------------------------------
+
+    def _page_of(self, zone_id: int, offset: int) -> int:
+        blocks = self.ftl.blocks_of_zone(zone_id)
+        ppb = self.geometry.flash.pages_per_block
+        if self.striped:
+            width = len(blocks)
+            block_index = offset % width
+            within = offset // width
+        else:
+            block_index, within = divmod(offset, ppb)
+        if within >= ppb or block_index >= len(blocks):
+            raise IndexError(f"offset {offset} beyond zone {zone_id}")
+        return blocks[block_index] * ppb + within
+
+    def block_of_offset(self, zone_id: int, offset: int) -> int:
+        """Physical block backing (zone, offset) -- for timed contention."""
+        return self.geometry.flash.block_of_page(self._page_of(zone_id, offset))
+
+    # -- Zone resource limits -----------------------------------------------------
+
+    def _ensure_open_for_write(self, zone: Zone) -> None:
+        """Transition a zone toward open before writing, honoring limits.
+
+        Writes to EMPTY or CLOSED zones implicitly open them. If the open
+        limit is reached the device implicitly closes the LRU
+        implicitly-open zone (per NVMe); explicitly-open zones are the
+        host's to manage. If the *active* limit is reached the write is
+        rejected -- the host must finish or reset a zone first.
+        """
+        if zone.state.is_open:
+            self._touch_open(zone.zone_id)
+            return
+        if zone.state is ZoneState.EMPTY:
+            if self.active_count >= self.geometry.max_active_zones:
+                raise ActiveZoneLimitError(
+                    f"{self.active_count} zones active; "
+                    f"limit {self.geometry.max_active_zones}"
+                )
+        if self.open_count >= self.geometry.open_limit:
+            self._close_lru_implicit()
+        zone.transition_open(explicit=False)
+        self._open_order.append(zone.zone_id)
+
+    def _touch_open(self, zone_id: int) -> None:
+        if zone_id in self._open_order:
+            self._open_order.remove(zone_id)
+            self._open_order.append(zone_id)
+
+    def _close_lru_implicit(self) -> None:
+        for zone_id in self._open_order:
+            zone = self.zones[zone_id]
+            if zone.state is ZoneState.IMPLICIT_OPEN:
+                zone.transition_closed()
+                self._open_order.remove(zone_id)
+                return
+        raise OpenZoneLimitError(
+            f"{self.open_count} zones open, none implicitly; "
+            f"limit {self.geometry.open_limit}"
+        )
+
+    def _note_no_longer_open(self, zone_id: int) -> None:
+        if zone_id in self._open_order:
+            self._open_order.remove(zone_id)
+
+    # -- Zone management commands ----------------------------------------------------
+
+    def open_zone(self, zone_id: int) -> None:
+        """Explicitly open a zone, pinning one open slot for the host."""
+        zone = self.zone(zone_id)
+        if zone.state is ZoneState.EXPLICIT_OPEN:
+            return
+        if zone.state is ZoneState.FULL:
+            raise ZoneStateError(f"cannot open full zone {zone_id}")
+        if zone.state is ZoneState.EMPTY and self.active_count >= self.geometry.max_active_zones:
+            raise ActiveZoneLimitError(
+                f"{self.active_count} zones active; limit {self.geometry.max_active_zones}"
+            )
+        if not zone.state.is_open and self.open_count >= self.geometry.open_limit:
+            self._close_lru_implicit()
+        self._note_no_longer_open(zone_id)
+        zone.transition_open(explicit=True)
+
+    def close_zone(self, zone_id: int) -> None:
+        zone = self.zone(zone_id)
+        zone.transition_closed()
+        self._note_no_longer_open(zone_id)
+
+    def finish_zone(self, zone_id: int) -> None:
+        """Mark a zone FULL without writing the remainder (frees its slot)."""
+        zone = self.zone(zone_id)
+        zone.transition_full()
+        self._note_no_longer_open(zone_id)
+
+    def reset_zone(self, zone_id: int) -> list[FlashOp]:
+        """Erase the zone's blocks and rewind the write pointer."""
+        zone = self.zone(zone_id)
+        if zone.state is ZoneState.OFFLINE:
+            raise ZoneStateError(f"zone {zone_id} is offline")
+        blocks_before = self.ftl.blocks_of_zone(zone_id)
+        latencies, new_capacity = self.ftl.reset_zone(zone_id)
+        zone.transition_empty(new_capacity=new_capacity)
+        self._note_no_longer_open(zone_id)
+        ops = [
+            FlashOp(OpKind.ERASE, block, None, latency, uses_channel=False)
+            for block, latency in zip(blocks_before, latencies)
+        ]
+        for _ in ops:
+            self.counters.note_erase()
+        return ops
+
+    # -- Data commands ----------------------------------------------------------------
+
+    def write(
+        self,
+        zone_id: int,
+        offset: int | None = None,
+        npages: int = 1,
+        data: Any = None,
+    ) -> list[FlashOp]:
+        """Sequential write at the write pointer.
+
+        ``offset``, when given, must equal the zone's current write pointer
+        (otherwise :class:`WritePointerError` -- the §4.2 race). Returns
+        the program op records.
+        """
+        if npages < 1:
+            raise ValueError("npages must be >= 1")
+        zone = self.zone(zone_id)
+        zone.check_writable(npages)
+        if offset is not None and offset != zone.wp:
+            raise WritePointerError(
+                f"write at offset {offset} but zone {zone_id} wp is {zone.wp}"
+            )
+        self._ensure_open_for_write(zone)
+        ops: list[FlashOp] = []
+        for i in range(npages):
+            page = self._page_of(zone_id, zone.wp + i)
+            payload = data[i] if isinstance(data, (list, tuple)) else data
+            latency = self.nand.program(page, payload)
+            self.counters.note_write(self.page_size)
+            ops.append(
+                FlashOp(OpKind.PROGRAM, self.geometry.flash.block_of_page(page), page, latency)
+            )
+        zone.advance(npages)
+        if zone.state is ZoneState.FULL:
+            self._note_no_longer_open(zone_id)
+        return ops
+
+    def append(self, zone_id: int, npages: int = 1, data: Any = None) -> tuple[int, list[FlashOp]]:
+        """Zone append: device assigns the offset (paper §4.2).
+
+        Returns ``(assigned_offset, ops)``. Semantically identical to a
+        write at the current pointer, but the caller never names an
+        offset, so concurrent appenders cannot race.
+        """
+        zone = self.zone(zone_id)
+        assigned = zone.wp
+        ops = self.write(zone_id, offset=None, npages=npages, data=data)
+        return assigned, ops
+
+    def read(self, zone_id: int, offset: int) -> tuple[Any, FlashOp]:
+        """Read one page at (zone, offset below the write pointer)."""
+        zone = self.zone(zone_id)
+        zone.check_readable(offset)
+        page = self._page_of(zone_id, offset)
+        payload, latency = self.nand.read(page)
+        self.counters.note_read(self.page_size)
+        return payload, FlashOp(
+            OpKind.READ, self.geometry.flash.block_of_page(page), page, latency
+        )
+
+    def simple_copy(
+        self, sources: list[tuple[int, int]], dst_zone_id: int
+    ) -> tuple[int, list[FlashOp]]:
+        """NVMe simple copy: device-managed copy into a destination zone.
+
+        ``sources`` is a list of (zone, offset) pages. Data moves inside
+        the device -- no host PCIe transfer (ops carry
+        ``uses_channel=False``), which is what makes host-side GC over ZNS
+        performance-competitive (paper §2.3). Returns the destination
+        start offset and the op records.
+        """
+        if not sources:
+            raise ValueError("simple_copy requires at least one source")
+        dst = self.zone(dst_zone_id)
+        dst.check_writable(len(sources))
+        self._ensure_open_for_write(dst)
+        start = dst.wp
+        ops: list[FlashOp] = []
+        for i, (src_zone_id, src_offset) in enumerate(sources):
+            src_zone = self.zone(src_zone_id)
+            src_zone.check_readable(src_offset)
+            src_page = self._page_of(src_zone_id, src_offset)
+            dst_page = self._page_of(dst_zone_id, start + i)
+            # Device-internal movement: read + program without channel use.
+            payload, _ = self.nand.read(src_page)
+            self.nand.counters.reads -= 1
+            self.nand.counters.bytes_read -= self.page_size
+            latency = self.nand.program(dst_page, payload)
+            self.counters.note_copy(self.page_size)
+            ops.append(
+                FlashOp(
+                    OpKind.COPY,
+                    self.geometry.flash.block_of_page(dst_page),
+                    dst_page,
+                    latency,
+                    uses_channel=False,
+                )
+            )
+        dst.advance(len(sources))
+        if dst.state is ZoneState.FULL:
+            self._note_no_longer_open(dst_zone_id)
+        return start, ops
+
+
+class TimedZNSDevice:
+    """DES wrapper: ZNS requests with plane/channel contention.
+
+    Regular writes to a zone serialize on that zone's host-side write
+    lock (the write-pointer coordination burden the spec assigns to the
+    host); appends skip the lock and contend only for flash resources.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        geometry: ZonedGeometry | None = None,
+        timing: TimingModel | None = None,
+        striped: bool = True,
+        prioritize_reads: bool = False,
+    ):
+        self.engine = engine
+        self.device = ZNSDevice(geometry or ZonedGeometry.bench(), timing=timing, striped=striped)
+        self.service = FlashServiceModel(
+            engine,
+            self.device.geometry.flash,
+            timing=self.device.nand.timing,
+            prioritize_reads=prioritize_reads,
+        )
+        self.read_latency = LatencyRecorder()
+        self.write_latency = LatencyRecorder()
+        self.append_latency = LatencyRecorder()
+        self._zone_locks = [Resource(engine) for _ in range(self.device.zone_count)]
+
+    def submit_read(self, zone_id: int, offset: int):
+        return self.engine.process(self._read_proc(zone_id, offset))
+
+    def submit_write(self, zone_id: int, npages: int = 1):
+        return self.engine.process(self._write_proc(zone_id, npages))
+
+    def submit_append(self, zone_id: int, npages: int = 1):
+        return self.engine.process(self._append_proc(zone_id, npages))
+
+    def submit_reset(self, zone_id: int):
+        return self.engine.process(self._reset_proc(zone_id))
+
+    def _read_proc(self, zone_id: int, offset: int) -> Generator:
+        start = self.engine.now
+        _, op = self.device.read(zone_id, offset)
+        yield self.engine.process(self.service.execute(op))
+        latency = self.engine.now - start
+        self.read_latency.record(latency)
+        return latency
+
+    def _write_proc(self, zone_id: int, npages: int) -> Generator:
+        """A regular write: hold the zone lock across the whole request.
+
+        The lock models host-side write-pointer coordination -- the next
+        writer cannot compute its offset until this write is durable.
+        """
+        start = self.engine.now
+        lock = self._zone_locks[zone_id]
+        req = yield lock.request()
+        try:
+            ops = self.device.write(zone_id, npages=npages)
+            for op in ops:
+                yield self.engine.process(self.service.execute(op))
+        finally:
+            lock.release(req)
+        latency = self.engine.now - start
+        self.write_latency.record(latency)
+        return latency
+
+    def _append_proc(self, zone_id: int, npages: int) -> Generator:
+        """Zone append: offset assignment is instant; programs run unlocked.
+
+        Multiple in-flight appends to one zone land on different blocks of
+        the zone's stripe, so they program planes in parallel.
+        """
+        start = self.engine.now
+        _, ops = self.device.append(zone_id, npages=npages)
+        for op in ops:
+            yield self.engine.process(self.service.execute(op))
+        latency = self.engine.now - start
+        self.append_latency.record(latency)
+        return latency
+
+    def _reset_proc(self, zone_id: int) -> Generator:
+        ops = self.device.reset_zone(zone_id)
+        # Erases of a zone's blocks proceed in parallel across planes.
+        procs = [self.engine.process(self.service.execute(op)) for op in ops]
+        for proc in procs:
+            yield proc
+        return None
+
+
+__all__ = ["TimedZNSDevice", "ZNSDevice"]

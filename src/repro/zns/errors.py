@@ -1,0 +1,54 @@
+"""ZNS error hierarchy, mirroring NVMe ZNS command status codes."""
+
+from __future__ import annotations
+
+from repro.flash.errors import FlashError
+
+
+class ZnsError(FlashError):
+    """Base class for ZNS interface violations."""
+
+
+class ZoneStateError(ZnsError):
+    """Operation invalid in the zone's current state (e.g. write to FULL)."""
+
+
+class WritePointerError(ZnsError):
+    """A write specified an offset that is not the zone's write pointer.
+
+    This is the "Zone Invalid Write" status: hosts that race on one zone
+    without coordination hit it, which is the §4.2 contention problem the
+    zone-append command was added to solve.
+    """
+
+
+class ZoneFullError(ZnsError):
+    """A write or append would exceed the zone's writable capacity."""
+
+
+class ActiveZoneLimitError(ZnsError):
+    """Too many zones in open+closed states ("Too Many Active Zones")."""
+
+
+class OpenZoneLimitError(ZnsError):
+    """Too many zones in open states ("Too Many Open Zones")."""
+
+
+class ZoneOfflineError(ZnsError):
+    """The zone is offline (all backing flash retired)."""
+
+
+class ZoneReadOnlyError(ZnsError):
+    """The zone is read-only; only reads and resets are permitted."""
+
+
+__all__ = [
+    "ActiveZoneLimitError",
+    "OpenZoneLimitError",
+    "WritePointerError",
+    "ZnsError",
+    "ZoneFullError",
+    "ZoneOfflineError",
+    "ZoneReadOnlyError",
+    "ZoneStateError",
+]

@@ -1,0 +1,239 @@
+"""Tests for the flash caches, persistent queue, ZoneFS, and LFS."""
+
+import pytest
+
+from repro.apps.cache import SetAssociativeCache, ZoneLogCache
+from repro.apps.lfs import LfsError, LogStructuredFS
+from repro.apps.queue import PersistentQueue, QueueEmptyError, QueueFullError
+from repro.apps.zonefs import ZoneFS, ZoneFsError
+from repro.block.ramdisk import RamDisk
+from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.workloads.synthetic import zipfian_stream
+from repro.zns.device import ZNSDevice
+from repro.zns.zone import ZoneState
+
+
+def zns(store_data=False):
+    return ZNSDevice(ZonedGeometry.small(), store_data=store_data)
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(RamDisk(64), ways=2)
+        assert not cache.get(1)
+        cache.admit(1)
+        assert cache.get(1)
+        assert cache.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_set_eviction_lru(self):
+        cache = SetAssociativeCache(RamDisk(1), ways=2)  # everything one set
+        cache.admit(1)
+        cache.admit(2)
+        cache.get(1)  # bump 1
+        cache.admit(3)  # evicts 2
+        assert cache.get(1)
+        assert not cache.get(2)
+        assert cache.get(3)
+
+    def test_each_admission_is_one_device_write(self):
+        disk = RamDisk(64)
+        cache = SetAssociativeCache(disk, ways=4)
+        for i in range(100):
+            cache.admit(i)
+        assert disk.counters.writes == 100
+
+    def test_readmitting_resident_is_noop(self):
+        disk = RamDisk(64)
+        cache = SetAssociativeCache(disk)
+        cache.admit(1)
+        cache.admit(1)
+        assert disk.counters.writes == 1
+
+
+class TestZoneLogCache:
+    def test_miss_then_hit(self):
+        cache = ZoneLogCache(zns())
+        assert not cache.get(1)
+        cache.admit(1)
+        assert cache.get(1)
+
+    def test_fifo_eviction_on_pressure(self):
+        device = zns()
+        cache = ZoneLogCache(device, readmit_hot=False)
+        capacity = device.zone_count * device.geometry.pages_per_zone
+        for i in range(capacity + 500):
+            cache.admit(i)
+        assert cache.stats.evictions > 0
+        assert not cache.get(0)  # oldest object evicted
+        assert cache.get(capacity + 499)  # newest survives
+
+    def test_readmission_keeps_hot_objects(self):
+        device = zns()
+        cache = ZoneLogCache(device, readmit_hot=True)
+        capacity = device.zone_count * device.geometry.pages_per_zone
+        cache.admit(0)
+        for i in range(1, capacity):
+            cache.admit(i)
+            if i % 50 == 0:
+                cache.get(0)  # keep object 0 hot
+        for i in range(capacity, capacity + 400):
+            cache.admit(i)
+            cache.get(0)
+        assert cache.get(0), "hot object should have been readmitted"
+        assert cache.stats.readmissions > 0
+
+    def test_runs_indefinitely_within_capacity(self):
+        cache = ZoneLogCache(zns(), readmit_hot=True)
+        for obj in zipfian_stream(20_000, 30_000, theta=0.9, seed=1):
+            if not cache.get(obj):
+                cache.admit(obj)
+        assert cache.stats.hit_ratio > 0.1
+
+
+class TestPersistentQueue:
+    def test_fifo_order(self):
+        q = PersistentQueue(zns(store_data=True))
+        for i in range(10):
+            q.enqueue(f"m{i}".encode())
+        out = [q.dequeue() for _ in range(10)]
+        assert out == [f"m{i}".encode() for i in range(10)]
+
+    def test_empty_dequeue_rejected(self):
+        with pytest.raises(QueueEmptyError):
+            PersistentQueue(zns()).dequeue()
+
+    def test_zones_recycle(self):
+        device = zns()
+        q = PersistentQueue(device)
+        pages_per_zone = device.geometry.pages_per_zone
+        for _ in range(3 * pages_per_zone):
+            q.enqueue()
+        for _ in range(3 * pages_per_zone):
+            q.dequeue()
+        assert q.stats.zones_recycled >= 2
+        assert q.depth == 0
+
+    def test_runs_forever_when_consumed(self):
+        device = zns()
+        q = PersistentQueue(device)
+        capacity = device.zone_count * device.geometry.pages_per_zone
+        for i in range(2 * capacity):  # twice device capacity
+            q.enqueue()
+            q.dequeue()
+
+    def test_full_when_unconsumed(self):
+        device = zns()
+        q = PersistentQueue(device)
+        capacity = device.zone_count * device.geometry.pages_per_zone
+        with pytest.raises(QueueFullError):
+            for _ in range(capacity + 1):
+                q.enqueue()
+
+    def test_write_mode_equivalent_semantics(self):
+        q = PersistentQueue(zns(store_data=True), use_append=False)
+        q.enqueue(b"a")
+        q.enqueue(b"b")
+        assert q.dequeue() == b"a"
+        assert q.dequeue() == b"b"
+
+
+class TestZoneFS:
+    def test_files_enumerated(self):
+        fs = ZoneFS(zns())
+        files = fs.list_files()
+        assert files[0] == "seq/0"
+        assert len(files) == fs.device.zone_count
+
+    def test_append_read(self):
+        fs = ZoneFS(zns(store_data=True))
+        offset = fs.append("seq/3", data=b"hello")
+        assert offset == 0
+        assert fs.read("seq/3", 0) == b"hello"
+        assert fs.size_pages("seq/3") == 1
+
+    def test_truncate_zero_resets(self):
+        fs = ZoneFS(zns())
+        fs.append("seq/0")
+        fs.truncate("seq/0", 0)
+        assert fs.size_pages("seq/0") == 0
+
+    def test_truncate_to_max_finishes(self):
+        fs = ZoneFS(zns())
+        fs.append("seq/0")
+        fs.truncate("seq/0", fs.max_size_pages("seq/0"))
+        assert fs.stat("seq/0")["state"] == ZoneState.FULL.value
+
+    def test_partial_truncate_rejected(self):
+        fs = ZoneFS(zns())
+        fs.append("seq/0", npages=4)
+        with pytest.raises(ZoneFsError):
+            fs.truncate("seq/0", 2)
+
+    def test_bad_paths_rejected(self):
+        fs = ZoneFS(zns())
+        for path in ("cnv/0", "seq/abc", "seq/99999"):
+            with pytest.raises(ZoneFsError):
+                fs.size_pages(path)
+
+    def test_stat_reports_resets(self):
+        fs = ZoneFS(zns())
+        fs.append("seq/1")
+        fs.truncate("seq/1", 0)
+        assert fs.stat("seq/1")["resets"] == 1
+
+
+class TestLogStructuredFS:
+    def test_create_stat_unlink(self):
+        fs = LogStructuredFS(zns())
+        fs.create("/a/file1", size_pages=4, owner=1)
+        assert fs.exists("/a/file1")
+        inode = fs.stat("/a/file1")
+        assert inode.size_pages == 4
+        assert inode.owner == 1
+        fs.unlink("/a/file1")
+        assert not fs.exists("/a/file1")
+
+    def test_duplicate_create_rejected(self):
+        fs = LogStructuredFS(zns())
+        fs.create("/f", 1)
+        with pytest.raises(LfsError):
+            fs.create("/f", 1)
+
+    def test_unlink_missing_rejected(self):
+        with pytest.raises(LfsError):
+            LogStructuredFS(zns()).unlink("/nope")
+
+    def test_overwrite_preserves_metadata(self):
+        fs = LogStructuredFS(zns())
+        fs.create("/f", 3, owner=7)
+        old_obj = fs.stat("/f").obj_id
+        fs.overwrite("/f")
+        new = fs.stat("/f")
+        assert new.obj_id != old_obj
+        assert new.owner == 7
+        assert new.size_pages == 3
+
+    def test_metadata_hints_route_by_owner(self):
+        fs = LogStructuredFS(zns(), use_metadata_hints=True)
+        a = fs.create("/a", 1, owner=0)
+        b = fs.create("/b", 1, owner=1)
+        zone_a = fs.store.objects[a.obj_id].zone
+        zone_b = fs.store.objects[b.obj_id].zone
+        assert zone_a != zone_b
+
+    def test_no_hints_share_zone(self):
+        fs = LogStructuredFS(zns(), use_metadata_hints=False)
+        a = fs.create("/a", 1, owner=0)
+        b = fs.create("/b", 1, owner=1)
+        assert fs.store.objects[a.obj_id].zone == fs.store.objects[b.obj_id].zone
+
+    def test_list_files_sorted(self):
+        fs = LogStructuredFS(zns())
+        for name in ("/c", "/a", "/b"):
+            fs.create(name, 1)
+        assert fs.list_files() == ["/a", "/b", "/c"]
+
+    def test_wa_reported(self):
+        fs = LogStructuredFS(zns())
+        fs.create("/f", 1)
+        assert fs.write_amplification == pytest.approx(1.0)

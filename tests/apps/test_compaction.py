@@ -1,0 +1,132 @@
+"""Unit tests for leveled-compaction selection and merging."""
+
+import pytest
+
+from repro.apps.lsm.compaction import CompactionTask, LeveledCompaction
+from repro.apps.lsm.memtable import TOMBSTONE
+from repro.apps.lsm.sstable import SSTable
+
+
+def table(keys, level, value="v", size_pages=1):
+    return SSTable(
+        entries=[(k, f"{value}{k}") for k in sorted(set(keys))],
+        level=level,
+        size_pages=size_pages,
+    )
+
+
+def make_policy(**kwargs):
+    defaults = dict(l0_limit=2, level0_pages=4, level_multiplier=10,
+                    max_table_pages=4, entry_bytes=128, page_size=4096)
+    defaults.update(kwargs)
+    return LeveledCompaction(**defaults)
+
+
+class TestPickTask:
+    def test_no_pressure_no_task(self):
+        policy = make_policy()
+        levels = [[table([1], 0)], [], [], []]
+        assert policy.pick_task(levels) is None
+
+    def test_l0_count_triggers(self):
+        policy = make_policy(l0_limit=2)
+        levels = [[table([1], 0), table([2], 0)], [], []]
+        task = policy.pick_task(levels)
+        assert task is not None
+        assert task.level == 0
+        assert len(task.inputs_upper) == 2
+
+    def test_l0_task_includes_overlapping_l1(self):
+        policy = make_policy(l0_limit=2)
+        l1_overlap = table([1, 5], 1)
+        l1_clear = table([100, 200], 1)
+        levels = [[table([1, 3], 0), table([2, 4], 0)], [l1_overlap, l1_clear], []]
+        task = policy.pick_task(levels)
+        assert l1_overlap in task.inputs_lower
+        assert l1_clear not in task.inputs_lower
+
+    def test_level_budget_overflow_triggers(self):
+        policy = make_policy(level0_pages=2)
+        levels = [[], [table([1], 1, size_pages=3)], [], []]
+        task = policy.pick_task(levels)
+        assert task is not None
+        assert task.level == 1
+
+    def test_budget_grows_by_multiplier(self):
+        policy = make_policy(level0_pages=4, level_multiplier=10)
+        assert policy.level_budget_pages(1) == 4
+        assert policy.level_budget_pages(2) == 40
+        assert policy.level_budget_pages(3) == 400
+        with pytest.raises(ValueError):
+            policy.level_budget_pages(0)
+
+    def test_picks_cheapest_overlap(self):
+        policy = make_policy(level0_pages=1)
+        cheap = table([1, 2], 1, size_pages=2)       # no overlap below
+        costly = table([10, 20], 1, size_pages=2)    # overlaps a big L2 run
+        l2 = table(list(range(10, 21)), 2, size_pages=8)
+        levels = [[], [cheap, costly], [l2], []]
+        task = policy.pick_task(levels)
+        assert task.inputs_upper == (cheap,)
+        assert task.inputs_lower == ()
+
+
+class TestMerge:
+    def test_newer_value_wins(self):
+        policy = make_policy()
+        old = SSTable(entries=[(1, "old")], level=1, size_pages=1)
+        new = SSTable(entries=[(1, "new")], level=0, size_pages=1)
+        task = CompactionTask(0, (new,), (old,))
+        (out,) = policy.merge(task, bottom_level=False)
+        assert out.entries == [(1, "new")]
+        assert out.level == 1
+
+    def test_l0_recency_by_table_id(self):
+        policy = make_policy()
+        first = SSTable(entries=[(1, "first")], level=0, size_pages=1)
+        second = SSTable(entries=[(1, "second")], level=0, size_pages=1)
+        task = CompactionTask(0, (first, second), ())
+        (out,) = policy.merge(task, bottom_level=False)
+        assert out.entries == [(1, "second")]
+
+    def test_tombstones_kept_above_bottom(self):
+        policy = make_policy()
+        dead = SSTable(entries=[(1, TOMBSTONE)], level=0, size_pages=1)
+        task = CompactionTask(0, (dead,), ())
+        (out,) = policy.merge(task, bottom_level=False)
+        assert out.entries[0][1] is TOMBSTONE
+
+    def test_tombstones_dropped_at_bottom(self):
+        policy = make_policy()
+        dead = SSTable(entries=[(1, TOMBSTONE), (2, "live")], level=0, size_pages=1)
+        task = CompactionTask(0, (dead,), ())
+        (out,) = policy.merge(task, bottom_level=True)
+        assert out.entries == [(2, "live")]
+
+    def test_all_tombstones_yield_no_output(self):
+        policy = make_policy()
+        dead = SSTable(entries=[(1, TOMBSTONE)], level=0, size_pages=1)
+        task = CompactionTask(0, (dead,), ())
+        assert policy.merge(task, bottom_level=True) == []
+
+    def test_outputs_split_at_max_size(self):
+        policy = make_policy(max_table_pages=1, entry_bytes=4096)  # 1 entry/page
+        big = SSTable(entries=[(i, i) for i in range(5)], level=0, size_pages=5)
+        task = CompactionTask(0, (big,), ())
+        outs = policy.merge(task, bottom_level=False)
+        assert len(outs) == 5
+        keys = [k for out in outs for k, _ in out.entries]
+        assert keys == list(range(5))
+
+    def test_input_accounting(self):
+        upper = table([1], 0, size_pages=2)
+        lower = table([2], 1, size_pages=3)
+        task = CompactionTask(0, (upper,), (lower,))
+        assert task.input_pages == 5
+        assert set(task.all_inputs) == {upper, lower}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy(l0_limit=0)
+        with pytest.raises(ValueError):
+            make_policy(level_multiplier=1)

@@ -1,0 +1,273 @@
+"""Tests for the LSM store: memtable, sstables, compaction, backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lsm import (
+    BlockFileBackend,
+    LSMConfig,
+    LSMStore,
+    MemTable,
+    SSTable,
+    ZoneFileBackend,
+)
+from repro.apps.lsm.backends import AllocationError, ExtentAllocator
+from repro.apps.lsm.memtable import TOMBSTONE
+from repro.apps.lsm.sstable import size_in_pages
+from repro.block.ramdisk import RamDisk
+from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.zns.device import ZNSDevice
+
+SMALL_CFG = LSMConfig(memtable_pages=4, level0_pages=16, max_table_pages=8)
+
+
+def ram_store(cfg=SMALL_CFG):
+    return LSMStore(BlockFileBackend(RamDisk(1 << 14), trim_on_delete=True), cfg)
+
+
+class TestMemTable:
+    def test_put_get(self):
+        mt = MemTable()
+        mt.put("a", 1)
+        assert mt.get("a") == (True, 1)
+        assert mt.get("b") == (False, None)
+
+    def test_delete_is_tombstone(self):
+        mt = MemTable()
+        mt.delete("a")
+        present, value = mt.get("a")
+        assert present and value is TOMBSTONE
+
+    def test_sorted_items(self):
+        mt = MemTable()
+        for k in ("c", "a", "b"):
+            mt.put(k, k)
+        assert [k for k, _ in mt.sorted_items()] == ["a", "b", "c"]
+
+    def test_bytes_track_overwrites(self):
+        mt = MemTable()
+        mt.put("k", "x" * 100)
+        big = mt.approximate_bytes
+        mt.put("k", "x")
+        assert mt.approximate_bytes < big
+        assert len(mt) == 1
+
+
+class TestSSTable:
+    def test_requires_sorted_unique(self):
+        with pytest.raises(ValueError):
+            SSTable(entries=[(2, "b"), (1, "a")], level=0, size_pages=1)
+        with pytest.raises(ValueError):
+            SSTable(entries=[(1, "a"), (1, "b")], level=0, size_pages=1)
+        with pytest.raises(ValueError):
+            SSTable(entries=[], level=0, size_pages=1)
+
+    def test_find(self):
+        t = SSTable(entries=[(1, "a"), (3, "c")], level=0, size_pages=1)
+        assert t.find(1) == (True, "a", 0)
+        assert t.find(2)[0] is False
+        assert t.find(3) == (True, "c", 1)
+
+    def test_overlap(self):
+        a = SSTable(entries=[(1, "a"), (5, "e")], level=1, size_pages=1)
+        b = SSTable(entries=[(4, "d"), (9, "i")], level=1, size_pages=1)
+        c = SSTable(entries=[(6, "f"), (9, "i")], level=1, size_pages=1)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_page_of_entry_monotonic(self):
+        t = SSTable(entries=[(i, i) for i in range(100)], level=0, size_pages=4)
+        pages = [t.page_of_entry(i) for i in range(100)]
+        assert pages == sorted(pages)
+        assert pages[0] == 0
+        assert pages[-1] == 3
+
+    def test_size_in_pages(self):
+        assert size_in_pages(1, 128, 4096) == 1
+        assert size_in_pages(32, 128, 4096) == 1
+        assert size_in_pages(33, 128, 4096) == 2
+
+
+class TestExtentAllocator:
+    def test_allocate_free_roundtrip(self):
+        alloc = ExtentAllocator(100)
+        extents = alloc.allocate(30)
+        assert alloc.free_blocks == 70
+        alloc.free(extents)
+        assert alloc.free_blocks == 100
+
+    def test_exhaustion_rejected(self):
+        alloc = ExtentAllocator(10)
+        alloc.allocate(8)
+        with pytest.raises(AllocationError):
+            alloc.allocate(5)
+
+    def test_fragmented_allocation_spans_extents(self):
+        alloc = ExtentAllocator(100, strategy="first-fit")
+        a = alloc.allocate(40)
+        b = alloc.allocate(40)
+        alloc.free(a)  # free [0,40); [80,100) also free
+        spanning = alloc.allocate(50)
+        assert len(spanning) == 2
+        assert sum(e.length for e in spanning) == 50
+
+    def test_double_free_rejected(self):
+        alloc = ExtentAllocator(100)
+        extents = alloc.allocate(10)
+        alloc.free(extents)
+        with pytest.raises(ValueError):
+            alloc.free(extents)
+
+    def test_next_fit_rotates(self):
+        alloc = ExtentAllocator(100, strategy="next-fit")
+        a = alloc.allocate(10)
+        alloc.free(a)
+        b = alloc.allocate(10)
+        # Cursor moved past the first allocation despite it being free.
+        assert b[0].start == 10
+
+    def test_aged_is_deterministic_per_rng(self):
+        a = ExtentAllocator(100, strategy="aged", rng=np.random.default_rng(3))
+        b = ExtentAllocator(100, strategy="aged", rng=np.random.default_rng(3))
+        for _ in range(5):
+            assert a.allocate(7) == b.allocate(7)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            ExtentAllocator(10, strategy="chaotic")
+
+
+class TestStoreCorrectness:
+    def test_put_get_roundtrip(self):
+        store = ram_store()
+        for i in range(500):
+            store.put(i, f"v{i}")
+        for i in range(500):
+            assert store.get(i) == f"v{i}"
+
+    def test_overwrites_visible(self):
+        store = ram_store()
+        rng = np.random.default_rng(0)
+        truth = {}
+        for i in range(3000):
+            k = int(rng.integers(0, 200))
+            store.put(k, i)
+            truth[k] = i
+        for k, v in truth.items():
+            assert store.get(k) == v
+
+    def test_deletes_shadow_older_versions(self):
+        store = ram_store()
+        for i in range(300):
+            store.put(i, i)
+        for i in range(0, 300, 2):
+            store.delete(i)
+        for i in range(300):
+            expected = None if i % 2 == 0 else i
+            assert store.get(i) == expected
+
+    def test_missing_key_is_none(self):
+        assert ram_store().get("nope") is None
+
+    def test_flush_and_compaction_happen(self):
+        store = ram_store()
+        for i in range(3000):
+            store.put(i % 400, i)
+        assert store.stats.flushes > 0
+        assert store.stats.compactions > 0
+        assert store.levels[1], "expected tables below L0"
+
+    def test_scan_count_matches_live_keys(self):
+        store = ram_store()
+        rng = np.random.default_rng(1)
+        live = set()
+        for i in range(2000):
+            k = int(rng.integers(0, 300))
+            if rng.random() < 0.2:
+                store.delete(k)
+                live.discard(k)
+            else:
+                store.put(k, i)
+                live.add(k)
+        assert store.scan_count() == len(live)
+
+    def test_wal_pages_written(self):
+        store = ram_store()
+        for i in range(200):
+            store.put(i, i)
+        assert store.stats.wal_pages > 0
+
+    def test_wal_disabled(self):
+        cfg = LSMConfig(memtable_pages=4, level0_pages=16, max_table_pages=8,
+                        wal_enabled=False)
+        store = ram_store(cfg)
+        for i in range(200):
+            store.put(i, i)
+        assert store.stats.wal_pages == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["put", "delete"]), st.integers(0, 63), st.integers(0, 1000)),
+        max_size=300,
+    ))
+    def test_matches_dict_model(self, ops):
+        store = ram_store()
+        model = {}
+        for op, key, value in ops:
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        for key in range(64):
+            assert store.get(key) == model.get(key)
+
+
+class TestBackends:
+    def test_zone_backend_roundtrip(self):
+        zoned = ZonedGeometry.small()
+        store = LSMStore(ZoneFileBackend(ZNSDevice(zoned)), SMALL_CFG)
+        for i in range(2000):
+            store.put(i % 300, i)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            k = int(rng.integers(0, 300))
+            assert store.get(k) is not None
+
+    def test_zone_backend_wa_near_one(self):
+        zoned = ZonedGeometry.small()
+        device = ZNSDevice(zoned)
+        store = LSMStore(ZoneFileBackend(device), SMALL_CFG)
+        for i in range(20_000):
+            store.put(i % 2000, i)
+        flash_pages = device.nand.physical_bytes_written() // device.page_size
+        app_pages = store.stats.app_pages_written
+        assert flash_pages / app_pages < 1.15
+
+    def test_block_backend_trim_informs_ftl(self):
+        from repro.ftl.device import ConventionalSSD
+        from repro.ftl.ftl import FTLConfig
+
+        ssd = ConventionalSSD(FlashGeometry.small(), FTLConfig(op_ratio=0.25))
+        store = LSMStore(BlockFileBackend(ssd, trim_on_delete=True), SMALL_CFG)
+        for i in range(5000):
+            store.put(i % 500, i)
+        assert store.backend.stats.pages_trimmed > 0
+
+    def test_backend_reports_relocation_wa(self):
+        zoned = ZonedGeometry.small()
+        store = LSMStore(ZoneFileBackend(ZNSDevice(zoned)), SMALL_CFG)
+        for i in range(5000):
+            store.put(i % 500, i)
+        assert store.backend.stats.backend_write_amplification >= 1.0
+
+    def test_level_sizes_report(self):
+        store = ram_store()
+        for i in range(2000):
+            store.put(i % 300, i)
+        sizes = store.level_sizes_pages()
+        assert len(sizes) == store.config.max_levels
+        assert sum(sizes) > 0

@@ -1,0 +1,169 @@
+"""Tests for the host block-on-ZNS translation layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block.dmzoned import (
+    TranslationError,
+    ZonedBlockConfig,
+    ZonedBlockDevice,
+)
+from repro.block.interface import BlockDevice
+from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.zns.device import ZNSDevice
+
+
+def make_layer(**config_kwargs):
+    zoned = ZonedGeometry.small()
+    return ZonedBlockDevice(ZNSDevice(zoned), ZonedBlockConfig(**config_kwargs))
+
+
+class TestConfig:
+    def test_negative_op_rejected(self):
+        with pytest.raises(ValueError):
+            ZonedBlockConfig(op_ratio=-0.1)
+
+    def test_bad_watermarks_rejected(self):
+        with pytest.raises(ValueError):
+            ZonedBlockConfig(gc_low_zones=3, gc_high_zones=3)
+
+    def test_tiny_device_rejected(self):
+        zoned = ZonedGeometry(
+            flash=FlashGeometry(blocks_per_plane=2, planes_per_channel=1, channels=2),
+            blocks_per_zone=2,
+        )
+        with pytest.raises(ValueError):
+            ZonedBlockDevice(ZNSDevice(zoned))
+
+    def test_exported_capacity_below_device(self):
+        layer = make_layer(op_ratio=0.07)
+        device_pages = layer.device.zone_count * layer.device.geometry.pages_per_zone
+        assert layer.logical_pages < device_pages
+
+
+class TestBlockInterface:
+    def test_satisfies_protocol(self):
+        assert isinstance(make_layer(), BlockDevice)
+
+    def test_round_trip_payload(self):
+        zoned = ZonedGeometry.small()
+        layer = ZonedBlockDevice(ZNSDevice(zoned, store_data=True))
+        layer.write_block(7, b"payload")
+        assert layer.read_block(7) == b"payload"
+
+    def test_overwrite_returns_new_data(self):
+        zoned = ZonedGeometry.small()
+        layer = ZonedBlockDevice(ZNSDevice(zoned, store_data=True))
+        layer.write_block(7, b"old")
+        layer.write_block(7, b"new")
+        assert layer.read_block(7) == b"new"
+
+    def test_read_unmapped_rejected(self):
+        with pytest.raises(TranslationError):
+            make_layer().read_block(0)
+
+    def test_trim_unmaps(self):
+        layer = make_layer()
+        layer.write_block(3)
+        layer.trim_block(3)
+        with pytest.raises(TranslationError):
+            layer.read_block(3)
+
+    def test_out_of_range_rejected(self):
+        layer = make_layer()
+        with pytest.raises(IndexError):
+            layer.write_block(layer.num_blocks)
+
+
+class TestReclaim:
+    def _fill_and_overwrite(self, layer, multiple=2, seed=0):
+        n = layer.logical_pages
+        rng = np.random.default_rng(seed)
+        for lba in range(n):
+            layer.write_block(lba)
+        for _ in range(multiple * n):
+            layer.write_block(int(rng.integers(0, n)))
+
+    def test_sustains_random_overwrites(self):
+        layer = make_layer(op_ratio=0.11)
+        self._fill_and_overwrite(layer)
+        assert layer.stats.gc_runs > 0
+        layer.check_invariants()
+
+    def test_all_data_readable_after_gc(self):
+        layer = make_layer(op_ratio=0.11)
+        self._fill_and_overwrite(layer)
+        for lba in range(layer.logical_pages):
+            layer.read(lba)
+
+    def test_host_wa_comparable_to_ftl(self):
+        """Same spare ratio, same algorithm family -> similar WA."""
+        layer = make_layer(op_ratio=0.25)
+        self._fill_and_overwrite(layer, multiple=3)
+        assert 1.5 < layer.stats.host_write_amplification < 5.0
+
+    def test_simple_copy_produces_no_pcie_traffic(self):
+        layer = make_layer(op_ratio=0.11, use_simple_copy=True)
+        self._fill_and_overwrite(layer)
+        assert layer.stats.gc_pages_copied > 0
+        assert layer.stats.pcie_copy_pages == 0
+
+    def test_host_copy_crosses_pcie(self):
+        layer = make_layer(op_ratio=0.11, use_simple_copy=False)
+        self._fill_and_overwrite(layer)
+        assert layer.stats.pcie_copy_pages == layer.stats.gc_pages_copied
+
+    def test_wa_identical_for_copy_paths(self):
+        """Simple copy changes *where* bytes move, not how many."""
+        a = make_layer(op_ratio=0.11, use_simple_copy=True)
+        b = make_layer(op_ratio=0.11, use_simple_copy=False)
+        self._fill_and_overwrite(a, seed=42)
+        self._fill_and_overwrite(b, seed=42)
+        assert a.stats.gc_pages_copied == b.stats.gc_pages_copied
+
+    def test_incremental_reclaim_equivalent_to_full(self):
+        layer = make_layer(op_ratio=0.11)
+        n = layer.logical_pages
+        rng = np.random.default_rng(1)
+        for lba in range(n):
+            layer.write_block(lba)
+        for _ in range(n):
+            layer.write_block(int(rng.integers(0, n)))
+        free_before = layer.free_zone_count
+        copied_before = layer.stats.gc_pages_copied
+        steps = 1
+        layer.reclaim_step(max_copies=4)
+        while layer.reclaim_in_progress:
+            layer.reclaim_step(max_copies=4)
+            steps += 1
+        # The victim was drained and reset; a GC destination zone may have
+        # been opened along the way, so the net gain is 0 or 1 zones.
+        assert layer.free_zone_count >= free_before
+        assert layer.stats.zones_reset >= 1
+        assert steps > 1  # it genuinely took multiple quanta
+        assert layer.stats.gc_pages_copied > copied_before
+        layer.check_invariants()
+
+    def test_host_dram_footprint(self):
+        layer = make_layer()
+        assert layer.host_dram_bytes() == layer.logical_pages * 4
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    trim_fraction=st.floats(0.0, 0.4),
+)
+def test_translation_invariants_random_workload(seed, trim_fraction):
+    layer = make_layer(op_ratio=0.15)
+    n = layer.logical_pages
+    rng = np.random.default_rng(seed)
+    for _ in range(n + n // 2):
+        lba = int(rng.integers(0, n))
+        if rng.random() < trim_fraction:
+            layer.trim(lba)
+        else:
+            layer.write(lba)
+    layer.check_invariants()

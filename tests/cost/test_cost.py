@@ -1,0 +1,106 @@
+"""Tests for the DRAM, DIMM, and BOM cost models."""
+
+import pytest
+
+from repro.cost.bom import (
+    DeviceBom,
+    compare_cost_per_gb,
+    conventional_bom,
+    zns_bom,
+)
+from repro.cost.dimms import DIMM_PRICES_2020, dimm_price_per_gb, small_dimm_premium
+from repro.cost.dram import (
+    conventional_mapping_dram_bytes,
+    dram_overhead_table,
+    zns_mapping_dram_bytes,
+)
+from repro.flash.geometry import GIB, KIB, MIB, TIB
+
+
+class TestDram:
+    def test_paper_1tb_numbers(self):
+        # §2.2: ~1 GB/TB conventional, ~256 KB/TB ZNS.
+        assert conventional_mapping_dram_bytes(TIB) == GIB
+        assert zns_mapping_dram_bytes(TIB) == 256 * KIB
+
+    def test_reduction_factor_is_block_to_page_ratio(self):
+        conv = conventional_mapping_dram_bytes(TIB, page_size=4 * KIB)
+        zns = zns_mapping_dram_bytes(TIB, erasure_block_size=16 * MIB)
+        assert conv / zns == (16 * MIB) / (4 * KIB)
+
+    def test_scales_linearly(self):
+        assert conventional_mapping_dram_bytes(2 * TIB) == 2 * GIB
+
+    def test_table_rows(self):
+        rows = dram_overhead_table([TIB, 4 * TIB])
+        assert len(rows) == 2
+        assert rows[0]["conventional_dram_human"] == "1.0 GiB"
+        assert rows[0]["zns_dram_human"] == "256.0 KiB"
+        assert rows[1]["reduction_factor"] == rows[0]["reduction_factor"]
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            conventional_mapping_dram_bytes(100)
+        with pytest.raises(ValueError):
+            zns_mapping_dram_bytes(100)
+
+
+class TestDimms:
+    def test_price_per_gb(self):
+        assert dimm_price_per_gb(16) == DIMM_PRICES_2020[16] / 16
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(KeyError):
+            dimm_price_per_gb(3)
+
+    def test_footnote_2_premium_exceeds_2x(self):
+        assert small_dimm_premium() > 2.0
+
+    def test_per_gb_price_falls_with_size(self):
+        sizes = sorted(DIMM_PRICES_2020)
+        per_gb = [dimm_price_per_gb(s) for s in sizes]
+        assert per_gb == sorted(per_gb, reverse=True)
+
+    def test_custom_price_table(self):
+        prices = {1: 10.0, 16: 80.0, 32: 160.0}
+        assert small_dimm_premium(prices=prices) == pytest.approx(2.0)
+
+
+class TestBom:
+    def test_conventional_carries_op_and_dram(self):
+        bom = conventional_bom(TIB, op_ratio=0.28)
+        assert bom.raw_flash_bytes == int(TIB * 1.28)
+        assert bom.dram_bytes > GIB  # map covers raw flash
+
+    def test_zns_carries_spares_and_tiny_dram(self):
+        bom = zns_bom(TIB)
+        assert bom.raw_flash_bytes < int(TIB * 1.05)
+        assert bom.dram_bytes < MIB
+
+    def test_zns_cheaper_per_usable_gb(self):
+        conv = conventional_bom(TIB, op_ratio=0.07)
+        zns = zns_bom(TIB)
+        assert zns.cost_per_usable_gb < conv.cost_per_usable_gb
+
+    def test_host_translation_charges_host_dram(self):
+        plain = zns_bom(TIB)
+        translated = zns_bom(TIB, host_translation=True)
+        assert translated.total_cost > plain.total_cost
+        # ...but host DIMMs are cheap enough that it stays below conventional.
+        assert translated.cost_per_usable_gb < conventional_bom(TIB, 0.07).cost_per_usable_gb
+
+    def test_compare_table_shape(self):
+        rows = compare_cost_per_gb()
+        designs = [r["design"] for r in rows]
+        assert designs[0].startswith("conventional")
+        assert "zns" in designs
+        assert all("cost_per_usable_gb" in r for r in rows)
+        # Cost rises with OP among conventional rows.
+        conv_costs = [r["cost_per_usable_gb"] for r in rows if "conventional" in r["design"]]
+        assert conv_costs == sorted(conv_costs)
+
+    def test_invalid_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            conventional_bom(TIB, op_ratio=-0.1)
+        with pytest.raises(ValueError):
+            zns_bom(TIB, spare_ratio=1.5)

@@ -1,0 +1,62 @@
+"""Tests for the device-lifetime/endurance model."""
+
+import pytest
+
+from repro.cost.lifetime import estimate, lifetime_years, qlc_enablement_table
+from repro.flash.cells import CellType
+
+
+class TestLifetimeYears:
+    def test_basic_arithmetic(self):
+        # 3000 cycles at 1 DWPD, WA 1, no OP -> 3000 days ~ 8.2 years.
+        years = lifetime_years(CellType.TLC, write_amplification=1.0, dwpd=1.0)
+        assert years == pytest.approx(3000 / 365, rel=1e-6)
+
+    def test_wa_divides_lifetime(self):
+        base = lifetime_years(CellType.TLC, 1.0)
+        halved = lifetime_years(CellType.TLC, 2.0)
+        assert halved == pytest.approx(base / 2)
+
+    def test_dwpd_divides_lifetime(self):
+        light = lifetime_years(CellType.QLC, 1.0, dwpd=0.5)
+        heavy = lifetime_years(CellType.QLC, 1.0, dwpd=2.0)
+        assert light == pytest.approx(4 * heavy)
+
+    def test_op_credit_extends_lifetime(self):
+        plain = lifetime_years(CellType.TLC, 2.0, op_ratio=0.0)
+        padded = lifetime_years(CellType.TLC, 2.0, op_ratio=0.28)
+        assert padded == pytest.approx(plain * 1.28)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            lifetime_years(CellType.TLC, 0.5)
+        with pytest.raises(ValueError):
+            lifetime_years(CellType.TLC, 1.0, dwpd=0)
+        with pytest.raises(ValueError):
+            lifetime_years(CellType.TLC, 1.0, op_ratio=-0.1)
+
+    def test_estimate_viability_flag(self):
+        assert estimate(CellType.SLC, 2.0).viable_5y
+        assert not estimate(CellType.PLC, 2.0).viable_5y
+
+
+class TestQlcEnablement:
+    def test_rows_cover_all_cells(self):
+        rows = qlc_enablement_table()
+        assert [r["cell"] for r in rows] == ["SLC", "MLC", "TLC", "QLC", "PLC"]
+
+    def test_zns_always_outlives_conventional(self):
+        for row in qlc_enablement_table(conventional_wa=3.0, zns_wa=1.1):
+            assert row["zns_years"] > row["conventional_years"]
+
+    def test_lifetime_monotone_in_endurance(self):
+        rows = qlc_enablement_table()
+        zns_years = [r["zns_years"] for r in rows]
+        assert zns_years == sorted(zns_years, reverse=True)
+
+    def test_qlc_crossover_exists_at_read_tier_duty(self):
+        """The §2.5 shape: a conventional/ZNS viability split at QLC."""
+        rows = qlc_enablement_table(conventional_wa=2.5, zns_wa=1.1, dwpd=0.5)
+        qlc = next(r for r in rows if r["cell"] == "QLC")
+        assert not qlc["conventional_5y_viable"]
+        assert qlc["zns_5y_viable"]

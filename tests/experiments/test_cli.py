@@ -1,0 +1,41 @@
+"""Tests for the zns-repro command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import _DESCRIPTIONS, main
+from repro.experiments.runner import EXPERIMENTS
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_descriptions_cover_registry(self):
+        assert set(_DESCRIPTIONS) == set(EXPERIMENTS)
+
+
+class TestRun:
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "T1"]) == 0
+        out = capsys.readouterr().out
+        assert "T1:" in out
+        assert "finished in" in out
+
+    def test_run_lowercase_id(self, capsys):
+        assert main(["run", "e2"]) == 0
+        assert "E2:" in capsys.readouterr().out
+
+    def test_seed_flag_accepted(self, capsys):
+        assert main(["run", "E10", "--seed", "7"]) == 0
+        assert "6.25" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

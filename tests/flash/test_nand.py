@@ -1,0 +1,207 @@
+"""Tests for the raw NAND array state machine."""
+
+import pytest
+
+from repro.flash.errors import BadBlockError, ProgramOrderError, ReadUnwrittenError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.nand import NandArray
+from repro.flash.wear import WearTracker
+
+
+@pytest.fixture
+def nand():
+    return NandArray(FlashGeometry.small())
+
+
+def fill_block(nand, block):
+    for page in nand.geometry.pages_of_block(block):
+        nand.program(page)
+
+
+class TestProgram:
+    def test_sequential_program_succeeds(self, nand):
+        fill_block(nand, 0)
+        assert nand.is_block_full(0)
+
+    def test_out_of_order_program_rejected(self, nand):
+        with pytest.raises(ProgramOrderError):
+            nand.program(1)  # page 0 not programmed yet
+
+    def test_reprogram_rejected(self, nand):
+        nand.program(0)
+        with pytest.raises(ProgramOrderError):
+            nand.program(0)
+
+    def test_program_full_block_rejected(self, nand):
+        fill_block(nand, 0)
+        with pytest.raises(ProgramOrderError):
+            nand.program_next(0)
+
+    def test_program_next_returns_page(self, nand):
+        page, latency = nand.program_next(5)
+        assert page == nand.geometry.first_page_of_block(5)
+        assert latency > 0
+        page2, _ = nand.program_next(5)
+        assert page2 == page + 1
+
+    def test_write_offset_tracks(self, nand):
+        assert nand.write_offset(0) == 0
+        nand.program(0)
+        nand.program(1)
+        assert nand.write_offset(0) == 2
+        assert nand.free_pages_in_block(0) == nand.geometry.pages_per_block - 2
+
+    def test_counters_track_bytes(self, nand):
+        nand.program(0)
+        assert nand.counters.bytes_written == nand.geometry.page_size
+        assert nand.counters.writes == 1
+
+
+class TestRead:
+    def test_read_programmed_page(self, nand):
+        nand.program(0)
+        _, latency = nand.read(0)
+        assert latency > 0
+        assert nand.counters.reads == 1
+
+    def test_read_unwritten_rejected(self, nand):
+        with pytest.raises(ReadUnwrittenError):
+            nand.read(0)
+
+    def test_read_after_erase_rejected(self, nand):
+        nand.program(0)
+        nand.erase(0)
+        with pytest.raises(ReadUnwrittenError):
+            nand.read(0)
+
+    def test_payload_round_trip_when_storing(self):
+        nand = NandArray(FlashGeometry.small(), store_data=True)
+        nand.program(0, data=b"hello")
+        payload, _ = nand.read(0)
+        assert payload == b"hello"
+
+    def test_payload_none_when_not_storing(self, nand):
+        nand.program(0, data=b"dropped")
+        payload, _ = nand.read(0)
+        assert payload is None
+
+
+class TestErase:
+    def test_erase_resets_write_offset(self, nand):
+        fill_block(nand, 0)
+        nand.erase(0)
+        assert nand.is_block_erased(0)
+        nand.program(0)  # can program from the start again
+
+    def test_erase_latency_exceeds_program(self, nand):
+        program_latency = nand.program(0)
+        erase_latency = nand.erase(0)
+        assert erase_latency > program_latency
+
+    def test_erase_clears_stored_data(self):
+        nand = NandArray(FlashGeometry.small(), store_data=True)
+        nand.program(0, data=b"x")
+        nand.erase(0)
+        nand.program(0, data=None)
+        payload, _ = nand.read(0)
+        assert payload is None
+
+    def test_erase_counts_wear(self, nand):
+        nand.erase(0)
+        nand.erase(0)
+        assert nand.wear.erase_counts[0] == 2
+
+    def test_erased_blocks_listing(self, nand):
+        nand.program(0)
+        erased = nand.erased_blocks()
+        assert 0 not in erased
+        assert 1 in erased
+
+
+class TestWearIntegration:
+    def test_block_retires_at_endurance_limit(self):
+        geometry = FlashGeometry.small()
+        wear = WearTracker(total_blocks=geometry.total_blocks, endurance_cycles=3)
+        nand = NandArray(geometry, wear=wear)
+        for _ in range(3):
+            nand.erase(0)
+        with pytest.raises(BadBlockError):
+            nand.erase(0)
+        assert wear.is_bad(0)
+
+    def test_retired_block_rejects_all_ops(self):
+        geometry = FlashGeometry.small()
+        wear = WearTracker(total_blocks=geometry.total_blocks, endurance_cycles=1)
+        nand = NandArray(geometry, wear=wear)
+        nand.erase(0)
+        with pytest.raises(BadBlockError):
+            nand.erase(0)
+        with pytest.raises(BadBlockError):
+            nand.program(0)
+        with pytest.raises(BadBlockError):
+            nand.read(0)
+
+    def test_mismatched_wear_tracker_rejected(self):
+        geometry = FlashGeometry.small()
+        with pytest.raises(ValueError):
+            NandArray(geometry, wear=WearTracker(total_blocks=7))
+
+
+class TestCopyPage:
+    def test_copy_moves_data_without_host_read(self):
+        nand = NandArray(FlashGeometry.small(), store_data=True)
+        nand.program(0, data=b"payload")
+        dst = nand.geometry.first_page_of_block(1)
+        nand.copy_page(0, dst)
+        payload, _ = nand.read(dst)
+        assert payload == b"payload"
+        assert nand.counters.reads == 1  # only the verification read above
+        assert nand.counters.copies == 1
+
+    def test_copy_counts_physical_write(self):
+        nand = NandArray(FlashGeometry.small())
+        nand.program(0)
+        before = nand.counters.bytes_written
+        nand.copy_page(0, nand.geometry.first_page_of_block(1))
+        assert nand.counters.bytes_written == before + nand.geometry.page_size
+
+    def test_copy_respects_program_order(self):
+        nand = NandArray(FlashGeometry.small())
+        nand.program(0)
+        bad_dst = nand.geometry.first_page_of_block(1) + 1
+        with pytest.raises(ProgramOrderError):
+            nand.copy_page(0, bad_dst)
+
+    def test_copy_from_unwritten_rejected(self):
+        nand = NandArray(FlashGeometry.small())
+        with pytest.raises(ReadUnwrittenError):
+            nand.copy_page(0, nand.geometry.first_page_of_block(1))
+
+
+class TestReadDisturb:
+    def test_reads_counted_per_block(self):
+        nand = NandArray(FlashGeometry.small(), read_disturb_limit=100)
+        nand.program(0)
+        for _ in range(5):
+            nand.read(0)
+        assert nand.reads_since_erase(0) == 5
+        assert nand.disturb_pressure(0) == pytest.approx(0.05)
+
+    def test_erase_resets_disturb_counter(self):
+        nand = NandArray(FlashGeometry.small(), read_disturb_limit=100)
+        nand.program(0)
+        nand.read(0)
+        nand.erase(0)
+        assert nand.reads_since_erase(0) == 0
+
+    def test_disturbed_blocks_listing(self):
+        nand = NandArray(FlashGeometry.small(), read_disturb_limit=10)
+        nand.program(0)
+        for _ in range(9):
+            nand.read(0)
+        assert nand.disturbed_blocks(threshold=0.8) == [0]
+        assert nand.disturbed_blocks(threshold=1.0) == []
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            NandArray(FlashGeometry.small(), read_disturb_limit=0)

@@ -1,0 +1,122 @@
+"""Tests for the demand-paged FTL mapping model."""
+
+import pytest
+
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.dftl import DemandPagedFTL, MappingCache
+from repro.ftl.ftl import FTLConfig
+from repro.sim.rng import make_rng
+
+
+class TestMappingCache:
+    def test_first_access_misses(self):
+        cache = MappingCache(entries_per_translation_page=4, capacity_pages=2)
+        reads, writes = cache.access(0, dirty=False)
+        assert (reads, writes) == (1, 0)
+
+    def test_same_translation_page_hits(self):
+        cache = MappingCache(entries_per_translation_page=4, capacity_pages=2)
+        cache.access(0, dirty=False)
+        reads, writes = cache.access(3, dirty=False)  # same page (lpns 0-3)
+        assert (reads, writes) == (0, 0)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = MappingCache(entries_per_translation_page=1, capacity_pages=2)
+        cache.access(0, dirty=False)
+        cache.access(1, dirty=False)
+        cache.access(0, dirty=False)  # bump 0
+        cache.access(2, dirty=False)  # evicts 1
+        reads, _ = cache.access(0, dirty=False)
+        assert reads == 0
+        reads, _ = cache.access(1, dirty=False)
+        assert reads == 1
+
+    def test_dirty_eviction_writes_back(self):
+        cache = MappingCache(entries_per_translation_page=1, capacity_pages=1)
+        cache.access(0, dirty=True)
+        reads, writes = cache.access(1, dirty=False)
+        assert (reads, writes) == (1, 1)
+        assert cache.stats.dirty_evict_writes == 1
+
+    def test_clean_eviction_is_free(self):
+        cache = MappingCache(entries_per_translation_page=1, capacity_pages=1)
+        cache.access(0, dirty=False)
+        reads, writes = cache.access(1, dirty=False)
+        assert (reads, writes) == (1, 0)
+
+    def test_hit_marks_dirty(self):
+        cache = MappingCache(entries_per_translation_page=1, capacity_pages=1)
+        cache.access(0, dirty=False)
+        cache.access(0, dirty=True)  # hit, but now dirty
+        _, writes = cache.access(1, dirty=False)
+        assert writes == 1
+
+    def test_dram_accounting(self):
+        cache = MappingCache(entries_per_translation_page=1024, capacity_pages=8)
+        assert cache.dram_bytes == 8 * 1024 * 4
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MappingCache(entries_per_translation_page=0)
+        with pytest.raises(ValueError):
+            MappingCache(capacity_pages=0)
+
+
+class TestDemandPagedFTL:
+    def _drive(self, device, ops=4000, seed=0):
+        n = device.ftl.logical_pages
+        for lpn in range(n):
+            device.write(lpn)
+        rng = make_rng(seed)
+        for _ in range(ops):
+            lpn = int(rng.integers(0, n))
+            if rng.random() < 0.5:
+                device.read(lpn)
+            else:
+                device.write(lpn)
+
+    def test_full_cache_has_no_overhead(self):
+        device = DemandPagedFTL(FlashGeometry.small(), FTLConfig(op_ratio=0.11),
+                                cache_capacity_pages=64)
+        self._drive(device)
+        # Only compulsory misses (first touch of each translation page).
+        assert device.read_overhead_factor < 1.05
+        assert device.write_overhead_factor == pytest.approx(1.0)
+
+    def test_starved_cache_pays_flash_reads(self):
+        device = DemandPagedFTL(FlashGeometry.small(), FTLConfig(op_ratio=0.11),
+                                cache_capacity_pages=1)
+        self._drive(device)
+        assert device.read_overhead_factor > 1.5
+        assert device.cache.stats.hit_rate < 0.8
+
+    def test_overhead_monotone_in_cache_size(self):
+        overheads = []
+        for pages in (1, 2, 4):
+            device = DemandPagedFTL(FlashGeometry.small(), FTLConfig(op_ratio=0.11),
+                                    cache_capacity_pages=pages)
+            self._drive(device, seed=1)
+            overheads.append(device.read_overhead_factor)
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_data_path_unaffected(self):
+        """The data path (mapping correctness, GC) is the plain FTL's."""
+        device = DemandPagedFTL(FlashGeometry.small(), FTLConfig(op_ratio=0.25),
+                                cache_capacity_pages=1)
+        self._drive(device, ops=2000)
+        device.ftl.check_invariants()
+        for lpn in range(0, device.ftl.logical_pages, 97):
+            device.read(lpn)
+
+    def test_trim_counts_as_dirty_access(self):
+        device = DemandPagedFTL(FlashGeometry.small(), cache_capacity_pages=1)
+        device.write(0)
+        device.trim(0)
+        assert device.cache.stats.lookups == 2
+
+    def test_full_map_size_reported(self):
+        device = DemandPagedFTL(FlashGeometry.small())
+        per_page = device.cache.entries_per_page
+        expected = (device.ftl.logical_pages + per_page - 1) // per_page
+        assert device.full_map_translation_pages == expected

@@ -1,0 +1,314 @@
+"""Tests for the conventional FTL: writes, GC, WA, wear leveling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.ftl import (
+    CapacityError,
+    ConventionalFTL,
+    FTLConfig,
+    GCStuckError,
+    UnmappedReadError,
+)
+
+
+def make_ftl(op_ratio=0.25, **kwargs):
+    return ConventionalFTL(FlashGeometry.small(), FTLConfig(op_ratio=op_ratio, **kwargs))
+
+
+def fill_logical(ftl):
+    for lpn in range(ftl.logical_pages):
+        ftl.write(lpn)
+
+
+class TestConfig:
+    def test_negative_op_rejected(self):
+        with pytest.raises(ValueError):
+            FTLConfig(op_ratio=-0.1)
+
+    def test_zero_streams_rejected(self):
+        with pytest.raises(ValueError):
+            FTLConfig(streams=0)
+
+    def test_exported_capacity_shrinks_with_op(self):
+        small = make_ftl(op_ratio=0.0)
+        big_op = make_ftl(op_ratio=0.28)
+        assert big_op.logical_pages < small.logical_pages
+
+    def test_minimum_reserve_always_held(self):
+        ftl = make_ftl(op_ratio=0.0)
+        spare_pages = ftl.geometry.total_pages - ftl.logical_pages
+        assert spare_pages >= 4 * ftl.geometry.pages_per_block
+
+    def test_tiny_device_rejected(self):
+        g = FlashGeometry(pages_per_block=4, blocks_per_plane=1, planes_per_channel=1, channels=2)
+        with pytest.raises(CapacityError):
+            ConventionalFTL(g, FTLConfig())
+
+    def test_bad_watermarks_rejected(self):
+        with pytest.raises(ValueError):
+            ConventionalFTL(
+                FlashGeometry.small(),
+                FTLConfig(gc_low_watermark=5, gc_high_watermark=5),
+            )
+
+
+class TestReadWrite:
+    def test_write_then_read(self):
+        ftl = make_ftl()
+        ftl.write(42)
+        op = ftl.read(42)
+        assert op.page is not None
+        assert ftl.stats.host_pages_read == 1
+
+    def test_read_unmapped_rejected(self):
+        with pytest.raises(UnmappedReadError):
+            make_ftl().read(0)
+
+    def test_overwrite_moves_physical_page(self):
+        ftl = make_ftl()
+        ftl.write(0)
+        first = ftl.map.lookup(0)
+        ftl.write(0)
+        assert ftl.map.lookup(0) != first
+
+    def test_write_out_of_range_rejected(self):
+        ftl = make_ftl()
+        with pytest.raises(IndexError):
+            ftl.write(ftl.logical_pages)
+
+    def test_bad_stream_rejected(self):
+        with pytest.raises(ValueError):
+            make_ftl().write(0, stream=5)
+
+    def test_trim_unmaps(self):
+        ftl = make_ftl()
+        ftl.write(0)
+        ftl.trim(0)
+        with pytest.raises(UnmappedReadError):
+            ftl.read(0)
+        assert ftl.stats.trims == 1
+
+    def test_utilization_tracks_mapped(self):
+        ftl = make_ftl()
+        assert ftl.utilization() == 0.0
+        fill_logical(ftl)
+        assert ftl.utilization() == pytest.approx(1.0)
+
+
+class TestGarbageCollection:
+    def test_sequential_fill_no_gc(self):
+        ftl = make_ftl()
+        fill_logical(ftl)
+        assert ftl.stats.gc_pages_copied == 0
+        assert ftl.stats.device_write_amplification == pytest.approx(1.0)
+
+    def test_steady_state_random_writes_trigger_gc(self):
+        ftl = make_ftl(op_ratio=0.25)
+        fill_logical(ftl)
+        rng = np.random.default_rng(0)
+        for _ in range(2 * ftl.logical_pages):
+            ftl.write(int(rng.integers(0, ftl.logical_pages)))
+        assert ftl.stats.gc_runs > 0
+        assert ftl.stats.device_write_amplification > 1.0
+
+    def test_wa_decreases_with_more_op(self):
+        results = {}
+        for op in (0.07, 0.28):
+            ftl = ConventionalFTL(FlashGeometry.bench(), FTLConfig(op_ratio=op))
+            fill_logical(ftl)
+            rng = np.random.default_rng(1)
+            base = ftl.stats.host_pages_written
+            for _ in range(2 * ftl.logical_pages):
+                ftl.write(int(rng.integers(0, ftl.logical_pages)))
+            results[op] = ftl.stats.device_write_amplification
+        assert results[0.28] < results[0.07]
+
+    def test_gc_preserves_data_mappings(self):
+        ftl = make_ftl(op_ratio=0.25)
+        fill_logical(ftl)
+        rng = np.random.default_rng(2)
+        for _ in range(ftl.logical_pages):
+            ftl.write(int(rng.integers(0, ftl.logical_pages)))
+        # Every logical page must still resolve and be readable.
+        for lpn in range(ftl.logical_pages):
+            ftl.read(lpn)
+
+    def test_collect_reclaims_space(self):
+        """A single collect may spend a free block on the GC destination
+        (net 0), but repeated collection strictly grows the free pool."""
+        ftl = make_ftl(op_ratio=0.25)
+        fill_logical(ftl)
+        rng = np.random.default_rng(3)
+        for _ in range(ftl.logical_pages // 2):
+            ftl.write(int(rng.integers(0, ftl.logical_pages)))
+        before = ftl.free_block_count
+        ftl.collect_once()
+        assert ftl.free_block_count >= before
+        ftl.collect(before + 3)
+        assert ftl.free_block_count >= before + 3
+
+    def test_collect_without_sealed_blocks_rejected(self):
+        with pytest.raises(GCStuckError):
+            make_ftl().collect_once()
+
+    def test_trim_makes_gc_cheap(self):
+        """TRIMmed data needs no copy-forward: WA stays at 1 after discard."""
+        ftl = make_ftl(op_ratio=0.07)
+        fill_logical(ftl)
+        for lpn in range(ftl.logical_pages):
+            ftl.trim(lpn)
+        writes_before = ftl.stats.host_pages_written
+        fill_logical(ftl)  # refill: GC only erases, never copies
+        assert ftl.stats.host_pages_written == 2 * writes_before
+        assert ftl.stats.gc_pages_copied == 0
+
+
+class TestMultiStream:
+    def test_streams_use_separate_blocks(self):
+        ftl = ConventionalFTL(FlashGeometry.small(), FTLConfig(op_ratio=0.25, streams=2))
+        ftl.write(0, stream=0)
+        ftl.write(1, stream=1)
+        block0 = ftl.geometry.block_of_page(ftl.map.lookup(0))
+        block1 = ftl.geometry.block_of_page(ftl.map.lookup(1))
+        assert block0 != block1
+
+    def test_stream_separation_cuts_wa_for_hot_cold(self):
+        """Hot/cold separation via streams reduces WA -- the multi-stream
+        directive's whole purpose (paper §2.3)."""
+
+        def run(streams):
+            ftl = ConventionalFTL(
+                FlashGeometry.bench(), FTLConfig(op_ratio=0.07, streams=streams)
+            )
+            n = ftl.logical_pages
+            hot = n // 20
+            rng = np.random.default_rng(4)
+            for lpn in range(n):
+                ftl.write(lpn, stream=0)
+            # Measure WA over the steady-state phase only.
+            host_before = ftl.stats.host_pages_written
+            gc_before = ftl.stats.gc_pages_copied
+            for _ in range(4 * n):
+                # 95% of writes hit the hot 5% of the space.
+                if rng.random() < 0.95:
+                    lpn = int(rng.integers(0, hot))
+                    ftl.write(lpn, stream=1 if streams > 1 else 0)
+                else:
+                    lpn = int(rng.integers(hot, n))
+                    ftl.write(lpn, stream=0)
+            host = ftl.stats.host_pages_written - host_before
+            copied = ftl.stats.gc_pages_copied - gc_before
+            return (host + copied) / host
+
+        assert run(streams=2) < run(streams=1)
+
+
+class TestWearLeveling:
+    def test_free_block_choice_prefers_low_wear(self):
+        ftl = make_ftl()
+        # Artificially wear most free blocks; allocation should avoid them.
+        for block in list(ftl._free)[:-4]:
+            ftl.nand.wear.erase_counts[block] = 100
+        chosen = ftl._take_free_block()
+        assert ftl.nand.wear.erase_counts[chosen] == 0
+
+    def test_wear_level_once_migrates_cold_block(self):
+        ftl = make_ftl(op_ratio=0.25)
+        fill_logical(ftl)
+        sealed_before = set(ftl.sealed_blocks)
+        ops = ftl.wear_level_once()
+        assert ops, "expected migration ops"
+        # Exactly one sealed block was released back to the free pool.
+        released = sealed_before - set(ftl.sealed_blocks)
+        assert len(released) >= 1
+
+    def test_wear_level_noop_without_sealed(self):
+        assert make_ftl().wear_level_once() == []
+
+    def test_wear_spread_bounded_under_uniform_traffic(self):
+        ftl = ConventionalFTL(FlashGeometry.small(), FTLConfig(op_ratio=0.25))
+        fill_logical(ftl)
+        rng = np.random.default_rng(5)
+        for _ in range(4 * ftl.logical_pages):
+            ftl.write(int(rng.integers(0, ftl.logical_pages)))
+        stats = ftl.nand.wear.stats()
+        assert stats.max_erases - stats.min_erases <= max(4, stats.mean_erases * 2)
+
+
+class TestInvariants:
+    def test_invariants_after_heavy_traffic(self):
+        ftl = make_ftl(op_ratio=0.11)
+        fill_logical(ftl)
+        rng = np.random.default_rng(6)
+        for _ in range(3 * ftl.logical_pages):
+            ftl.write(int(rng.integers(0, ftl.logical_pages)))
+        ftl.check_invariants()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        op_ratio=st.sampled_from([0.07, 0.15, 0.28]),
+        trim_fraction=st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_invariants_under_random_workload(self, seed, op_ratio, trim_fraction):
+        ftl = ConventionalFTL(FlashGeometry.small(), FTLConfig(op_ratio=op_ratio))
+        rng = np.random.default_rng(seed)
+        n = ftl.logical_pages
+        for _ in range(n + n // 2):
+            lpn = int(rng.integers(0, n))
+            if rng.random() < trim_fraction:
+                ftl.trim(lpn)
+            else:
+                ftl.write(lpn)
+        ftl.check_invariants()
+        # All mapped pages remain readable.
+        for lpn in range(0, n, 97):
+            if ftl.map.is_mapped(lpn):
+                ftl.read(lpn)
+
+
+class TestReadDisturbScrub:
+    def test_disturbed_block_refreshed(self):
+        from repro.flash.nand import NandArray
+        from repro.flash.geometry import FlashGeometry
+
+        geometry = FlashGeometry.small()
+        nand = NandArray(geometry, read_disturb_limit=100)
+        ftl = ConventionalFTL(geometry, FTLConfig(op_ratio=0.25), nand=nand)
+        fill_logical(ftl)
+        # Hammer one logical page until its block crosses the threshold.
+        victim_block = ftl.geometry.block_of_page(ftl.map.lookup(0))
+        for _ in range(90):
+            ftl.read(0)
+        assert nand.disturb_pressure(victim_block) >= 0.8
+        ops = ftl.scrub_disturbed(threshold=0.8)
+        assert ops, "expected a scrub"
+        assert ftl.stats.scrubs >= 1
+        # The hammered data moved and the old block was recycled.
+        assert ftl.geometry.block_of_page(ftl.map.lookup(0)) != victim_block
+        assert nand.reads_since_erase(victim_block) == 0
+        ftl.check_invariants()
+
+    def test_scrub_noop_below_threshold(self):
+        ftl = make_ftl(op_ratio=0.25)
+        fill_logical(ftl)
+        ftl.read(0)
+        assert ftl.scrub_disturbed() == []
+
+    def test_data_survives_scrub(self):
+        from repro.flash.nand import NandArray
+        from repro.flash.geometry import FlashGeometry
+
+        geometry = FlashGeometry.small()
+        nand = NandArray(geometry, read_disturb_limit=50)
+        ftl = ConventionalFTL(geometry, FTLConfig(op_ratio=0.25), nand=nand)
+        fill_logical(ftl)
+        for _ in range(60):
+            ftl.read(5)
+        ftl.scrub_disturbed(threshold=0.8)
+        for lpn in range(ftl.logical_pages):
+            ftl.read(lpn)  # everything still resolves

@@ -1,0 +1,81 @@
+"""Tests for reclaim schedulers."""
+
+import pytest
+
+from repro.hostio.scheduler import (
+    AlwaysOnScheduler,
+    HostIOState,
+    IdleWindowScheduler,
+    RateLimitedScheduler,
+    make_scheduler,
+)
+
+
+def state(**kwargs):
+    defaults = dict(now=1000.0, pending_reads=0, last_read_at=0.0, free_zones=5, low_watermark=2)
+    defaults.update(kwargs)
+    return HostIOState(**defaults)
+
+
+class TestAlwaysOn:
+    def test_always_allows(self):
+        sched = AlwaysOnScheduler()
+        assert sched.may_reclaim(state())
+        assert sched.may_reclaim(state(pending_reads=10, free_zones=100))
+
+
+class TestIdleWindow:
+    def test_blocks_during_pending_reads(self):
+        sched = IdleWindowScheduler(idle_threshold_us=500.0)
+        assert not sched.may_reclaim(state(pending_reads=3))
+
+    def test_blocks_shortly_after_read(self):
+        sched = IdleWindowScheduler(idle_threshold_us=500.0)
+        assert not sched.may_reclaim(state(now=1000.0, last_read_at=800.0))
+
+    def test_allows_after_idle_threshold(self):
+        sched = IdleWindowScheduler(idle_threshold_us=500.0)
+        assert sched.may_reclaim(state(now=1000.0, last_read_at=400.0))
+
+    def test_urgent_overrides_everything(self):
+        sched = IdleWindowScheduler(idle_threshold_us=500.0, urgent_free_zones=2)
+        assert sched.may_reclaim(state(pending_reads=5, free_zones=2))
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            IdleWindowScheduler(idle_threshold_us=-1.0)
+
+
+class TestRateLimited:
+    def test_paces_reclaim(self):
+        sched = RateLimitedScheduler(min_interval_us=1000.0)
+        assert sched.may_reclaim(state(now=0.0))
+        assert not sched.may_reclaim(state(now=500.0))
+        assert sched.may_reclaim(state(now=1000.0))
+
+    def test_urgent_overrides_pacing(self):
+        sched = RateLimitedScheduler(min_interval_us=1000.0, urgent_free_zones=1)
+        assert sched.may_reclaim(state(now=0.0))
+        assert sched.may_reclaim(state(now=1.0, free_zones=1))
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimitedScheduler(min_interval_us=0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("always-on", AlwaysOnScheduler),
+        ("idle-window", IdleWindowScheduler),
+        ("rate-limited", RateLimitedScheduler),
+    ])
+    def test_make(self, name, cls):
+        assert isinstance(make_scheduler(name), cls)
+
+    def test_kwargs_forwarded(self):
+        sched = make_scheduler("idle-window", idle_threshold_us=123.0)
+        assert sched.idle_threshold_us == 123.0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("psychic")

@@ -1,0 +1,121 @@
+"""Tests for active-zone budget allocators."""
+
+import pytest
+
+from repro.hostio.zonealloc import (
+    DynamicAllocator,
+    FairShareAllocator,
+    StaticPartitionAllocator,
+    make_allocator,
+)
+
+
+class TestConstruction:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPartitionAllocator(max_active=0, tenants=2)
+        with pytest.raises(ValueError):
+            StaticPartitionAllocator(max_active=4, tenants=0)
+
+    def test_too_many_tenants_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPartitionAllocator(max_active=3, tenants=4)
+        with pytest.raises(ValueError):
+            FairShareAllocator(max_active=3, tenants=4)
+
+    def test_factory(self):
+        assert isinstance(make_allocator("static", 14, 2), StaticPartitionAllocator)
+        assert isinstance(make_allocator("dynamic", 14, 2), DynamicAllocator)
+        assert isinstance(make_allocator("fair-share", 14, 2), FairShareAllocator)
+        with pytest.raises(ValueError):
+            make_allocator("magic", 14, 2)
+
+
+class TestStatic:
+    def test_caps_at_share(self):
+        alloc = StaticPartitionAllocator(max_active=14, tenants=4)
+        assert alloc.share == 3
+        for _ in range(3):
+            assert alloc.try_acquire(0)
+        assert not alloc.try_acquire(0)
+
+    def test_cannot_borrow_idle_slots(self):
+        alloc = StaticPartitionAllocator(max_active=14, tenants=2)
+        for _ in range(7):
+            assert alloc.try_acquire(0)
+        # Tenant 1 is idle, yet tenant 0 cannot exceed its share.
+        assert not alloc.try_acquire(0)
+        assert alloc.total_held == 7
+
+    def test_release_restores_budget(self):
+        alloc = StaticPartitionAllocator(max_active=4, tenants=2)
+        alloc.try_acquire(0)
+        alloc.try_acquire(0)
+        assert not alloc.try_acquire(0)
+        alloc.release(0)
+        assert alloc.try_acquire(0)
+
+
+class TestDynamic:
+    def test_work_conserving(self):
+        alloc = DynamicAllocator(max_active=14, tenants=4)
+        for _ in range(14):
+            assert alloc.try_acquire(0)  # one tenant can take everything
+        assert not alloc.try_acquire(1)
+
+    def test_pool_bound(self):
+        alloc = DynamicAllocator(max_active=4, tenants=2)
+        grants = sum(alloc.try_acquire(i % 2) for i in range(10))
+        assert grants == 4
+
+
+class TestFairShare:
+    def test_guarantee_always_available(self):
+        alloc = FairShareAllocator(max_active=14, tenants=4)  # guarantee 3
+        # Tenant 0 tries to hog the pool.
+        taken = 0
+        while alloc.try_acquire(0):
+            taken += 1
+        # Tenants 1-3 must each still get their guarantee of 3.
+        for tenant in (1, 2, 3):
+            for _ in range(3):
+                assert alloc.try_acquire(tenant), f"guarantee broken for {tenant}"
+        assert alloc.total_held <= 14
+        assert taken >= 3  # tenant 0 got at least its own guarantee
+
+    def test_borrowing_when_others_idle_partially(self):
+        alloc = FairShareAllocator(max_active=8, tenants=2)  # guarantee 4
+        for _ in range(4):
+            assert alloc.try_acquire(0)
+        # Tenant 1 holds 2 of its 4-slot guarantee; 2 slots must stay
+        # reserved for it, so tenant 0 cannot borrow.
+        alloc.try_acquire(1)
+        alloc.try_acquire(1)
+        assert not alloc.try_acquire(0)
+        # Once tenant 1 reaches its guarantee, free slots are borrowable.
+        alloc.try_acquire(1)
+        alloc.try_acquire(1)
+        assert alloc.total_held == 8
+
+    def test_release_accounting(self):
+        alloc = FairShareAllocator(max_active=4, tenants=2)
+        with pytest.raises(ValueError):
+            alloc.release(0)
+        alloc.try_acquire(0)
+        alloc.release(0)
+        assert alloc.total_held == 0
+
+
+class TestStats:
+    def test_denial_rate(self):
+        alloc = StaticPartitionAllocator(max_active=2, tenants=2)
+        alloc.try_acquire(0)
+        alloc.try_acquire(0)  # denied (share is 1)
+        assert alloc.stats.grants == 1
+        assert alloc.stats.denials == 1
+        assert alloc.stats.denial_rate == pytest.approx(0.5)
+
+    def test_unknown_tenant_rejected(self):
+        alloc = DynamicAllocator(max_active=2, tenants=2)
+        with pytest.raises(ValueError):
+            alloc.try_acquire(5)

@@ -1,0 +1,77 @@
+"""Tests for latency recording and summaries."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.latency import LatencyRecorder
+
+
+def test_empty_summary_is_zeros():
+    s = LatencyRecorder().summary()
+    assert s.count == 0
+    assert s.mean == 0.0
+    assert s.p99 == 0.0
+
+
+def test_exact_percentiles_below_cap():
+    rec = LatencyRecorder()
+    rec.extend(list(map(float, range(1, 101))))
+    s = rec.summary()
+    assert s.count == 100
+    assert s.mean == pytest.approx(50.5)
+    assert s.p50 == pytest.approx(50.5)
+    assert s.max == 100.0
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        LatencyRecorder().record(-1.0)
+
+
+def test_reservoir_bounds_memory():
+    rec = LatencyRecorder(reservoir_size=100, rng=np.random.default_rng(0))
+    rec.extend([float(i) for i in range(10_000)])
+    assert rec.count == 10_000
+    assert len(rec._samples) == 100
+
+
+def test_reservoir_percentiles_close_to_truth():
+    rng = np.random.default_rng(1)
+    data = rng.exponential(100.0, size=50_000)
+    rec = LatencyRecorder(reservoir_size=5_000, rng=np.random.default_rng(2))
+    rec.extend(list(data))
+    true_p99 = float(np.percentile(data, 99))
+    assert rec.percentile(99) == pytest.approx(true_p99, rel=0.15)
+
+
+def test_mean_and_max_exact_despite_reservoir():
+    rec = LatencyRecorder(reservoir_size=10, rng=np.random.default_rng(0))
+    values = [float(i) for i in range(1000)]
+    rec.extend(values)
+    assert rec.mean == pytest.approx(sum(values) / len(values))
+    assert rec.summary().max == 999.0
+
+
+def test_reset_clears_state():
+    rec = LatencyRecorder()
+    rec.extend([1.0, 2.0, 3.0])
+    rec.reset()
+    assert rec.count == 0
+    assert rec.summary().max == 0.0
+
+
+def test_ratio_to_computes_factors():
+    fast = LatencyRecorder()
+    slow = LatencyRecorder()
+    fast.extend([10.0] * 100)
+    slow.extend([40.0] * 100)
+    ratios = fast.summary().ratio_to(slow.summary())
+    assert ratios["mean"] == pytest.approx(4.0)
+    assert ratios["p99"] == pytest.approx(4.0)
+
+
+def test_ratio_to_handles_zero_baseline():
+    zero = LatencyRecorder().summary()
+    other = LatencyRecorder()
+    other.record(5.0)
+    assert zero.ratio_to(other.summary())["mean"] == float("inf")

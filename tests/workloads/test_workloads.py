@@ -1,0 +1,186 @@
+"""Tests for workload generators and traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block.ramdisk import RamDisk
+from repro.workloads.lifetime import LifetimeClass, ObjectLifetimeWorkload
+from repro.workloads.multitenant import BurstyTenant, demand_trace
+from repro.workloads.synthetic import (
+    hot_cold_stream,
+    read_write_mix,
+    sequential_stream,
+    uniform_stream,
+    zipfian_stream,
+)
+from repro.workloads.traces import (
+    TraceOp,
+    TraceRecord,
+    parse_trace,
+    replay_trace,
+    synthesize_trace,
+    trace_lines,
+)
+
+
+class TestSynthetic:
+    def test_uniform_in_range_and_deterministic(self):
+        a = list(uniform_stream(100, 50, seed=1))
+        b = list(uniform_stream(100, 50, seed=1))
+        assert a == b
+        assert all(0 <= x < 100 for x in a)
+
+    def test_sequential_wraps(self):
+        assert list(sequential_stream(4, 6)) == [0, 1, 2, 3, 0, 1]
+        assert list(sequential_stream(4, 3, start=2)) == [2, 3, 0]
+
+    def test_zipfian_skew(self):
+        samples = list(zipfian_stream(1000, 20_000, theta=0.99, seed=2))
+        assert all(0 <= x < 1000 for x in samples)
+        # Strong skew: the hottest 10% of pages draw well over half the traffic.
+        hot_hits = sum(1 for x in samples if x < 100)
+        assert hot_hits / len(samples) > 0.5
+
+    def test_zipfian_large_space_approximation(self):
+        samples = list(zipfian_stream(1 << 20, 5000, theta=0.9, seed=2))
+        assert all(0 <= x < (1 << 20) for x in samples)
+        hot_hits = sum(1 for x in samples if x < (1 << 20) // 10)
+        assert hot_hits / len(samples) > 0.5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            list(uniform_stream(0, 1))
+        with pytest.raises(ValueError):
+            list(zipfian_stream(10, 1, theta=1.5))
+        with pytest.raises(ValueError):
+            list(hot_cold_stream(10, 1, hot_fraction=0.0))
+
+
+class TestHotCold:
+    def test_traffic_split(self):
+        events = list(hot_cold_stream(1000, 20_000, 0.1, 0.9, seed=3))
+        hot = sum(1 for _, is_hot in events if is_hot)
+        assert 0.85 < hot / len(events) < 0.95
+        for page, is_hot in events:
+            if is_hot:
+                assert page < 100
+            else:
+                assert page >= 100
+
+
+class TestReadWriteMix:
+    def test_reads_target_written_space(self):
+        written = set()
+        for op, page in read_write_mix(1000, 5000, read_fraction=0.5, seed=4):
+            if op == "write":
+                written.add(page)
+            else:
+                assert page <= max(written)
+
+    def test_all_writes_when_fraction_zero(self):
+        ops = [op for op, _ in read_write_mix(100, 200, read_fraction=0.0, seed=5)]
+        assert set(ops) == {"write"}
+
+
+class TestLifetimeWorkload:
+    def test_every_create_gets_a_delete(self):
+        wl = ObjectLifetimeWorkload(num_objects=500, seed=6)
+        creates, deletes = set(), set()
+        for event in wl.events():
+            if event.kind == "create":
+                creates.add(event.obj_id)
+            else:
+                assert event.obj_id in creates, "delete before create"
+                deletes.add(event.obj_id)
+        assert creates == deletes
+        assert len(creates) == 500
+
+    def test_deterministic(self):
+        a = [(e.kind, e.obj_id) for e in ObjectLifetimeWorkload(200, seed=7).events()]
+        b = [(e.kind, e.obj_id) for e in ObjectLifetimeWorkload(200, seed=7).events()]
+        assert a == b
+
+    def test_owner_correlates_with_lifetime_class(self):
+        wl = ObjectLifetimeWorkload(num_objects=3000, owners=3, seed=8)
+        by_owner = {}
+        for event in wl.events():
+            if event.kind == "create":
+                by_owner.setdefault(event.owner % 3, []).append(event.lifetime_class)
+        # Owner archetype 0 is churny: mostly SHORT.
+        short = sum(1 for c in by_owner[0] if c is LifetimeClass.SHORT)
+        assert short / len(by_owner[0]) > 0.7
+        # Owner archetype 2 is archival: mostly LONG.
+        long = sum(1 for c in by_owner[2] if c is LifetimeClass.LONG)
+        assert long / len(by_owner[2]) > 0.6
+
+    def test_lifetime_scale_shortens_lives(self):
+        def mean_life(scale):
+            wl = ObjectLifetimeWorkload(num_objects=1000, lifetime_scale=scale, seed=9)
+            created, lifetimes = {}, []
+            for event in wl.events():
+                if event.kind == "create":
+                    created[event.obj_id] = event.time
+                else:
+                    lifetimes.append(event.time - created[event.obj_id])
+            return np.mean(lifetimes)
+
+        assert mean_life(0.1) < mean_life(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ObjectLifetimeWorkload(num_objects=0)
+        with pytest.raises(ValueError):
+            ObjectLifetimeWorkload(num_objects=1, lifetime_scale=0)
+
+
+class TestMultitenant:
+    def test_demand_alternates(self):
+        tenants = [BurstyTenant(tenant_id=0, idle_zones=1, burst_zones=8)]
+        events = list(demand_trace(tenants, 5000, seed=10))
+        levels = {e.zones_wanted for e in events}
+        assert levels == {1, 8}
+
+    def test_mean_demand_formula(self):
+        t = BurstyTenant(0, idle_zones=1, burst_zones=9, burst_start_prob=0.1, burst_end_prob=0.1)
+        assert t.mean_demand == pytest.approx(5.0)
+
+    def test_invalid_tenant(self):
+        with pytest.raises(ValueError):
+            BurstyTenant(0, idle_zones=5, burst_zones=2)
+        with pytest.raises(ValueError):
+            BurstyTenant(0, burst_start_prob=0.0)
+
+    def test_initial_event_per_tenant(self):
+        tenants = [BurstyTenant(tenant_id=i) for i in range(3)]
+        events = list(demand_trace(tenants, 10, seed=11))
+        initial = [e for e in events if e.time == 0]
+        assert len(initial) == 3
+
+
+class TestTraces:
+    def test_round_trip_serialization(self):
+        trace = synthesize_trace(
+            [("write", 5), ("read", 5), ("trim", 5)], interarrival_us=10.0
+        )
+        lines = list(trace_lines(trace))
+        parsed = list(parse_trace(lines))
+        assert parsed == trace
+
+    def test_parse_skips_comments_and_blanks(self):
+        lines = ["# header", "", "0.000 write 3"]
+        parsed = list(parse_trace(lines))
+        assert parsed == [TraceRecord(TraceOp.WRITE, 3, 0.0)]
+
+    def test_replay_counts_and_skips_unwritten_reads(self):
+        disk = RamDisk(16)
+        trace = synthesize_trace([("read", 1), ("write", 1), ("read", 1), ("trim", 1)])
+        counts = replay_trace(trace, disk)
+        assert counts == {"read": 1, "write": 1, "trim": 1, "skipped_reads": 1}
+
+    def test_timestamps_monotonic(self):
+        trace = synthesize_trace([("write", i) for i in range(5)], interarrival_us=2.0)
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+        assert times[-1] == pytest.approx(8.0)

@@ -1,0 +1,115 @@
+"""Direct tests for the thin zone-granularity FTL (ZnsFTL)."""
+
+import pytest
+
+from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.flash.nand import NandArray
+from repro.flash.wear import WearTracker
+from repro.zns.ftl import ZnsFTL
+
+
+def make_ftl(spare_blocks=0, rotate=True, endurance=0):
+    zoned = ZonedGeometry.small()
+    wear = WearTracker(total_blocks=zoned.flash.total_blocks, endurance_cycles=endurance)
+    nand = NandArray(zoned.flash, wear=wear)
+    return ZnsFTL(zoned, nand, spare_blocks=spare_blocks, rotate_on_reset=rotate), nand
+
+
+class TestLayout:
+    def test_initial_zones_cover_all_blocks(self):
+        ftl, _ = make_ftl()
+        seen = set()
+        for zone in range(ftl.zone_count):
+            blocks = ftl.blocks_of_zone(zone)
+            assert len(blocks) == ftl.geometry.blocks_per_zone
+            assert not (set(blocks) & seen)
+            seen |= set(blocks)
+
+    def test_spares_reduce_zone_count(self):
+        full, _ = make_ftl(spare_blocks=0)
+        spared, _ = make_ftl(spare_blocks=4)
+        assert spared.zone_count == full.zone_count - 2  # 2 blocks/zone
+
+    def test_too_many_spares_rejected(self):
+        zoned = ZonedGeometry.small()
+        nand = NandArray(zoned.flash)
+        with pytest.raises(ValueError):
+            ZnsFTL(zoned, nand, spare_blocks=zoned.flash.total_blocks)
+
+    def test_page_of_linear_layout(self):
+        ftl, _ = make_ftl()
+        ppb = ftl.geometry.flash.pages_per_block
+        blocks = ftl.blocks_of_zone(3)
+        assert ftl.page_of(3, 0) == blocks[0] * ppb
+        assert ftl.page_of(3, ppb) == blocks[1] * ppb
+
+    def test_page_of_bounds(self):
+        ftl, _ = make_ftl()
+        with pytest.raises(IndexError):
+            ftl.page_of(0, ftl.zone_capacity_pages(0))
+        with pytest.raises(IndexError):
+            ftl.blocks_of_zone(ftl.zone_count)
+
+
+class TestReset:
+    def _fill_zone(self, ftl, nand, zone):
+        for block in ftl.blocks_of_zone(zone):
+            for page in nand.geometry.pages_of_block(block):
+                nand.program(page)
+
+    def test_reset_erases_all_blocks(self):
+        ftl, nand = make_ftl()
+        self._fill_zone(ftl, nand, 0)
+        latencies, capacity = ftl.reset_zone(0)
+        assert len(latencies) == ftl.geometry.blocks_per_zone
+        assert capacity == ftl.geometry.pages_per_zone
+        for block in ftl.blocks_of_zone(0):
+            assert nand.is_block_erased(block)
+
+    def test_rotation_prefers_least_worn_blocks(self):
+        ftl, nand = make_ftl(rotate=True)
+        original = set(ftl.blocks_of_zone(0))
+        # Wear the original blocks heavily relative to the pool.
+        for block in original:
+            for _ in range(5):
+                nand.erase(block)
+        self._fill_zone(ftl, nand, 0)
+        ftl.reset_zone(0)
+        ftl.reset_zone(0)  # second reset draws from the rotated pool
+        rebacked = set(ftl.blocks_of_zone(0))
+        wear = nand.wear.erase_counts
+        # The zone's backing blocks are now among the least-worn available.
+        assert max(int(wear[b]) for b in rebacked) <= 7
+
+    def test_no_rotation_keeps_blocks(self):
+        ftl, nand = make_ftl(rotate=False)
+        before = ftl.blocks_of_zone(0)
+        self._fill_zone(ftl, nand, 0)
+        ftl.reset_zone(0)
+        assert ftl.blocks_of_zone(0) == before
+
+    def test_failed_block_replaced_by_spare(self):
+        ftl, nand = make_ftl(spare_blocks=2, rotate=False, endurance=1)
+        self._fill_zone(ftl, nand, 0)
+        ftl.reset_zone(0)  # erase 1 ok
+        self._fill_zone(ftl, nand, 0)
+        _, capacity = ftl.reset_zone(0)  # erase 2 retires both blocks
+        assert capacity == ftl.geometry.pages_per_zone  # spares stepped in
+        for block in ftl.blocks_of_zone(0):
+            assert not nand.wear.is_bad(block)
+
+    def test_capacity_shrinks_without_spares(self):
+        ftl, nand = make_ftl(spare_blocks=0, rotate=False, endurance=1)
+        self._fill_zone(ftl, nand, 0)
+        ftl.reset_zone(0)
+        self._fill_zone(ftl, nand, 0)
+        _, capacity = ftl.reset_zone(0)
+        assert capacity == 0  # every backing block retired
+
+
+class TestDram:
+    def test_dram_per_block(self):
+        ftl, _ = make_ftl()
+        mapped_blocks = ftl.zone_count * ftl.geometry.blocks_per_zone
+        assert ftl.dram_bytes() == mapped_blocks * 4
+        assert ftl.dram_bytes(bytes_per_entry=8) == mapped_blocks * 8

@@ -1,0 +1,160 @@
+"""Tests for the zone state machine."""
+
+import pytest
+
+from repro.zns.errors import (
+    ZoneFullError,
+    ZoneOfflineError,
+    ZoneReadOnlyError,
+    ZoneStateError,
+)
+from repro.zns.zone import Zone, ZoneState
+
+
+def make_zone(size=64, capacity=-1):
+    return Zone(zone_id=0, size_pages=size, capacity_pages=capacity)
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        z = make_zone()
+        assert z.state is ZoneState.EMPTY
+        assert z.wp == 0
+        assert z.remaining == 64
+
+    def test_capacity_defaults_to_size(self):
+        assert make_zone().capacity_pages == 64
+
+    def test_capacity_above_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_zone(size=10, capacity=20)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Zone(zone_id=0, size_pages=0)
+
+
+class TestStateProperties:
+    def test_open_states(self):
+        assert ZoneState.IMPLICIT_OPEN.is_open
+        assert ZoneState.EXPLICIT_OPEN.is_open
+        assert not ZoneState.CLOSED.is_open
+
+    def test_active_states(self):
+        assert ZoneState.IMPLICIT_OPEN.is_active
+        assert ZoneState.EXPLICIT_OPEN.is_active
+        assert ZoneState.CLOSED.is_active
+        assert not ZoneState.EMPTY.is_active
+        assert not ZoneState.FULL.is_active
+
+
+class TestTransitions:
+    def test_open_close_reopen(self):
+        z = make_zone()
+        z.transition_open(explicit=True)
+        assert z.state is ZoneState.EXPLICIT_OPEN
+        z.advance(5)
+        z.transition_closed()
+        assert z.state is ZoneState.CLOSED
+        z.transition_open(explicit=False)
+        assert z.state is ZoneState.IMPLICIT_OPEN
+
+    def test_close_empty_open_zone_returns_to_empty(self):
+        z = make_zone()
+        z.transition_open(explicit=True)
+        z.transition_closed()
+        assert z.state is ZoneState.EMPTY
+
+    def test_advance_to_capacity_goes_full(self):
+        z = make_zone(size=4)
+        z.transition_open(explicit=False)
+        z.advance(4)
+        assert z.state is ZoneState.FULL
+        assert z.remaining == 0
+
+    def test_finish_marks_full_early(self):
+        z = make_zone()
+        z.transition_open(explicit=False)
+        z.advance(3)
+        z.transition_full()
+        assert z.state is ZoneState.FULL
+        assert z.wp == 3
+
+    def test_reset_rewinds(self):
+        z = make_zone(size=4)
+        z.transition_open(explicit=False)
+        z.advance(4)
+        z.transition_empty()
+        assert z.state is ZoneState.EMPTY
+        assert z.wp == 0
+        assert z.reset_count == 1
+
+    def test_reset_can_shrink_capacity(self):
+        z = make_zone(size=64)
+        z.transition_empty(new_capacity=32)
+        assert z.capacity_pages == 32
+        assert z.remaining == 32
+
+    def test_reset_to_zero_capacity_goes_offline(self):
+        z = make_zone()
+        z.transition_empty(new_capacity=0)
+        assert z.state is ZoneState.OFFLINE
+
+    def test_offline_rejects_everything(self):
+        z = make_zone()
+        z.transition_empty(new_capacity=0)
+        with pytest.raises(ZoneOfflineError):
+            z.check_writable(1)
+        with pytest.raises(ZoneOfflineError):
+            z.check_readable(0)
+        with pytest.raises(ZoneOfflineError):
+            z.transition_empty()
+
+    def test_open_full_zone_rejected(self):
+        z = make_zone(size=2)
+        z.transition_open(explicit=False)
+        z.advance(2)
+        with pytest.raises(ZoneStateError):
+            z.transition_open(explicit=False)
+
+    def test_close_non_open_rejected(self):
+        with pytest.raises(ZoneStateError):
+            make_zone().transition_closed()
+
+
+class TestGuards:
+    def test_write_beyond_capacity_rejected(self):
+        z = make_zone(size=4)
+        z.transition_open(explicit=False)
+        z.advance(3)
+        with pytest.raises(ZoneFullError):
+            z.check_writable(2)
+
+    def test_write_to_full_rejected(self):
+        z = make_zone(size=2)
+        z.transition_open(explicit=False)
+        z.advance(2)
+        with pytest.raises(ZoneStateError):
+            z.check_writable(1)
+
+    def test_read_only_rejects_writes(self):
+        z = make_zone()
+        z.state = ZoneState.READ_ONLY
+        with pytest.raises(ZoneReadOnlyError):
+            z.check_writable(1)
+        z.wp = 5
+        z.check_readable(2)  # reads still fine
+
+    def test_read_beyond_wp_rejected(self):
+        z = make_zone()
+        z.transition_open(explicit=False)
+        z.advance(3)
+        z.check_readable(2)
+        with pytest.raises(ZoneStateError):
+            z.check_readable(3)
+
+    def test_read_negative_offset_rejected(self):
+        z = make_zone()
+        z.advance(1)
+        with pytest.raises(ZoneStateError):
+            z.check_readable(-1)
