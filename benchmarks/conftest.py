@@ -9,22 +9,25 @@ microsecond-level timing stability.
 
 import pytest
 
-from repro.experiments import run_experiment
+from repro.experiments import ExperimentConfig, run_config
 
 
 @pytest.fixture
 def run_bench(benchmark):
     """Run one experiment under pytest-benchmark and return its result."""
 
-    def _run(experiment_id, quick=True, seed=0):
+    def _run(experiment_id, quick=True, seed=0, **params):
+        config = ExperimentConfig(
+            experiment_id, full=not quick, seed=seed, params=params
+        )
         result = benchmark.pedantic(
-            run_experiment,
-            args=(experiment_id,),
-            kwargs={"quick": quick, "seed": seed},
+            run_config,
+            args=(config,),
             rounds=1,
             iterations=1,
         )
-        benchmark.extra_info["experiment"] = experiment_id
+        benchmark.extra_info["experiment"] = config.experiment_id
+        benchmark.extra_info["config"] = config.to_dict()
         benchmark.extra_info["headline"] = {
             k: (str(v) if isinstance(v, bool) else v)
             for k, v in result.headline.items()

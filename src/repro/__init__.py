@@ -19,8 +19,11 @@ on:
   workload generation, measurement, and the discrete-event kernel;
 - :mod:`repro.cost`, :mod:`repro.survey` -- the economics and the Table 1
   corpus;
-- :mod:`repro.experiments` -- one module per table/figure/claim, driven
-  by the ``zns-repro`` CLI.
+- :mod:`repro.experiments` -- one module per table/figure/claim, each
+  exposing ``run(config: ExperimentConfig) -> ExperimentResult``;
+- :mod:`repro.exec` -- the execution subsystem behind the ``zns-repro``
+  CLI: process-pool fan-out (``--jobs``), a content-addressed result
+  cache, and structured progress reporting.
 
 Quick taste::
 

@@ -1,6 +1,6 @@
 """Block-interface abstractions and host-side block-on-ZNS translation."""
 
-from repro.block.interface import BlockDevice
+from repro.block.interface import BlockDevice, ZonedDevice
 from repro.block.ramdisk import RamDisk
 
-__all__ = ["BlockDevice", "RamDisk"]
+__all__ = ["BlockDevice", "RamDisk", "ZonedDevice"]

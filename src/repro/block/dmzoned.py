@@ -4,8 +4,9 @@ The paper (§2.3) notes "it was straightforward to implement the block
 interface on the host using ZNS SSDs", aided by the NVMe *simple copy*
 command that moves data inside the device without PCIe traffic. This
 module is that layer: a log-structured, page-mapped translation living on
-the *host*, exposing :class:`~repro.block.interface.BlockDevice` over a
-:class:`~repro.zns.device.ZNSDevice`.
+the *host*, exposing :class:`~repro.block.interface.BlockDevice` over any
+:class:`~repro.block.interface.ZonedDevice` (the concrete
+:class:`~repro.zns.device.ZNSDevice` in every shipped experiment).
 
 Functionally it is the conventional FTL relocated across the interface --
 which is the paper's cost argument: the mapping table lives in cheap host
@@ -21,10 +22,10 @@ from typing import Any
 
 import numpy as np
 
+from repro.block.interface import ZonedDevice
 from repro.flash.ops import FlashOp
 from repro.ftl.gc import VictimPolicy, make_policy
 from repro.metrics.counters import OpCounter
-from repro.zns.device import ZNSDevice
 from repro.zns.zone import ZoneState
 
 UNMAPPED = -1
@@ -96,7 +97,7 @@ class ZonedBlockDevice:
 
     def __init__(
         self,
-        device: ZNSDevice,
+        device: ZonedDevice,
         config: ZonedBlockConfig | None = None,
     ):
         self.device = device

@@ -1,15 +1,32 @@
-"""The conventional block-device interface.
+"""The device interfaces the host stack programs against.
 
-Everything above the device layer (filesystems, the LSM store's file
-backend, the flash cache) programs against this protocol, so the same
-application code runs over a conventional SSD, a RAM disk, or the
-dm-zoned-style translation layer over a ZNS device -- which is exactly the
-interchangeability argument the paper makes in §2.3.
+Two protocols, one per side of the paper's argument:
+
+- :class:`BlockDevice` -- the conventional interface: a flat array of
+  fixed-size logical blocks, randomly writable. Everything above the
+  device layer (filesystems, the LSM store's file backend, the flash
+  cache) can program against it, so the same application code runs over
+  a conventional SSD, a RAM disk, or the dm-zoned-style translation
+  layer over a ZNS device -- which is exactly the interchangeability
+  argument the paper makes in §2.3.
+- :class:`ZonedDevice` -- the NVMe ZNS command surface
+  (report/open/close/finish/reset, sequential write, zone append, simple
+  copy). The host translation layer (:mod:`repro.block.dmzoned`), the
+  placement store (:mod:`repro.placement.store`), and the timed host
+  stack (:mod:`repro.hostio.timed`) are typed against this protocol, not
+  the concrete :class:`~repro.zns.device.ZNSDevice`, so alternative
+  device models (different geometry policies, fault injection, traces)
+  slot in without touching the host stack.
 """
 
 from __future__ import annotations
 
-from typing import Any, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flash.geometry import ZonedGeometry
+    from repro.flash.ops import FlashOp
+    from repro.zns.zone import Zone, ZoneState
 
 
 @runtime_checkable
@@ -39,10 +56,95 @@ class BlockDevice(Protocol):
         ...
 
 
+@runtime_checkable
+class ZonedDevice(Protocol):
+    """The ZNS command surface: zone report, management, and data path.
+
+    Matches :class:`~repro.zns.device.ZNSDevice`; mutating calls return
+    the :class:`~repro.flash.ops.FlashOp` records the device performed so
+    timed experiments can replay contention.
+    """
+
+    # -- Introspection / report ------------------------------------------------
+
+    @property
+    def geometry(self) -> "ZonedGeometry":
+        """Zoned geometry (flash shape, zone width, active/open limits)."""
+        ...
+
+    @property
+    def zone_count(self) -> int:
+        """Number of zones exposed by the device."""
+        ...
+
+    @property
+    def page_size(self) -> int:
+        """Bytes per page (the write/read granularity)."""
+        ...
+
+    def zone(self, zone_id: int) -> "Zone":
+        """The live descriptor for one zone (do not mutate)."""
+        ...
+
+    def report_zones(self) -> list["Zone"]:
+        """Zone report: all live zone descriptors."""
+        ...
+
+    def zones_in_state(self, state: "ZoneState") -> list[int]:
+        """Ids of zones currently in ``state``."""
+        ...
+
+    # -- Zone management -------------------------------------------------------
+
+    def open_zone(self, zone_id: int) -> None:
+        """Explicitly open a zone, pinning one open slot for the host."""
+        ...
+
+    def close_zone(self, zone_id: int) -> None:
+        """Transition an open zone to CLOSED (stays active)."""
+        ...
+
+    def finish_zone(self, zone_id: int) -> None:
+        """Mark a zone FULL without writing the remainder (frees its slot)."""
+        ...
+
+    def reset_zone(self, zone_id: int) -> list["FlashOp"]:
+        """Erase the zone's blocks and rewind the write pointer."""
+        ...
+
+    # -- Data path -------------------------------------------------------------
+
+    def write(
+        self,
+        zone_id: int,
+        offset: int | None = None,
+        npages: int = 1,
+        data: Any = None,
+    ) -> list["FlashOp"]:
+        """Sequential write at the write pointer."""
+        ...
+
+    def append(
+        self, zone_id: int, npages: int = 1, data: Any = None
+    ) -> tuple[int, list["FlashOp"]]:
+        """Zone append: the device assigns the offset."""
+        ...
+
+    def read(self, zone_id: int, offset: int) -> tuple[Any, "FlashOp"]:
+        """Read one page at (zone, offset below the write pointer)."""
+        ...
+
+    def simple_copy(
+        self, sources: list[tuple[int, int]], dst_zone_id: int
+    ) -> tuple[int, list["FlashOp"]]:
+        """NVMe simple copy: device-managed copy into a destination zone."""
+        ...
+
+
 def check_lba(device: BlockDevice, lba: int) -> None:
     """Shared bounds check for block-device implementations."""
     if not 0 <= lba < device.num_blocks:
         raise IndexError(f"lba {lba} out of range [0, {device.num_blocks})")
 
 
-__all__ = ["BlockDevice", "check_lba"]
+__all__ = ["BlockDevice", "ZonedDevice", "check_lba"]

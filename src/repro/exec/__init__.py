@@ -1,0 +1,37 @@
+"""The execution subsystem: cached, parallel experiment running.
+
+``repro.exec`` sits between the experiment registry
+(:mod:`repro.experiments.runner`) and the CLI. It owns three concerns
+the experiments themselves stay ignorant of:
+
+- **fan-out** -- a process pool runs independent experiments, and the
+  parameter points *inside* sweep-style experiments, concurrently
+  (:mod:`repro.exec.pool`);
+- **memoization** -- a content-addressed on-disk cache keyed on config
+  hash + code version (:mod:`repro.exec.cache`);
+- **observability** -- structured per-experiment progress lines and a
+  wall-clock summary (:mod:`repro.exec.progress`).
+"""
+
+from repro.exec.cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    ResultCache,
+    code_version,
+    default_cache_dir,
+)
+from repro.exec.pool import ExecutionRecord, Executor, execute
+from repro.exec.progress import NullReporter, ProgressReporter
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "ExecutionRecord",
+    "Executor",
+    "NullReporter",
+    "ProgressReporter",
+    "ResultCache",
+    "code_version",
+    "default_cache_dir",
+    "execute",
+]

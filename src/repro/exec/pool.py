@@ -1,0 +1,213 @@
+"""Experiment execution: serial or process-pool fan-out, cache-aware.
+
+The :class:`Executor` takes a list of
+:class:`~repro.experiments.base.ExperimentConfig` and produces one
+:class:`ExecutionRecord` per config, in input order. Results come from
+three places, tried in order:
+
+1. the :class:`~repro.exec.cache.ResultCache` (config hash + code
+   version);
+2. with ``jobs > 1``, a :class:`~concurrent.futures.ProcessPoolExecutor`
+   -- whole experiments fan out across workers, and sweep-style
+   experiments (modules publishing a ``SWEEP``
+   :class:`~repro.experiments.base.SweepSpec`) additionally fan out
+   their *parameter points*, so a single big experiment also fills the
+   pool;
+3. in-process serial execution (``jobs <= 1``).
+
+Workers receive only JSON-safe payloads (config dicts, point kwargs) and
+return plain dicts, so nothing device-sized ever crosses the process
+boundary. Sweep results are combined in the parent with the module's own
+``combine``, which makes parallel output bit-identical to a serial run
+by construction.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.progress import NullReporter, ProgressReporter
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+
+
+def _module_for(experiment_id: str):
+    from repro.experiments import runner
+
+    return runner.module_for(experiment_id)
+
+
+# -- Worker entry points (must be importable module-level functions) ------------
+
+
+def _worker_run(config_payload: dict) -> dict:
+    """Run one whole experiment in a worker; dicts in, dicts out."""
+    config = ExperimentConfig.from_dict(config_payload)
+    return _module_for(config.experiment_id).run(config).to_dict()
+
+
+def _worker_point(module_name: str, point_kwargs: dict) -> dict:
+    """Run one sweep point in a worker."""
+    module = importlib.import_module(module_name)
+    return module.SWEEP.point(**point_kwargs)
+
+
+@dataclass
+class ExecutionRecord:
+    """One executed (or cache-served) experiment."""
+
+    config: ExperimentConfig
+    result: ExperimentResult
+    duration_s: float
+    cached: bool
+
+
+class Executor:
+    """Runs experiment configs with caching and optional fan-out.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``1`` (the default) runs in-process.
+    cache:
+        A :class:`ResultCache`, or None to disable caching entirely.
+    reporter:
+        Progress sink; defaults to silent.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        reporter: ProgressReporter | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.reporter = reporter or NullReporter()
+
+    # -- Public API ----------------------------------------------------------------
+
+    def run(self, configs: Sequence[ExperimentConfig]) -> list[ExecutionRecord]:
+        wall_start = time.perf_counter()
+        total = len(configs)
+        records: dict[int, ExecutionRecord] = {}
+
+        misses: list[int] = []
+        for index, config in enumerate(configs):
+            cached = self.cache.get(config) if self.cache is not None else None
+            if cached is not None:
+                records[index] = ExecutionRecord(config, cached, 0.0, True)
+            else:
+                misses.append(index)
+
+        if misses:
+            if self.jobs > 1:
+                self._run_pooled(configs, misses, records, total)
+            else:
+                self._run_serial(configs, misses, records, total)
+
+        # Cached entries report after computation so live lines read naturally.
+        for index, record in sorted(records.items()):
+            if record.cached:
+                self.reporter.finished(record, index, total)
+
+        ordered = [records[index] for index in range(total)]
+        self.reporter.summary(ordered, time.perf_counter() - wall_start)
+        return ordered
+
+    # -- Serial path -----------------------------------------------------------------
+
+    def _run_serial(
+        self,
+        configs: Sequence[ExperimentConfig],
+        misses: list[int],
+        records: dict[int, ExecutionRecord],
+        total: int,
+    ) -> None:
+        for index in misses:
+            config = configs[index]
+            self.reporter.started(config, index, total)
+            started = time.perf_counter()
+            result = _module_for(config.experiment_id).run(config)
+            record = ExecutionRecord(config, result, time.perf_counter() - started, False)
+            if self.cache is not None:
+                self.cache.put(config, result)
+            records[index] = record
+            self.reporter.finished(record, index, total)
+
+    # -- Pooled path ---------------------------------------------------------------
+
+    def _run_pooled(
+        self,
+        configs: Sequence[ExperimentConfig],
+        misses: list[int],
+        records: dict[int, ExecutionRecord],
+        total: int,
+    ) -> None:
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            future_slot: dict[Future, tuple[int, int]] = {}
+            point_rows: dict[int, list[Any]] = {}
+            remaining: dict[int, int] = {}
+            started_at: dict[int, float] = {}
+
+            for index in misses:
+                config = configs[index]
+                module = _module_for(config.experiment_id)
+                sweep = getattr(module, "SWEEP", None)
+                self.reporter.started(config, index, total)
+                started_at[index] = time.perf_counter()
+                if sweep is not None:
+                    points = sweep.points(config)
+                    point_rows[index] = [None] * len(points)
+                    remaining[index] = len(points)
+                    for slot, kwargs in enumerate(points):
+                        future = pool.submit(_worker_point, module.__name__, kwargs)
+                        future_slot[future] = (index, slot)
+                else:
+                    remaining[index] = 1
+                    future = pool.submit(_worker_run, config.to_dict())
+                    future_slot[future] = (index, -1)
+
+            pending = set(future_slot)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, slot = future_slot[future]
+                    payload = future.result()  # propagate worker failures
+                    config = configs[index]
+                    if slot < 0:
+                        result = ExperimentResult.from_dict(payload)
+                    else:
+                        point_rows[index][slot] = payload
+                    remaining[index] -= 1
+                    if remaining[index]:
+                        continue
+                    if slot >= 0:
+                        module = _module_for(config.experiment_id)
+                        result = module.SWEEP.combine(config, point_rows.pop(index))
+                    record = ExecutionRecord(
+                        config, result, time.perf_counter() - started_at[index], False
+                    )
+                    if self.cache is not None:
+                        self.cache.put(config, result)
+                    records[index] = record
+                    self.reporter.finished(record, index, total)
+
+
+def execute(
+    configs: Sequence[ExperimentConfig],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    reporter: ProgressReporter | None = None,
+) -> list[ExecutionRecord]:
+    """One-shot convenience wrapper around :class:`Executor`."""
+    return Executor(jobs=jobs, cache=cache, reporter=reporter).run(configs)
+
+
+__all__ = ["ExecutionRecord", "Executor", "execute"]

@@ -10,7 +10,7 @@ information barrier (compare any column to the E9 oracle).
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
 from repro.flash.geometry import FlashGeometry
 from repro.ftl.ftl import ConventionalFTL, FTLConfig
 from repro.workloads.synthetic import hot_cold_stream, uniform_stream
@@ -50,12 +50,16 @@ def measure(policy: str, workload: str, quick: bool, seed: int) -> dict:
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    rows = []
-    for workload in ("uniform", "hot-cold"):
-        for policy in ("greedy", "cost-benefit", "fifo"):
-            rows.append(measure(policy, workload, quick, seed))
+def sweep_points(config: ExperimentConfig) -> list[dict]:
+    """One independent work unit per (workload, policy) grid cell."""
+    return [
+        {"policy": policy, "workload": workload, "quick": config.quick, "seed": config.seed}
+        for workload in config.param("workloads", ["uniform", "hot-cold"])
+        for policy in config.param("policies", ["greedy", "cost-benefit", "fifo"])
+    ]
 
+
+def combine(config: ExperimentConfig, rows: list[dict]) -> ExperimentResult:
     def wa(policy, workload):
         return next(
             r["write_amplification"]
@@ -82,4 +86,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
 
 
-__all__ = ["measure", "run"]
+SWEEP = SweepSpec(points=sweep_points, point=measure, combine=combine)
+
+
+@experiment("A1")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    return SWEEP.run(config)
+
+
+__all__ = ["SWEEP", "measure", "run"]

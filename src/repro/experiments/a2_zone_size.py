@@ -10,7 +10,7 @@ This ablation sweeps blocks-per-zone with the LSM workload held fixed.
 from __future__ import annotations
 
 from repro.apps.lsm import LSMConfig, LSMStore, ZoneFileBackend
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
 from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.sim.rng import make_rng
 from repro.zns.device import ZNSDevice
@@ -47,9 +47,16 @@ def measure(blocks_per_zone: int, quick: bool, seed: int) -> dict:
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    widths = [1, 2, 4, 8] if quick else [1, 2, 4, 8, 16]
-    rows = [measure(w, quick, seed) for w in widths]
+def sweep_points(config: ExperimentConfig) -> list[dict]:
+    """One independent work unit per zone width."""
+    widths = config.param("widths", [1, 2, 4, 8] if config.quick else [1, 2, 4, 8, 16])
+    return [
+        {"blocks_per_zone": w, "quick": config.quick, "seed": config.seed}
+        for w in widths
+    ]
+
+
+def combine(config: ExperimentConfig, rows: list[dict]) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="A2",
         title="Ablation: zone width vs zone-native LSM reclaim overhead",
@@ -69,4 +76,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
 
 
-__all__ = ["measure", "run"]
+SWEEP = SweepSpec(points=sweep_points, point=measure, combine=combine)
+
+
+@experiment("A2")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    return SWEEP.run(config)
+
+
+__all__ = ["SWEEP", "measure", "run"]

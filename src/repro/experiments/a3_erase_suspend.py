@@ -11,7 +11,7 @@ requires to matter).
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
 from repro.flash.geometry import FlashGeometry
 from repro.ftl.device import TimedConventionalSSD
 from repro.ftl.ftl import FTLConfig
@@ -62,8 +62,16 @@ def measure(erase_suspend_slices: int, quick: bool, seed: int) -> dict:
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    rows = [measure(slices, quick, seed) for slices in (1, 2, 4, 8)]
+def sweep_points(config: ExperimentConfig) -> list[dict]:
+    """One independent work unit per erase-slice granularity."""
+    slice_counts = config.param("slices", [1, 2, 4, 8])
+    return [
+        {"erase_suspend_slices": s, "quick": config.quick, "seed": config.seed}
+        for s in slice_counts
+    ]
+
+
+def combine(config: ExperimentConfig, rows: list[dict]) -> ExperimentResult:
     monolithic = rows[0]["p999_read_us"]
     best = rows[-1]["p999_read_us"]
     return ExperimentResult(
@@ -86,4 +94,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
 
 
-__all__ = ["measure", "run"]
+SWEEP = SweepSpec(points=sweep_points, point=measure, combine=combine)
+
+
+@experiment("A3")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    return SWEEP.run(config)
+
+
+__all__ = ["SWEEP", "measure", "run"]

@@ -13,7 +13,7 @@ zone map fits entirely in kilobytes, so its overhead is identically zero.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.flash.geometry import FlashGeometry
 from repro.ftl.dftl import DemandPagedFTL
 from repro.ftl.ftl import FTLConfig
@@ -47,7 +47,10 @@ def measure_cache_size(cache_pages: int, quick: bool, seed: int) -> dict:
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("A4")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
+    seed = config.seed
     geometry = FlashGeometry.small() if quick else FlashGeometry.bench()
     probe = DemandPagedFTL(geometry, FTLConfig(op_ratio=0.11))
     full_map = probe.full_map_translation_pages

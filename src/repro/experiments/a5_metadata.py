@@ -13,7 +13,7 @@ checkpoints its entire (tiny) map at the same cadence.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.ftl.checkpoint import CheckpointedFTL
 from repro.ftl.ftl import ConventionalFTL, FTLConfig
@@ -93,7 +93,10 @@ def datacenter_scale_rows(intervals: list[int]) -> list[dict]:
     return rows
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("A5")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
+    seed = config.seed
     intervals = [1024, 4096, 16384]
     rows = [measure_conventional(i, quick, seed) for i in intervals]
     rows += [measure_zns(i, quick, seed) for i in intervals]

@@ -1,9 +1,148 @@
-"""Common result container and formatting for experiments."""
+"""The experiment-facing API: configs, results, and the entry-point shim.
+
+Every experiment module exposes one uniform entry point::
+
+    run(config: ExperimentConfig) -> ExperimentResult
+
+where :class:`ExperimentConfig` is a frozen, hashable description of the
+run (experiment id, ``full`` flag, seed, parameter overrides). Frozen and
+hashable matters: the execution layer (:mod:`repro.exec`) keys its
+on-disk result cache on the config's content hash and ships configs to
+worker processes, neither of which tolerates ad-hoc ``**kwargs``.
+
+The :func:`experiment` decorator supplies a thin compatibility shim so
+pre-redesign call sites (``run(quick=True, seed=0)``) keep working for
+one release; new code should construct a config.
+
+Sweep-style experiments additionally publish a :class:`SweepSpec`
+(module attribute ``SWEEP``) decomposing the run into independent,
+picklable parameter points so the executor can fan them out.
+"""
 
 from __future__ import annotations
 
+import functools
+import hashlib
+import json
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
+
+#: Version of the on-disk / on-the-wire dict schema for both
+#: :class:`ExperimentConfig` and :class:`ExperimentResult`. Bump when a
+#: field is added, removed, or changes meaning.
+SCHEMA_VERSION = 1
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert lists/dicts to hashable tuples (sorted for dicts)."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` for JSON round-trips (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A frozen, hashable description of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        The DESIGN.md index id (e.g. "E1", "T1"). Normalized to upper case.
+    full:
+        Full-size workloads (the old ``quick=False``).
+    seed:
+        Root RNG seed; identical configs produce identical results.
+    params:
+        Experiment-specific parameter overrides, stored as a sorted tuple
+        of ``(name, value)`` pairs so the config stays hashable. Pass a
+        plain dict; it is normalized on construction.
+    """
+
+    experiment_id: str
+    full: bool = False
+    seed: int = 0
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "experiment_id", self.experiment_id.upper())
+        object.__setattr__(self, "full", bool(self.full))
+        object.__setattr__(self, "seed", int(self.seed))
+        params = self.params
+        if isinstance(params, Mapping):
+            params = _freeze(params)
+        else:
+            params = _freeze(dict(params))
+        object.__setattr__(self, "params", params)
+
+    # -- Convenience views -----------------------------------------------------
+
+    @property
+    def quick(self) -> bool:
+        """The pre-redesign spelling of ``not full``."""
+        return not self.full
+
+    @property
+    def overrides(self) -> dict[str, Any]:
+        """Parameter overrides as a plain dict (values thawed to lists)."""
+        return {name: _thaw(value) for name, value in self.params}
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """One override by name, thawed, or ``default``."""
+        for key, value in self.params:
+            if key == name:
+                return _thaw(value)
+        return default
+
+    def with_params(self, **overrides: Any) -> "ExperimentConfig":
+        """A copy with ``overrides`` merged into the parameter set."""
+        merged = self.overrides
+        merged.update(overrides)
+        return ExperimentConfig(self.experiment_id, self.full, self.seed, _freeze(merged))
+
+    # -- Serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "full": self.full,
+            "seed": self.seed,
+            "params": self.overrides,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentConfig":
+        version = payload.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"config schema version {version} not supported (have {SCHEMA_VERSION})"
+            )
+        return cls(
+            experiment_id=payload["experiment_id"],
+            full=payload.get("full", False),
+            seed=payload.get("seed", 0),
+            params=payload.get("params", ()),
+        )
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON encoding, the basis of the content hash."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """Hex digest identifying this config's contents."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
 
 @dataclass
@@ -33,6 +172,36 @@ class ExperimentResult:
     headline: dict[str, Any] = field(default_factory=dict)
     notes: str = ""
 
+    # -- Serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe dict with a versioned schema; inverse of :meth:`from_dict`."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "rows": [dict(row) for row in self.rows],
+            "headline": dict(self.headline),
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        version = payload.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"result schema version {version} not supported (have {SCHEMA_VERSION})"
+            )
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload.get("title", ""),
+            paper_claim=payload.get("paper_claim", ""),
+            rows=[dict(row) for row in payload.get("rows", [])],
+            headline=dict(payload.get("headline", {})),
+            notes=payload.get("notes", ""),
+        )
+
     def format(self) -> str:
         """Render as readable text (used by the CLI and EXPERIMENTS.md)."""
         lines = [
@@ -60,6 +229,84 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class SweepSpec:
+    """Decomposition of a sweep-style experiment into independent points.
+
+    ``points(config)`` yields a list of kwargs dicts (picklable,
+    primitives only); ``point(**kwargs)`` computes one row dict in
+    isolation -- it must be a module-level function so worker processes
+    can import it; ``combine(config, rows)`` assembles the final
+    :class:`ExperimentResult` from the rows in ``points`` order.
+
+    The module's own ``run`` must be exactly
+    ``combine(config, [point(**p) for p in points(config)])`` so serial
+    and fanned-out runs are bit-identical by construction.
+    """
+
+    points: Callable[[ExperimentConfig], list[dict]]
+    point: Callable[..., dict]
+    combine: Callable[[ExperimentConfig, list[dict]], ExperimentResult]
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        return self.combine(config, [self.point(**kw) for kw in self.points(config)])
+
+
+def experiment(
+    experiment_id: str,
+) -> Callable[[Callable[[ExperimentConfig], ExperimentResult]], Callable[..., ExperimentResult]]:
+    """Wrap a ``fn(config) -> ExperimentResult`` as the module entry point.
+
+    The wrapper accepts either the new calling convention::
+
+        run(ExperimentConfig("E1", full=True, seed=7))
+
+    or, as a deprecated shim for one release, the old keyword style::
+
+        run(quick=False, seed=7)           # plus arbitrary overrides
+
+    A bare positional bool is tolerated as legacy ``quick`` too.
+    """
+
+    def decorate(fn: Callable[[ExperimentConfig], ExperimentResult]):
+        @functools.wraps(fn)
+        def run(config: ExperimentConfig | None = None, /, **legacy: Any) -> ExperimentResult:
+            if isinstance(config, bool):  # legacy positional `quick`
+                legacy.setdefault("quick", config)
+                config = None
+            if config is not None:
+                if legacy:
+                    raise TypeError(
+                        "pass either an ExperimentConfig or legacy keyword "
+                        "arguments, not both"
+                    )
+                if not isinstance(config, ExperimentConfig):
+                    raise TypeError(
+                        f"run() takes an ExperimentConfig, got {type(config).__name__}"
+                    )
+                if config.experiment_id != experiment_id:
+                    raise ValueError(
+                        f"config is for {config.experiment_id!r}, "
+                        f"this is experiment {experiment_id!r}"
+                    )
+            else:
+                quick = legacy.pop("quick", None)
+                full = legacy.pop("full", None)
+                if full is None:
+                    full = not quick if quick is not None else False
+                seed = legacy.pop("seed", 0)
+                config = ExperimentConfig(
+                    experiment_id, full=full, seed=seed, params=legacy
+                )
+            return fn(config)
+
+        run.experiment_id = experiment_id
+        run.__wrapped_config_fn__ = fn
+        return run
+
+    return decorate
+
+
 def _fmt(value: Any) -> str:
     if isinstance(value, float):
         if value == 0:
@@ -72,4 +319,10 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
-__all__ = ["ExperimentResult"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "SweepSpec",
+    "experiment",
+]

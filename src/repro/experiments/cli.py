@@ -2,18 +2,32 @@
 
 Usage::
 
-    zns-repro list                 # show the experiment index
-    zns-repro run E1 [--full]      # run one experiment
-    zns-repro run all [--full]     # run everything, in index order
+    zns-repro list                         # show the experiment index
+    zns-repro run E1 [--full]              # run one experiment
+    zns-repro run E1,E5,A2 --jobs 4        # a subset, fanned out
+    zns-repro run all --jobs 4             # everything, in index order
+    zns-repro run all --json --out r.json  # machine-readable results
+    zns-repro chart E1                     # run and draw a figure
+
+Runs are served from a content-addressed cache (config hash + code
+version) under ``~/.cache/zns-repro`` unless ``--no-cache``; point
+``--cache-dir`` (or ``$ZNS_REPRO_CACHE_DIR``) elsewhere. Progress lines
+go to stderr so stdout stays parseable under ``--json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.base import SCHEMA_VERSION, ExperimentConfig
+from repro.experiments.runner import (
+    MODULES,
+    UnknownExperimentError,
+    resolve_id,
+    run_experiment,
+)
 
 _DESCRIPTIONS = {
     "T1": "Table 1: survey taxonomy counts per venue",
@@ -39,69 +53,159 @@ _DESCRIPTIONS = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="zns-repro",
         description="Reproduction experiments for 'Don't Be a Blockhead' (HotOS '21)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments")
+
     chart_parser = sub.add_parser("chart", help="run an experiment and draw its figure")
     chart_parser.add_argument("experiment", help="experiment id with a figure (E1, E7, E9, E14)")
     chart_parser.add_argument("--full", action="store_true")
     chart_parser.add_argument("--seed", type=int, default=0)
+
     run_parser = sub.add_parser("run", help="run experiment(s)")
-    run_parser.add_argument("experiment", help="experiment id (e.g. E1) or 'all'")
+    run_parser.add_argument(
+        "experiment", help="experiment id (e.g. E1), comma-separated ids, or 'all'"
+    )
     run_parser.add_argument(
         "--full", action="store_true", help="full-size workloads (slower, tighter numbers)"
     )
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes; >1 fans out experiments and sweep points",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache location (default: ~/.cache/zns-repro)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true", help="neither read nor write the result cache"
+    )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit results as a JSON array on stdout instead of text tables",
+    )
+    run_parser.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON result set to FILE",
+    )
     run_parser.add_argument(
         "--format",
         choices=["text", "markdown", "csv"],
         default="text",
         help="output format for the result tables",
     )
-    args = parser.parse_args(argv)
+    return parser
 
+
+def _resolve_ids(spec: str) -> list[str]:
+    """Expand 'all' / 'E1' / 'E1,E5,A2' into canonical registry keys."""
+    if spec.lower() == "all":
+        return list(MODULES)
+    return [resolve_id(part) for part in spec.split(",") if part.strip()]
+
+
+def _render(result, fmt: str) -> str:
+    if fmt == "markdown":
+        from repro.analysis.render import to_markdown
+
+        return to_markdown(result)
+    if fmt == "csv":
+        from repro.analysis.render import to_csv
+
+        return to_csv(result).rstrip("\n")
+    return result.format()
+
+
+def _cmd_run(args) -> int:
+    from repro.exec import Executor, ProgressReporter, ResultCache
+
+    try:
+        ids = _resolve_ids(args.experiment)
+    except UnknownExperimentError as exc:
+        print(f"zns-repro: error: {exc} (see 'zns-repro list')", file=sys.stderr)
+        return 2
+    if not ids:
+        print("zns-repro: error: no experiments selected", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("zns-repro: error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    configs = [
+        ExperimentConfig(key, full=args.full, seed=args.seed) for key in ids
+    ]
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    executor = Executor(
+        jobs=args.jobs, cache=cache, reporter=ProgressReporter(stream=sys.stderr)
+    )
+    try:
+        records = executor.run(configs)
+    except OSError as exc:
+        # Experiments themselves do no file I/O; an OSError here means the
+        # cache directory is unusable (e.g. --cache-dir names a file).
+        print(f"zns-repro: error: cache unusable: {exc}", file=sys.stderr)
+        return 2
+
+    payload = [record.result.to_dict() for record in records]
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+        except OSError as exc:
+            print(f"zns-repro: error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {len(payload)} result(s) to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    for record in records:
+        print(_render(record.result, args.format))
+        provenance = "cached" if record.cached else f"finished in {record.duration_s:.1f}s"
+        print(f"[{record.config.experiment_id} {provenance}]\n")
+    return 0
+
+
+def _cmd_chart(args) -> int:
+    from repro.experiments.figures import render_figure
+
+    try:
+        result = run_experiment(args.experiment, quick=not args.full, seed=args.seed)
+        print(f"{result.experiment_id}: {result.title}")
+        print(render_figure(result))
+    except (UnknownExperimentError, KeyError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
     if args.command == "list":
-        for key in EXPERIMENTS:
+        for key in MODULES:
             print(f"{key:>4}  {_DESCRIPTIONS.get(key, '')}")
         return 0
-
     if args.command == "chart":
-        from repro.experiments.figures import render_figure
+        return _cmd_chart(args)
+    return _cmd_run(args)
 
-        try:
-            result = run_experiment(args.experiment, quick=not args.full, seed=args.seed)
-            print(f"{result.experiment_id}: {result.title}")
-            print(render_figure(result))
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            return 2
-        return 0
 
-    ids = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
-    for experiment_id in ids:
-        started = time.perf_counter()
-        try:
-            result = run_experiment(experiment_id, quick=not args.full, seed=args.seed)
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            return 2
-        elapsed = time.perf_counter() - started
-        if args.format == "markdown":
-            from repro.analysis.render import to_markdown
-
-            print(to_markdown(result))
-        elif args.format == "csv":
-            from repro.analysis.render import to_csv
-
-            print(to_csv(result), end="")
-        else:
-            print(result.format())
-        print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
-    return 0
+__all__ = ["SCHEMA_VERSION", "main"]
 
 
 if __name__ == "__main__":

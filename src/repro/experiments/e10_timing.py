@@ -9,14 +9,15 @@ actual measured erase and program on the simulated array.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.flash.cells import CellType
 from repro.flash.geometry import FlashGeometry
 from repro.flash.nand import NandArray
 from repro.flash.timing import TimingModel
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("E10")
+def run(config: ExperimentConfig) -> ExperimentResult:
     rows = []
     for cell in CellType:
         chars = cell.characteristics

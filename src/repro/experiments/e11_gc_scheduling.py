@@ -14,7 +14,7 @@ an idle-aware scheduler has real windows to use.
 from __future__ import annotations
 
 from repro.block.dmzoned import ZonedBlockConfig
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
 from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.hostio.scheduler import make_scheduler
 from repro.hostio.timed import TimedZonedBlockDevice
@@ -77,16 +77,28 @@ def measure_scheduler(name: str, quick: bool, seed: int, **scheduler_kwargs) -> 
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    rows = [
-        measure_scheduler("always-on", quick, seed),
-        measure_scheduler(
-            "rate-limited", quick, seed, min_interval_us=3000.0, urgent_free_zones=2
-        ),
-        measure_scheduler(
-            "idle-window", quick, seed, idle_threshold_us=500.0, urgent_free_zones=2
-        ),
+def sweep_points(config: ExperimentConfig) -> list[dict]:
+    """One independent work unit per reclaim scheduler."""
+    return [
+        {"name": "always-on", "quick": config.quick, "seed": config.seed},
+        {
+            "name": "rate-limited",
+            "quick": config.quick,
+            "seed": config.seed,
+            "min_interval_us": 3000.0,
+            "urgent_free_zones": 2,
+        },
+        {
+            "name": "idle-window",
+            "quick": config.quick,
+            "seed": config.seed,
+            "idle_threshold_us": 500.0,
+            "urgent_free_zones": 2,
+        },
     ]
+
+
+def combine(config: ExperimentConfig, rows: list[dict]) -> ExperimentResult:
     always = rows[0]["p999_read_us"]
     best = min(rows[1:], key=lambda r: r["p999_read_us"])
     return ExperimentResult(
@@ -112,4 +124,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
 
 
-__all__ = ["measure_scheduler", "run"]
+SWEEP = SweepSpec(points=sweep_points, point=measure_scheduler, combine=combine)
+
+
+@experiment("E11")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    return SWEEP.run(config)
+
+
+__all__ = ["SWEEP", "measure_scheduler", "run"]

@@ -18,7 +18,7 @@ spare ratio), the PCIe traffic reclaim generates, and DES throughput.
 from __future__ import annotations
 
 from repro.block.dmzoned import ZonedBlockConfig, ZonedBlockDevice
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
 from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.ftl.device import TimedConventionalSSD
 from repro.ftl.ftl import ConventionalFTL, FTLConfig
@@ -111,12 +111,32 @@ def _throughput_host(simple_copy: bool, quick: bool, seed: int) -> float:
     return writes * 4096 / (1024 * 1024) / (engine.now / 1e6)
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    rows = [
-        {**_wa_conventional(quick, seed), "write_mb_s": round(_throughput_conventional(quick, seed), 1)},
-        {**_wa_host(False, quick, seed), "write_mb_s": round(_throughput_host(False, quick, seed), 1)},
-        {**_wa_host(True, quick, seed), "write_mb_s": round(_throughput_host(True, quick, seed), 1)},
+def measure_stack(stack: str, quick: bool, seed: int) -> dict:
+    """WA + DES throughput for one stack; ``stack`` names the translation."""
+    if stack == "conventional-ftl":
+        return {
+            **_wa_conventional(quick, seed),
+            "write_mb_s": round(_throughput_conventional(quick, seed), 1),
+        }
+    simple_copy = stack == "zns+simple-copy"
+    return {
+        **_wa_host(simple_copy, quick, seed),
+        "write_mb_s": round(_throughput_host(simple_copy, quick, seed), 1),
+    }
+
+
+def sweep_points(config: ExperimentConfig) -> list[dict]:
+    """One independent work unit per translation stack."""
+    stacks = config.param(
+        "stacks", ["conventional-ftl", "zns+host-copy", "zns+simple-copy"]
+    )
+    return [
+        {"stack": stack, "quick": config.quick, "seed": config.seed}
+        for stack in stacks
     ]
+
+
+def combine(config: ExperimentConfig, rows: list[dict]) -> ExperimentResult:
     conv_tp = rows[0]["write_mb_s"]
     simple_tp = rows[2]["write_mb_s"]
     return ExperimentResult(
@@ -139,4 +159,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
 
 
-__all__ = ["run"]
+SWEEP = SweepSpec(points=sweep_points, point=measure_stack, combine=combine)
+
+
+@experiment("E12")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    return SWEEP.run(config)
+
+
+__all__ = ["SWEEP", "measure_stack", "run"]

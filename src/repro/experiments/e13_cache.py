@@ -11,7 +11,7 @@ workload, same cache capacity; compare the device-level WA, erase counts
 from __future__ import annotations
 
 from repro.apps.cache import SetAssociativeCache, ZoneLogCache
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.ftl.device import ConventionalSSD
 from repro.ftl.ftl import FTLConfig
@@ -19,7 +19,10 @@ from repro.workloads.synthetic import zipfian_stream
 from repro.zns.device import ZNSDevice
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("E13")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
+    seed = config.seed
     universe = 60_000
     requests = 150_000 if quick else 500_000
 

@@ -14,12 +14,15 @@ shape: QLC (and PLC) clear a 5-year deployment bar only at ZNS-level WA.
 from __future__ import annotations
 
 from repro.cost.lifetime import qlc_enablement_table
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.experiments.e1_wa_vs_op import measure_wa
 from repro.flash.geometry import FlashGeometry
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("E14")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
+    seed = config.seed
     geometry = FlashGeometry.small() if quick else FlashGeometry.bench()
     # Conventional: measured at 28% OP (the endurance-friendly config).
     conventional = measure_wa(0.28, geometry, 2.0 if quick else 4.0, seed)

@@ -14,7 +14,7 @@ infinity.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
 from repro.flash.geometry import FlashGeometry
 from repro.ftl.ftl import ConventionalFTL, FTLConfig
 from repro.workloads.synthetic import uniform_stream
@@ -61,19 +61,40 @@ def measure_wa(
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+# "0% advertised OP" still leaves the FTL's internal reserve. Pin that
+# reserve to ~3.2% of exported capacity on every geometry (on small
+# devices the fixed block reserve already provides it; on large ones
+# it would shrink toward zero and send WA to 50x+, which is below any
+# real device's operating floor).
+_OP_POINTS = [0.032, 0.07, 0.11, 0.18, 0.25, 0.28]
+
+
+def sweep_points(config: ExperimentConfig) -> list[dict]:
+    """One independent work unit per OP ratio."""
+    multiple = config.param("overwrite_multiple", 2.0 if config.quick else 3.0)
+    return [
+        {
+            "op_ratio": op,
+            "quick": config.quick,
+            "overwrite_multiple": multiple,
+            "seed": config.seed,
+        }
+        for op in config.param("op_points", _OP_POINTS)
+    ]
+
+
+def sweep_point(op_ratio: float, quick: bool, overwrite_multiple: float, seed: int) -> dict:
     geometry = FlashGeometry.small() if quick else FlashGeometry.bench()
-    multiple = 2.0 if quick else 3.0
-    # "0% advertised OP" still leaves the FTL's internal reserve. Pin that
-    # reserve to ~3.2% of exported capacity on every geometry (on small
-    # devices the fixed block reserve already provides it; on large ones
-    # it would shrink toward zero and send WA to 50x+, which is below any
-    # real device's operating floor).
-    op_points = [0.032, 0.07, 0.11, 0.18, 0.25, 0.28]
-    rows = [measure_wa(op, geometry, multiple, seed) for op in op_points]
+    return measure_wa(op_ratio, geometry, overwrite_multiple, seed)
+
+
+def combine(config: ExperimentConfig, rows: list[dict]) -> ExperimentResult:
+    rows = [dict(row) for row in rows]
     rows[0]["op_pct"] = 0.0  # advertised OP; the reserve shows in the next column
     wa0 = rows[0]["write_amplification"]
-    wa25 = next(r for r in rows if r["op_pct"] == 25.0)["write_amplification"]
+    wa25 = next(
+        (r for r in rows if r["op_pct"] == 25.0), rows[-1]
+    )["write_amplification"]
     return ExperimentResult(
         experiment_id="E1",
         title="Write amplification vs overprovisioning (random writes)",
@@ -93,4 +114,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
 
 
-__all__ = ["measure_wa", "run"]
+SWEEP = SweepSpec(points=sweep_points, point=sweep_point, combine=combine)
+
+
+@experiment("E1")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    return SWEEP.run(config)
+
+
+__all__ = ["SWEEP", "measure_wa", "run"]

@@ -17,14 +17,15 @@ from repro.cost.dram import (
     dram_overhead_table,
     zns_mapping_dram_bytes,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.flash.geometry import GIB, KIB, TIB, FlashGeometry, ZonedGeometry
 from repro.flash.nand import NandArray
 from repro.ftl.mapping import PageMap
 from repro.zns.ftl import ZnsFTL
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("E2")
+def run(config: ExperimentConfig) -> ExperimentResult:
     rows = dram_overhead_table()
 
     # Cross-check: the live structures report the same per-entry rates.

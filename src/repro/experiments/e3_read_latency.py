@@ -21,7 +21,7 @@ explosion on whichever device is slower.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.ftl.device import TimedConventionalSSD
 from repro.ftl.ftl import FTLConfig
@@ -156,7 +156,10 @@ def _read_latency_at_rate(rig, write_rate_mb_s: float, reads: int, seed: int) ->
     return {"mean": summary.mean, "p99": summary.p99, "p999": summary.p999}
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("E3")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
+    seed = config.seed
     writes = 2000 if quick else 4800
     reads = 1200 if quick else 3000
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.apps.lsm import BlockFileBackend, LSMConfig, LSMStore
 from repro.block.ramdisk import RamDisk
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.ftl.device import TimedConventionalSSD
 from repro.ftl.ftl import FTLConfig
@@ -160,7 +160,10 @@ def _replay_zns(plan, reads, read_interval_us, seed):
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("E4")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
+    seed = config.seed
     plan = capture_io_plan(quick, seed)
     reads = 1200 if quick else 3000
     conv = _replay_conventional(plan, reads, 500.0, seed)

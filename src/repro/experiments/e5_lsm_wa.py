@@ -24,7 +24,7 @@ from repro.apps.lsm import (
     LSMStore,
     ZoneFileBackend,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
 from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.ftl.device import ConventionalSSD
 from repro.ftl.ftl import FTLConfig
@@ -54,7 +54,8 @@ def _steady_state_wa(store, flash_bytes_fn, n_keys, warmup_ops, measure_ops, see
     return app_wa, total_wa
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+def measure_backend(backend: str, quick: bool, seed: int) -> dict:
+    """Steady-state WA for one backend; ``backend`` names the stack."""
     # The conventional-device tax builds as the filesystem ages (free-list
     # fragmentation scatters the FTL's invalidation pattern); it converges
     # after ~500k operations on the scaled device, so the measurement
@@ -62,46 +63,47 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     n_keys = 160_000
     warmup = 500_000 if quick else 700_000
     measure = 200_000 if quick else 400_000
-    rows = []
-
-    for label, trim, strategy in [
-        ("block/aged-fs", False, "aged"),
-        ("block/trim", True, "next-fit"),
-    ]:
+    if backend == "zns/zenfs-like":
+        zoned = ZonedGeometry(
+            flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
+        )
+        device = ZNSDevice(zoned)
+        store = LSMStore(ZoneFileBackend(device), _CFG)
+        flash_bytes_fn = device.nand.physical_bytes_written
+    else:
+        trim, strategy = {
+            "block/aged-fs": (False, "aged"),
+            "block/trim": (True, "next-fit"),
+        }[backend]
         ssd = ConventionalSSD(FlashGeometry.small(), FTLConfig(op_ratio=0.07))
         store = LSMStore(
             BlockFileBackend(ssd, trim_on_delete=trim, allocation_strategy=strategy),
             _CFG,
         )
-        app_wa, total_wa = _steady_state_wa(
-            store, ssd.ftl.nand.physical_bytes_written, n_keys, warmup, measure, seed
-        )
-        rows.append(
-            {
-                "backend": label,
-                "app_wa": round(app_wa, 2),
-                "below_app_wa": round(total_wa / app_wa, 2),
-                "total_wa": round(total_wa, 2),
-            }
-        )
-
-    zoned = ZonedGeometry(
-        flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
-    )
-    device = ZNSDevice(zoned)
-    store = LSMStore(ZoneFileBackend(device), _CFG)
+        flash_bytes_fn = ssd.ftl.nand.physical_bytes_written
     app_wa, total_wa = _steady_state_wa(
-        store, device.nand.physical_bytes_written, n_keys, warmup, measure, seed
+        store, flash_bytes_fn, n_keys, warmup, measure, seed
     )
-    rows.append(
-        {
-            "backend": "zns/zenfs-like",
-            "app_wa": round(app_wa, 2),
-            "below_app_wa": round(total_wa / app_wa, 2),
-            "total_wa": round(total_wa, 2),
-        }
-    )
+    return {
+        "backend": backend,
+        "app_wa": round(app_wa, 2),
+        "below_app_wa": round(total_wa / app_wa, 2),
+        "total_wa": round(total_wa, 2),
+    }
 
+
+def sweep_points(config: ExperimentConfig) -> list[dict]:
+    """One independent work unit per storage stack."""
+    backends = config.param(
+        "backends", ["block/aged-fs", "block/trim", "zns/zenfs-like"]
+    )
+    return [
+        {"backend": backend, "quick": config.quick, "seed": config.seed}
+        for backend in backends
+    ]
+
+
+def combine(config: ExperimentConfig, rows: list[dict]) -> ExperimentResult:
     conv = rows[0]["below_app_wa"]
     zns = rows[-1]["below_app_wa"]
     return ExperimentResult(
@@ -125,4 +127,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
 
 
-__all__ = ["run"]
+SWEEP = SweepSpec(points=sweep_points, point=measure_backend, combine=combine)
+
+
+@experiment("E5")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    return SWEEP.run(config)
+
+
+__all__ = ["SWEEP", "measure_backend", "run"]

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from repro.cost.bom import compare_cost_per_gb
 from repro.cost.dimms import DIMM_PRICES_2020, dimm_price_per_gb, small_dimm_premium
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("E6")
+def run(config: ExperimentConfig) -> ExperimentResult:
     bom_rows = compare_cost_per_gb()
     dimm_rows = [
         {"dimm_gb": size, "price_usd": price, "usd_per_gb": round(dimm_price_per_gb(size), 2)}

@@ -13,7 +13,7 @@ zone's blocks stripe across planes).
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.sim.engine import Engine
 from repro.zns.device import TimedZNSDevice
@@ -71,7 +71,9 @@ def _throughput(writers: int, use_append: bool, records_per_writer: int) -> dict
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("E7")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     writer_counts = [1, 2, 4, 8] if quick else [1, 2, 4, 8, 16, 32]
     records = 60 if quick else 150
     rows = []

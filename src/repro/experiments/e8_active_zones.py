@@ -14,7 +14,7 @@ while preserving guarantees.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.hostio.zonealloc import make_allocator
 from repro.sim.rng import make_rng
 from repro.workloads.multitenant import BurstyTenant, demand_trace
@@ -64,7 +64,10 @@ def simulate_allocator(
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("E8")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
+    seed = config.seed
     steps = 3000 if quick else 20000
     rows = [
         simulate_allocator(name, steps=steps, seed=seed)

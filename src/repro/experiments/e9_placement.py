@@ -13,7 +13,7 @@ mapped FTL with and without multi-stream separation.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
 from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.placement import HINT_POLICIES, ZonedObjectStore
 from repro.workloads.lifetime import ObjectLifetimeWorkload
@@ -56,8 +56,16 @@ def measure_policy(policy_name: str, quick: bool, seed: int) -> dict:
     }
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
-    rows = [measure_policy(name, quick, seed) for name in ("none", "batch", "owner", "oracle")]
+def sweep_points(config: ExperimentConfig) -> list[dict]:
+    """One independent work unit per knowledge level."""
+    policies = config.param("policies", ["none", "batch", "owner", "oracle"])
+    return [
+        {"policy_name": name, "quick": config.quick, "seed": config.seed}
+        for name in policies
+    ]
+
+
+def combine(config: ExperimentConfig, rows: list[dict]) -> ExperimentResult:
     blind = rows[0]["write_amplification"]
     owner = next(r for r in rows if r["placement"] == "owner")["write_amplification"]
     oracle = next(r for r in rows if r["placement"] == "oracle")["write_amplification"]
@@ -86,4 +94,12 @@ def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
     )
 
 
-__all__ = ["measure_policy", "run"]
+SWEEP = SweepSpec(points=sweep_points, point=measure_policy, combine=combine)
+
+
+@experiment("E9")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    return SWEEP.run(config)
+
+
+__all__ = ["SWEEP", "measure_policy", "run"]

@@ -1,8 +1,16 @@
-"""Experiment registry and runner."""
+"""Experiment registry and runner.
+
+The registry maps DESIGN.md ids to experiment *modules*; every module
+exposes the uniform entry point ``run(config: ExperimentConfig)``.
+Execution (caching, process-pool fan-out, progress) lives in
+:mod:`repro.exec`; this module stays a thin, import-cheap index plus
+compatibility shims for the pre-config API.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Callable
+from types import ModuleType
 
 from repro.experiments import (
     a1_gc_policy,
@@ -26,43 +34,95 @@ from repro.experiments import (
     e14_endurance,
     t1_survey,
 )
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult
 
-#: id -> run callable. Ordered as in DESIGN.md's per-experiment index.
+
+class UnknownExperimentError(KeyError):
+    """Raised for ids not in the registry; str() is the clean message."""
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else "unknown experiment"
+
+
+#: id -> experiment module. Ordered as in DESIGN.md's per-experiment index.
+MODULES: dict[str, ModuleType] = {
+    "T1": t1_survey,
+    "E1": e1_wa_vs_op,
+    "E2": e2_dram,
+    "E3": e3_read_latency,
+    "E4": e4_lsm_latency,
+    "E5": e5_lsm_wa,
+    "E6": e6_cost,
+    "E7": e7_append,
+    "E8": e8_active_zones,
+    "E9": e9_placement,
+    "E10": e10_timing,
+    "E11": e11_gc_scheduling,
+    "E12": e12_dmzoned,
+    "E13": e13_cache,
+    "E14": e14_endurance,
+    "A1": a1_gc_policy,
+    "A2": a2_zone_size,
+    "A3": a3_erase_suspend,
+    "A4": a4_dramless,
+    "A5": a5_metadata,
+}
+
+#: id -> run callable. Pre-redesign shim; prefer :func:`run_config`.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
-    "T1": t1_survey.run,
-    "E1": e1_wa_vs_op.run,
-    "E2": e2_dram.run,
-    "E3": e3_read_latency.run,
-    "E4": e4_lsm_latency.run,
-    "E5": e5_lsm_wa.run,
-    "E6": e6_cost.run,
-    "E7": e7_append.run,
-    "E8": e8_active_zones.run,
-    "E9": e9_placement.run,
-    "E10": e10_timing.run,
-    "E11": e11_gc_scheduling.run,
-    "E12": e12_dmzoned.run,
-    "E13": e13_cache.run,
-    "E14": e14_endurance.run,
-    "A1": a1_gc_policy.run,
-    "A2": a2_zone_size.run,
-    "A3": a3_erase_suspend.run,
-    "A4": a4_dramless.run,
-    "A5": a5_metadata.run,
+    key: module.run for key, module in MODULES.items()
 }
 
 
-def run_experiment(experiment_id: str, quick: bool = True, seed: int = 0) -> ExperimentResult:
-    """Run one experiment by its DESIGN.md id."""
+def resolve_id(experiment_id: str) -> str:
+    """Canonical registry key for ``experiment_id`` (case-insensitive)."""
     key = experiment_id.upper()
-    if key not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment {experiment_id!r}; have {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[key](quick=quick, seed=seed)
+    if key not in MODULES:
+        raise UnknownExperimentError(
+            f"unknown experiment {experiment_id!r}; have {sorted(MODULES)}"
+        )
+    return key
 
 
-def run_all(quick: bool = True, seed: int = 0) -> list[ExperimentResult]:
-    return [run(quick=quick, seed=seed) for run in EXPERIMENTS.values()]
+def module_for(experiment_id: str) -> ModuleType:
+    """The experiment module registered under ``experiment_id``."""
+    return MODULES[resolve_id(experiment_id)]
 
 
-__all__ = ["EXPERIMENTS", "run_all", "run_experiment"]
+def run_config(config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment described by a config, in-process, uncached."""
+    return module_for(config.experiment_id).run(config)
+
+
+def run_experiment(experiment_id: str, quick: bool = True, seed: int = 0) -> ExperimentResult:
+    """Run one experiment by its DESIGN.md id (legacy keyword style)."""
+    return run_config(
+        ExperimentConfig(resolve_id(experiment_id), full=not quick, seed=seed)
+    )
+
+
+def run_all(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache=None,
+) -> list[ExperimentResult]:
+    """Run every experiment in index order; fans out when ``jobs > 1``."""
+    from repro.exec import execute
+
+    configs = [
+        ExperimentConfig(key, full=not quick, seed=seed) for key in MODULES
+    ]
+    return [record.result for record in execute(configs, jobs=jobs, cache=cache)]
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "MODULES",
+    "UnknownExperimentError",
+    "module_for",
+    "resolve_id",
+    "run_all",
+    "run_config",
+    "run_experiment",
+]

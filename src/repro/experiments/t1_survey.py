@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.survey import (
     VENUE_TOTALS,
     aggregate,
@@ -13,7 +13,8 @@ from repro.survey import (
 from repro.survey.table1 import PAPER_TABLE1, matches_paper
 
 
-def run(quick: bool = True, seed: int = 0) -> ExperimentResult:
+@experiment("T1")
+def run(config: ExperimentConfig) -> ExperimentResult:
     corpus = build_corpus()
     table = aggregate(corpus)
     pct = summary_percentages(corpus)

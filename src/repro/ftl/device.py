@@ -13,7 +13,7 @@ from collections.abc import Generator
 from typing import Any
 
 from repro.flash.geometry import FlashGeometry
-from repro.flash.ops import FlashOp, OpKind
+from repro.flash.ops import OpKind
 from repro.flash.service import FlashServiceModel
 from repro.flash.timing import TimingModel
 from repro.ftl.ftl import ConventionalFTL, FTLConfig

@@ -13,7 +13,7 @@ different erasure blocks, a conventional-SSD workaround for data placement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.flash.errors import FlashError
 from repro.flash.geometry import FlashGeometry

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Generator
 
 from repro.block.dmzoned import ZonedBlockConfig, ZonedBlockDevice
+from repro.block.interface import ZonedDevice
 from repro.flash.geometry import ZonedGeometry
 from repro.flash.service import FlashServiceModel
 from repro.flash.timing import TimingModel
@@ -36,10 +37,12 @@ class TimedZonedBlockDevice:
         prioritize_reads: bool = True,
         reclaim_poll_interval_us: float = 100.0,
         reclaim_quantum_copies: int = 4,
+        device: ZonedDevice | None = None,
     ):
         geometry = geometry or ZonedGeometry.bench()
         self.engine = engine
-        device = ZNSDevice(geometry, timing=timing)
+        if device is None:
+            device = ZNSDevice(geometry, timing=timing)
         self.layer = ZonedBlockDevice(device, config=config)
         self.service = FlashServiceModel(
             engine, geometry.flash, timing=device.nand.timing,

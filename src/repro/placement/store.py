@@ -13,10 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.block.interface import ZonedDevice
 from repro.ftl.gc import make_policy
 from repro.placement.hints import HintPolicy, no_hint
 from repro.workloads.lifetime import ObjectEvent
-from repro.zns.device import ZNSDevice
 from repro.zns.zone import ZoneState
 
 
@@ -54,7 +54,8 @@ class ZonedObjectStore:
     Parameters
     ----------
     device:
-        The backing ZNS device.
+        The backing zoned device (any
+        :class:`~repro.block.interface.ZonedDevice`).
     hint_policy:
         Maps create events to placement labels; one open zone per label.
     reserve_zones:
@@ -65,7 +66,7 @@ class ZonedObjectStore:
 
     def __init__(
         self,
-        device: ZNSDevice,
+        device: ZonedDevice,
         hint_policy: HintPolicy = no_hint,
         reserve_zones: int = 2,
         gc_policy: str = "greedy",

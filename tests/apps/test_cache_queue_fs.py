@@ -7,7 +7,7 @@ from repro.apps.lfs import LfsError, LogStructuredFS
 from repro.apps.queue import PersistentQueue, QueueEmptyError, QueueFullError
 from repro.apps.zonefs import ZoneFS, ZoneFsError
 from repro.block.ramdisk import RamDisk
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.flash.geometry import ZonedGeometry
 from repro.workloads.synthetic import zipfian_stream
 from repro.zns.device import ZNSDevice
 from repro.zns.zone import ZoneState

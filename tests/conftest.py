@@ -1,0 +1,18 @@
+"""Shared fixtures: keep every test hermetic with respect to the result cache."""
+
+import pytest
+
+from repro.exec.cache import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the result cache at a per-test directory.
+
+    The CLI caches by default; without this, test runs would read and
+    write the developer's real ``~/.cache/zns-repro`` and a warm cache
+    would change observable output ("cached" vs "finished in").
+    """
+    cache_dir = tmp_path / "zns-repro-cache"
+    monkeypatch.setenv(CACHE_DIR_ENV, str(cache_dir))
+    return cache_dir

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.cost.bom import (
-    DeviceBom,
-    compare_cost_per_gb,
-    conventional_bom,
-    zns_bom,
-)
+from repro.cost.bom import compare_cost_per_gb, conventional_bom, zns_bom
 from repro.cost.dimms import DIMM_PRICES_2020, dimm_price_per_gb, small_dimm_premium
 from repro.cost.dram import (
     conventional_mapping_dram_bytes,

@@ -1,0 +1,112 @@
+"""Tests for the serial/pooled executor: ordering, identity, cache reuse."""
+
+import io
+
+import pytest
+
+from repro.exec import (
+    ExecutionRecord,
+    Executor,
+    NullReporter,
+    ProgressReporter,
+    ResultCache,
+    execute,
+)
+from repro.experiments.base import ExperimentConfig
+
+# Experiments chosen for speed: T1/E2/E6/E10 are pure-computation tables
+# (~milliseconds); E9 is the cheapest sweep-style experiment.
+FAST_IDS = ["T1", "E2", "E6", "E10"]
+
+
+class TestSerial:
+    def test_records_in_input_order(self):
+        configs = [ExperimentConfig(i) for i in FAST_IDS]
+        records = Executor(jobs=1).run(configs)
+        assert [r.config.experiment_id for r in records] == FAST_IDS
+        assert all(isinstance(r, ExecutionRecord) for r in records)
+        assert all(not r.cached for r in records)
+        assert all(r.result.experiment_id == r.config.experiment_id for r in records)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Executor(jobs=0)
+
+    def test_execute_wrapper(self):
+        records = execute([ExperimentConfig("E2")])
+        assert records[0].result.headline["reduction_factor"] == 4096
+
+
+class TestCacheIntegration:
+    def test_second_run_served_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path, version="pinned")
+        configs = [ExperimentConfig(i) for i in FAST_IDS]
+        first = Executor(jobs=1, cache=cache).run(configs)
+        second = Executor(jobs=1, cache=ResultCache(tmp_path, version="pinned")).run(configs)
+        assert all(not r.cached for r in first)
+        assert all(r.cached for r in second)
+        assert [r.result for r in first] == [r.result for r in second]
+
+    def test_cache_disabled_recomputes(self):
+        records = Executor(jobs=1, cache=None).run([ExperimentConfig("E2")])
+        assert not records[0].cached
+
+    def test_partial_cache_mixes(self, tmp_path):
+        cache = ResultCache(tmp_path, version="pinned")
+        Executor(jobs=1, cache=cache).run([ExperimentConfig("E2")])
+        records = Executor(jobs=1, cache=cache).run(
+            [ExperimentConfig("E2"), ExperimentConfig("E6")]
+        )
+        assert records[0].cached
+        assert not records[1].cached
+
+
+class TestPooled:
+    def test_parallel_matches_serial(self):
+        configs = [ExperimentConfig(i) for i in FAST_IDS]
+        serial = Executor(jobs=1).run(configs)
+        pooled = Executor(jobs=2).run(configs)
+        assert [r.result for r in serial] == [r.result for r in pooled]
+
+    def test_sweep_fan_out_matches_serial(self):
+        # E9 publishes a SWEEP, so jobs>1 runs its points as separate
+        # worker tasks and combines in the parent -- results must be
+        # bit-identical to the serial path.
+        config = ExperimentConfig("E9")
+        serial = Executor(jobs=1).run([config])
+        pooled = Executor(jobs=4).run([config])
+        assert serial[0].result == pooled[0].result
+
+    def test_pooled_populates_cache(self, tmp_path):
+        cache = ResultCache(tmp_path, version="pinned")
+        configs = [ExperimentConfig(i) for i in FAST_IDS]
+        Executor(jobs=2, cache=cache).run(configs)
+        again = Executor(jobs=2, cache=ResultCache(tmp_path, version="pinned")).run(configs)
+        assert all(r.cached for r in again)
+
+
+class TestProgressReporting:
+    def test_reporter_lines(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream)
+        Executor(jobs=1, reporter=reporter).run([ExperimentConfig("E2")])
+        out = stream.getvalue()
+        assert "E2" in out
+        assert "start" in out
+        assert "done in" in out
+        assert "1 experiment(s)" in out
+
+    def test_cached_marked_in_report(self, tmp_path):
+        cache = ResultCache(tmp_path, version="pinned")
+        Executor(jobs=1, cache=cache).run([ExperimentConfig("E2")])
+        stream = io.StringIO()
+        Executor(
+            jobs=1, cache=cache, reporter=ProgressReporter(stream=stream)
+        ).run([ExperimentConfig("E2")])
+        assert "cached" in stream.getvalue()
+
+    def test_null_reporter_is_silent(self, capsys):
+        Executor(jobs=1, reporter=NullReporter()).run([ExperimentConfig("E2")])
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""

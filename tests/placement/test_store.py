@@ -1,10 +1,8 @@
 """Tests for hint policies and the zoned object store."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.flash.geometry import ZonedGeometry
 from repro.placement import HINT_POLICIES, StoreFullError, ZonedObjectStore
 from repro.placement.hints import by_batch, by_lifetime_oracle, by_owner, no_hint
 from repro.workloads.lifetime import LifetimeClass, ObjectEvent, ObjectLifetimeWorkload

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.block.ramdisk import RamDisk
 from repro.workloads.lifetime import LifetimeClass, ObjectLifetimeWorkload

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.flash.geometry import ZonedGeometry
 from repro.flash.nand import NandArray
 from repro.flash.wear import WearTracker
 from repro.zns.ftl import ZnsFTL
