@@ -23,7 +23,10 @@ on:
   exposing ``run(config: ExperimentConfig) -> ExperimentResult``;
 - :mod:`repro.exec` -- the execution subsystem behind the ``zns-repro``
   CLI: process-pool fan-out (``--jobs``), a content-addressed result
-  cache, and structured progress reporting.
+  cache, and structured progress reporting;
+- :mod:`repro.obs` -- the telemetry bus: typed trace events published by
+  every layer above, pluggable sinks, JSONL export (``--trace``), and
+  latency-breakdown aggregation (``--metrics-out``).
 
 Quick taste::
 

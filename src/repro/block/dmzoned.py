@@ -26,6 +26,10 @@ from repro.block.interface import ZonedDevice
 from repro.flash.ops import FlashOp
 from repro.ftl.gc import VictimPolicy, make_policy
 from repro.metrics.counters import OpCounter
+from repro.obs.events import FlashOpEvent, ReclaimEvent
+from repro.obs.runtime import new_tracer
+from repro.obs.sinks import OpCounterSink
+from repro.obs.tracer import Tracer
 from repro.zns.zone import ZoneState
 
 UNMAPPED = -1
@@ -99,12 +103,18 @@ class ZonedBlockDevice:
         self,
         device: ZonedDevice,
         config: ZonedBlockConfig | None = None,
+        tracer: Tracer | None = None,
     ):
         self.device = device
         self.config = config or ZonedBlockConfig()
         self.policy: VictimPolicy = make_policy(self.config.gc_policy)
         self.stats = ZonedBlockStats()
-        self.counters = OpCounter()
+        # Share the device's bus so host-layer events interleave with the
+        # NVMe commands and flash ops they cause; standalone otherwise.
+        if tracer is None:
+            tracer = getattr(device, "tracer", None) or new_tracer()
+        self.tracer = tracer
+        self._counter_sink = self.tracer.attach(OpCounterSink("block.dmzoned"))
 
         pages_per_zone = device.geometry.pages_per_zone
         total_zones = device.zone_count
@@ -130,6 +140,11 @@ class ZonedBlockDevice:
         self._victim_offsets: list[int] = []
 
     # -- BlockDevice protocol -----------------------------------------------------
+
+    @property
+    def counters(self) -> OpCounter:
+        """Host-layer block I/O counters (a sink over the trace stream)."""
+        return self._counter_sink.counter
 
     @property
     def block_size(self) -> int:
@@ -179,7 +194,13 @@ class ZonedBlockDevice:
         zone, offset = divmod(flat, self._pages_per_zone)
         payload, op = self.device.read(zone, offset)
         self.stats.user_pages_read += 1
-        self.counters.note_read(self.block_size)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "block.dmzoned", "read", block=op.block, page=op.page,
+                    nbytes=self.block_size,
+                )
+            )
         return payload, op
 
     def write(self, lba: int, data: Any = None, auto_gc: bool = True) -> list[FlashOp]:
@@ -198,7 +219,13 @@ class ZonedBlockDevice:
         ops.extend(self.device.write(zone, npages=1, data=data))
         self._map(lba, zone, offset)
         self.stats.user_pages_written += 1
-        self.counters.note_write(self.block_size)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "block.dmzoned", "program", block=ops[-1].block,
+                    page=ops[-1].page, nbytes=self.block_size,
+                )
+            )
         return ops
 
     def trim(self, lba: int) -> None:
@@ -266,6 +293,14 @@ class ZonedBlockDevice:
             for offset in range(self.device.zone(victim).wp)
             if self._p2l[self._flat(victim, offset)] != UNMAPPED
         ]
+        if self.tracer.enabled:
+            self.tracer.publish(
+                ReclaimEvent(
+                    "block.dmzoned", "victim-selected", zone=victim,
+                    copies=len(self._victim_offsets),
+                    free_zones=len(self._free_zones),
+                )
+            )
 
     @property
     def reclaim_in_progress(self) -> bool:
@@ -283,6 +318,7 @@ class ZonedBlockDevice:
         if self._victim is None:
             self._select_victim()
         ops: list[FlashOp] = []
+        copied = 0
         while self._victim_offsets and max_copies > 0:
             offset = self._victim_offsets.pop(0)
             # The page may have been overwritten (invalidated) since staging.
@@ -290,6 +326,14 @@ class ZonedBlockDevice:
                 continue
             ops.extend(self._relocate(self._victim, offset))
             max_copies -= 1
+            copied += 1
+        if copied and self.tracer.enabled:
+            self.tracer.publish(
+                ReclaimEvent(
+                    "block.dmzoned", "step", zone=self._victim,
+                    copies=copied, free_zones=len(self._free_zones),
+                )
+            )
         if not self._victim_offsets:
             victim = self._victim
             ops.extend(self.device.reset_zone(victim))
@@ -300,6 +344,13 @@ class ZonedBlockDevice:
             self._victim = None
             self.stats.zones_reset += 1
             self.stats.gc_runs += 1
+            if self.tracer.enabled:
+                self.tracer.publish(
+                    ReclaimEvent(
+                        "block.dmzoned", "zone-reset", zone=victim,
+                        free_zones=len(self._free_zones),
+                    )
+                )
         return ops
 
     def collect_once(self) -> list[FlashOp]:

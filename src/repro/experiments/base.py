@@ -1,4 +1,4 @@
-"""The experiment-facing API: configs, results, and the entry-point shim.
+"""The experiment-facing API: configs and results.
 
 Every experiment module exposes one uniform entry point::
 
@@ -10,9 +10,12 @@ hashable matters: the execution layer (:mod:`repro.exec`) keys its
 on-disk result cache on the config's content hash and ships configs to
 worker processes, neither of which tolerates ad-hoc ``**kwargs``.
 
-The :func:`experiment` decorator supplies a thin compatibility shim so
-pre-redesign call sites (``run(quick=True, seed=0)``) keep working for
-one release; new code should construct a config.
+The :func:`experiment` decorator validates the config, attaches the
+experiment id, and -- when metrics collection is active (CLI
+``--metrics-out``) -- captures the run's telemetry summary into
+:attr:`ExperimentResult.metrics`. The pre-redesign keyword calling
+convention (``run(quick=True, seed=0)``) has been removed; construct an
+:class:`ExperimentConfig`.
 
 Sweep-style experiments additionally publish a :class:`SweepSpec`
 (module attribute ``SWEEP``) decomposing the run into independent,
@@ -163,6 +166,11 @@ class ExperimentResult:
         The single number/factor the claim turns on, as measured here.
     notes:
         Caveats, substitutions, parameters.
+    metrics:
+        Optional telemetry summary (per-phase latency breakdown, flash-op
+        tallies) captured from the trace bus when metrics collection is
+        active; empty otherwise. Omitted from the serialized form when
+        empty so results without telemetry are unchanged.
     """
 
     experiment_id: str
@@ -171,12 +179,13 @@ class ExperimentResult:
     rows: list[dict] = field(default_factory=list)
     headline: dict[str, Any] = field(default_factory=dict)
     notes: str = ""
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     # -- Serialization ------------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-safe dict with a versioned schema; inverse of :meth:`from_dict`."""
-        return {
+        payload = {
             "schema_version": SCHEMA_VERSION,
             "experiment_id": self.experiment_id,
             "title": self.title,
@@ -185,6 +194,9 @@ class ExperimentResult:
             "headline": dict(self.headline),
             "notes": self.notes,
         }
+        if self.metrics:
+            payload["metrics"] = dict(self.metrics)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
@@ -200,6 +212,7 @@ class ExperimentResult:
             rows=[dict(row) for row in payload.get("rows", [])],
             headline=dict(payload.get("headline", {})),
             notes=payload.get("notes", ""),
+            metrics=dict(payload.get("metrics", {})),
         )
 
     def format(self) -> str:
@@ -257,48 +270,37 @@ def experiment(
 ) -> Callable[[Callable[[ExperimentConfig], ExperimentResult]], Callable[..., ExperimentResult]]:
     """Wrap a ``fn(config) -> ExperimentResult`` as the module entry point.
 
-    The wrapper accepts either the new calling convention::
+    The wrapper enforces the one calling convention::
 
         run(ExperimentConfig("E1", full=True, seed=7))
 
-    or, as a deprecated shim for one release, the old keyword style::
-
-        run(quick=False, seed=7)           # plus arbitrary overrides
-
-    A bare positional bool is tolerated as legacy ``quick`` too.
+    and rejects anything else with :class:`TypeError`. When metrics
+    collection is active (:mod:`repro.obs.runtime`), the trace aggregator
+    is reset before the run and its summary is attached to the result's
+    ``metrics`` field afterwards.
     """
 
     def decorate(fn: Callable[[ExperimentConfig], ExperimentResult]):
         @functools.wraps(fn)
-        def run(config: ExperimentConfig | None = None, /, **legacy: Any) -> ExperimentResult:
-            if isinstance(config, bool):  # legacy positional `quick`
-                legacy.setdefault("quick", config)
-                config = None
-            if config is not None:
-                if legacy:
-                    raise TypeError(
-                        "pass either an ExperimentConfig or legacy keyword "
-                        "arguments, not both"
-                    )
-                if not isinstance(config, ExperimentConfig):
-                    raise TypeError(
-                        f"run() takes an ExperimentConfig, got {type(config).__name__}"
-                    )
-                if config.experiment_id != experiment_id:
-                    raise ValueError(
-                        f"config is for {config.experiment_id!r}, "
-                        f"this is experiment {experiment_id!r}"
-                    )
-            else:
-                quick = legacy.pop("quick", None)
-                full = legacy.pop("full", None)
-                if full is None:
-                    full = not quick if quick is not None else False
-                seed = legacy.pop("seed", 0)
-                config = ExperimentConfig(
-                    experiment_id, full=full, seed=seed, params=legacy
+        def run(config: ExperimentConfig) -> ExperimentResult:
+            if not isinstance(config, ExperimentConfig):
+                raise TypeError(
+                    f"run() takes an ExperimentConfig, got {type(config).__name__}"
                 )
-            return fn(config)
+            if config.experiment_id != experiment_id:
+                raise ValueError(
+                    f"config is for {config.experiment_id!r}, "
+                    f"this is experiment {experiment_id!r}"
+                )
+            from repro.obs.runtime import metrics_aggregator
+
+            aggregator = metrics_aggregator()
+            if aggregator is not None:
+                aggregator.reset()
+            result = fn(config)
+            if aggregator is not None:
+                result.metrics = aggregator.summary()
+            return result
 
         run.experiment_id = experiment_id
         run.__wrapped_config_fn__ = fn

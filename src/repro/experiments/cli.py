@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.experiments.base import SCHEMA_VERSION, ExperimentConfig
@@ -108,6 +109,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default="text",
         help="output format for the result tables",
     )
+    run_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the run's telemetry stream to PATH as JSON lines "
+        "(one event per line; implies --no-cache, works under --jobs)",
+    )
+    run_parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write per-experiment latency/flash-op summaries to FILE as "
+        "JSON (implies --no-cache)",
+    )
     return parser
 
 
@@ -130,6 +145,43 @@ def _render(result, fmt: str) -> str:
     return result.format()
 
 
+def _run_instrumented(executor, configs, args):
+    """Run via ``executor`` with env-driven telemetry sinks if requested.
+
+    The trace/metrics env vars are set before any worker is forked (pool
+    workers inherit them and write per-pid part files) and restored
+    afterwards; part files are merged into ``args.trace`` on the way out.
+    """
+    from repro.obs import runtime as obs_runtime
+
+    if not (args.trace or args.metrics_out):
+        return executor.run(configs)
+
+    saved: dict[str, str | None] = {}
+    if args.trace:
+        saved[obs_runtime.TRACE_ENV] = os.environ.get(obs_runtime.TRACE_ENV)
+        os.environ[obs_runtime.TRACE_ENV] = args.trace
+    if args.metrics_out:
+        saved[obs_runtime.METRICS_ENV] = os.environ.get(obs_runtime.METRICS_ENV)
+        os.environ[obs_runtime.METRICS_ENV] = "1"
+    try:
+        return executor.run(configs)
+    finally:
+        obs_runtime.flush_trace()
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        if args.trace:
+            from repro.obs.jsonl import merge_trace_parts
+
+            count = merge_trace_parts(args.trace)
+            print(
+                f"wrote {count} trace event(s) to {args.trace}", file=sys.stderr
+            )
+
+
 def _cmd_run(args) -> int:
     from repro.exec import Executor, ProgressReporter, ResultCache
 
@@ -148,20 +200,41 @@ def _cmd_run(args) -> int:
     configs = [
         ExperimentConfig(key, full=args.full, seed=args.seed) for key in ids
     ]
+    # Telemetry comes from actually running the devices; cached results
+    # carry no event stream, so instrumented runs bypass the cache.
+    instrumented = bool(args.trace or args.metrics_out)
     cache = None
-    if not args.no_cache:
+    if not args.no_cache and not instrumented:
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
     executor = Executor(
         jobs=args.jobs, cache=cache, reporter=ProgressReporter(stream=sys.stderr)
     )
     try:
-        records = executor.run(configs)
+        records = _run_instrumented(executor, configs, args)
     except OSError as exc:
         # Experiments themselves do no file I/O; an OSError here means the
-        # cache directory is unusable (e.g. --cache-dir names a file).
-        print(f"zns-repro: error: cache unusable: {exc}", file=sys.stderr)
+        # cache directory or a --trace/--metrics-out path is unusable.
+        print(f"zns-repro: error: cache or output path unusable: {exc}", file=sys.stderr)
         return 2
 
+    if args.metrics_out:
+        metrics = {
+            record.config.experiment_id: record.result.metrics
+            for record in records
+        }
+        try:
+            with open(args.metrics_out, "w") as handle:
+                json.dump(metrics, handle, indent=1, sort_keys=True)
+        except OSError as exc:
+            print(
+                f"zns-repro: error: cannot write {args.metrics_out}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(
+            f"wrote metrics for {len(metrics)} experiment(s) to {args.metrics_out}",
+            file=sys.stderr,
+        )
     payload = [record.result.to_dict() for record in records]
     if args.out:
         try:

@@ -30,10 +30,18 @@ from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import TimingModel
 from repro.flash.wear import WearTracker
 from repro.metrics.counters import OpCounter
+from repro.obs.events import FlashOpEvent
+from repro.obs.runtime import new_tracer
+from repro.obs.sinks import OpCounterSink
+from repro.obs.tracer import Tracer
 
 
 class NandArray:
     """Raw flash: program/read/erase with physical constraints enforced.
+
+    Every operation publishes a :class:`FlashOpEvent` (layer
+    ``flash.nand``) on the array's tracer; the operation counters are a
+    sink over that stream (see :attr:`counters`).
 
     Parameters
     ----------
@@ -48,6 +56,9 @@ class NandArray:
         If True, :meth:`program` accepts payload objects returned verbatim
         by :meth:`read`. Off by default: counting experiments do not pay
         for payload storage.
+    tracer:
+        The telemetry bus to publish on. Facades stacking layers pass one
+        shared tracer down; standalone arrays get their own.
     """
 
     #: Reads a block can absorb after erase before neighboring cells
@@ -62,6 +73,7 @@ class NandArray:
         wear: WearTracker | None = None,
         store_data: bool = False,
         read_disturb_limit: int = DEFAULT_READ_DISTURB_LIMIT,
+        tracer: Tracer | None = None,
     ):
         self.geometry = geometry
         self.timing = timing or TimingModel.for_cell(geometry.cell_type)
@@ -75,12 +87,20 @@ class NandArray:
         if read_disturb_limit < 1:
             raise ValueError("read_disturb_limit must be >= 1")
         self.read_disturb_limit = read_disturb_limit
-        self.counters = OpCounter()
+        self.tracer = tracer if tracer is not None else new_tracer()
+        self._counter_sink = self.tracer.attach(
+            OpCounterSink("flash.nand", copy_programs=True)
+        )
         # Next programmable page offset within each block; == pages_per_block
         # means the block is full.
         self._write_offsets = np.zeros(geometry.total_blocks, dtype=np.int32)
         self._reads_since_erase = np.zeros(geometry.total_blocks, dtype=np.int64)
         self._data: dict[int, Any] = {}
+
+    @property
+    def counters(self) -> OpCounter:
+        """Physical operation counters (a sink over the trace stream)."""
+        return self._counter_sink.counter
 
     # -- Introspection -------------------------------------------------------
 
@@ -124,8 +144,15 @@ class NandArray:
         self._write_offsets[block] = offset + 1
         if self.store_data:
             self._data[page] = data
-        self.counters.note_write(self.geometry.page_size)
-        return self.timing.program_total_us(self.geometry.page_size)
+        latency = self.timing.program_total_us(self.geometry.page_size)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "flash.nand", "program", block, page,
+                    nbytes=self.geometry.page_size, latency_us=latency,
+                )
+            )
+        return latency
 
     def program_next(self, block: int, data: Any = None) -> tuple[int, float]:
         """Program the next free page of ``block``; returns (page, latency).
@@ -145,14 +172,40 @@ class NandArray:
         Payload is ``None`` unless the array stores data.
         """
         block = self.geometry.block_of_page(page)
+        payload = self._check_and_sense(block, page)
+        latency = self.timing.read_total_us(self.geometry.page_size)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "flash.nand", "read", block, page,
+                    nbytes=self.geometry.page_size, latency_us=latency,
+                )
+            )
+        return payload, latency
+
+    def _check_and_sense(self, block: int, page: int) -> Any:
+        """Shared read path: constraint checks + read-disturb accounting.
+
+        Used by host reads (which publish/count) and internal copy reads
+        (which do not -- a copy is not a host read, but it still disturbs
+        the source block).
+        """
         if self.wear.is_bad(block):
             raise BadBlockError(f"read on retired block {block}")
         if not self.is_programmed(page):
             raise ReadUnwrittenError(f"page {page} has not been programmed")
         self._reads_since_erase[block] += 1
-        self.counters.note_read(self.geometry.page_size)
-        payload = self._data.get(page) if self.store_data else None
-        return payload, self.timing.read_total_us(self.geometry.page_size)
+        return self._data.get(page) if self.store_data else None
+
+    def sense_for_copy(self, page: int) -> Any:
+        """Read a page for device-internal copying.
+
+        Physical constraint checks and read-disturb accounting apply, but
+        the access is neither counted nor published as a host read --
+        device-managed copies (copyback, NVMe simple copy) account for
+        themselves at their own layer.
+        """
+        return self._check_and_sense(self.geometry.block_of_page(page), page)
 
     def erase(self, block: int) -> float:
         """Erase a block; returns latency. May retire the block (wear-out).
@@ -169,7 +222,12 @@ class NandArray:
         if self.store_data:
             for page in self.geometry.pages_of_block(block):
                 self._data.pop(page, None)
-        self.counters.note_erase()
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "flash.nand", "erase", block, latency_us=self.timing.erase_us
+                )
+            )
         if not survived:
             raise BadBlockError(f"block {block} failed erase and was retired")
         return self.timing.erase_us
@@ -182,10 +240,8 @@ class NandArray:
         device-side implementation of the NVMe *simple copy* command
         (paper §2.3) and by copyback-capable FTL garbage collection.
         """
-        payload, _ = self.read(src_page)
-        # Undo the read's counter bump: a copy is not a host read.
-        self.counters.reads -= 1
-        self.counters.bytes_read -= self.geometry.page_size
+        src_block = self.geometry.block_of_page(src_page)
+        payload = self._check_and_sense(src_block, src_page)
         block = self.geometry.block_of_page(dst_page)
         if self.wear.is_bad(block):
             raise BadBlockError(f"copy into retired block {block}")
@@ -197,10 +253,17 @@ class NandArray:
         self._write_offsets[block] = offset + 1
         if self.store_data:
             self._data[dst_page] = payload
-        self.counters.note_copy(self.geometry.page_size)
-        # Physical programming still happened; count it as flash bytes.
-        self.counters.bytes_written += self.geometry.page_size
-        return self.timing.read_us + self.timing.program_us
+        latency = self.timing.read_us + self.timing.program_us
+        # Not a host read/write: one copy event. The counter sink still
+        # books the programmed bytes as flash bytes (copy_programs=True).
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "flash.nand", "copy", block, dst_page,
+                    nbytes=self.geometry.page_size, latency_us=latency,
+                )
+            )
+        return latency
 
     # -- Bulk helpers -----------------------------------------------------------
 

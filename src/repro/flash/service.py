@@ -21,12 +21,26 @@ from collections.abc import Generator
 from repro.flash.geometry import FlashGeometry
 from repro.flash.ops import FlashOp, OpKind
 from repro.flash.timing import TimingModel
+from repro.obs.events import FlashOpEvent
+from repro.obs.runtime import new_tracer
+from repro.obs.tracer import Tracer
 from repro.sim.engine import Engine, Timeout
 from repro.sim.resources import PriorityResource
+
+_OP_NAMES = {
+    OpKind.READ: "read",
+    OpKind.PROGRAM: "program",
+    OpKind.ERASE: "erase",
+    OpKind.COPY: "copy",
+}
 
 
 class FlashServiceModel:
     """Maps :class:`FlashOp` records onto plane/channel resource holds.
+
+    Each executed op publishes a :class:`FlashOpEvent` (layer
+    ``flash.service``) whose ``queued_us`` is the wait for the first
+    plane/channel grant -- the §2.4 interference, measured per op.
 
     Parameters
     ----------
@@ -34,6 +48,9 @@ class FlashServiceModel:
         The DES engine.
     geometry / timing:
         Shape and latency model of the device being timed.
+    tracer:
+        Telemetry bus; facades share theirs so service events land on the
+        same stream as the NAND/FTL events beneath them.
     """
 
     #: Priority levels: lower is served first at a busy resource.
@@ -48,9 +65,11 @@ class FlashServiceModel:
         timing: TimingModel | None = None,
         prioritize_reads: bool = False,
         erase_suspend_slices: int = 1,
+        tracer: Tracer | None = None,
     ):
         if erase_suspend_slices < 1:
             raise ValueError("erase_suspend_slices must be >= 1")
+        self.tracer = tracer if tracer is not None else new_tracer()
         self.engine = engine
         self.geometry = geometry
         self.timing = timing or TimingModel.for_cell(geometry.cell_type)
@@ -92,6 +111,7 @@ class FlashServiceModel:
         latency (queueing included) as seen by the issuer.
         """
         start = self.engine.now
+        first_grant_at = start
         prio = self._priority(op) if priority is None else priority
         plane = self.planes[self.geometry.plane_of_block(op.block)]
         channel = self.channels[self.geometry.channel_of_block(op.block)]
@@ -100,6 +120,7 @@ class FlashServiceModel:
         if op.kind == OpKind.READ:
             # Sense on the plane, then move data over the channel.
             plane_req = yield plane.request(prio)
+            first_grant_at = self.engine.now
             yield Timeout(self.engine, array_time)
             plane.release(plane_req)
             if transfer_time > 0 and op.uses_channel:
@@ -114,6 +135,8 @@ class FlashServiceModel:
             for i in range(self.erase_suspend_slices):
                 grants_before = plane.total_grants
                 plane_req = yield plane.request(prio)
+                if i == 0:
+                    first_grant_at = self.engine.now
                 if i > 0 and plane.total_grants > grants_before + 1:
                     yield Timeout(self.engine, self.timing.erase_suspend_overhead_us)
                 yield Timeout(self.engine, slice_time)
@@ -123,13 +146,32 @@ class FlashServiceModel:
             # program. Erase/copy skip the channel.
             if transfer_time > 0 and op.uses_channel:
                 chan_req = yield channel.request(prio)
+                first_grant_at = self.engine.now
                 yield Timeout(self.engine, transfer_time)
                 channel.release(chan_req)
-            plane_req = yield plane.request(prio)
+                plane_req = yield plane.request(prio)
+            else:
+                plane_req = yield plane.request(prio)
+                first_grant_at = self.engine.now
             yield Timeout(self.engine, array_time)
             plane.release(plane_req)
 
-        return self.engine.now - start
+        elapsed = self.engine.now - start
+        if self.tracer.enabled:
+            nbytes = self.geometry.page_size if op.kind is not OpKind.ERASE else 0
+            self.tracer.publish(
+                FlashOpEvent(
+                    "flash.service",
+                    _OP_NAMES[op.kind],
+                    op.block,
+                    op.page,
+                    nbytes=nbytes,
+                    latency_us=elapsed,
+                    queued_us=first_grant_at - start,
+                    t=self.engine.now,
+                )
+            )
+        return elapsed
 
     def execute_all(self, ops: list[FlashOp], priority: float | None = None) -> Generator:
         """Run a batch of ops sequentially; returns total elapsed time."""

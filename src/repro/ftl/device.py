@@ -12,12 +12,17 @@ from __future__ import annotations
 from collections.abc import Generator
 from typing import Any
 
+import itertools
+
 from repro.flash.geometry import FlashGeometry
 from repro.flash.ops import OpKind
 from repro.flash.service import FlashServiceModel
 from repro.flash.timing import TimingModel
 from repro.ftl.ftl import ConventionalFTL, FTLConfig
 from repro.metrics.latency import LatencyRecorder
+from repro.obs.events import GcEvent, HostRequestEvent
+from repro.obs.sinks import LatencySink
+from repro.obs.tracer import Tracer
 from repro.sim.engine import Engine, Timeout
 
 
@@ -34,12 +39,14 @@ class ConventionalSSD:
         config: FTLConfig | None = None,
         store_data: bool = False,
         timing: TimingModel | None = None,
+        tracer: Tracer | None = None,
     ):
         geometry = geometry or FlashGeometry.bench()
         from repro.flash.nand import NandArray  # local to avoid cycle at import
 
-        nand = NandArray(geometry, timing=timing, store_data=store_data)
+        nand = NandArray(geometry, timing=timing, store_data=store_data, tracer=tracer)
         self.ftl = ConventionalFTL(geometry, config=config, nand=nand)
+        self.tracer = self.ftl.tracer
         self._payloads: dict[int, Any] = {}
         self._store_data = store_data
 
@@ -93,6 +100,7 @@ class TimedConventionalSSD:
         gc_poll_interval_us: float = 100.0,
         prioritize_reads: bool = False,
         erase_suspend_slices: int = 1,
+        tracer: Tracer | None = None,
     ):
         geometry = geometry or FlashGeometry.bench()
         if config is None:
@@ -104,19 +112,31 @@ class TimedConventionalSSD:
 
             config = replace(config, gc_streams=4)
         self.engine = engine
-        self.ftl = ConventionalFTL(geometry, config=config, timing=timing)
+        self.ftl = ConventionalFTL(geometry, config=config, timing=timing, tracer=tracer)
+        self.tracer = self.ftl.tracer
         self.service = FlashServiceModel(
             engine,
             geometry,
             timing=self.ftl.nand.timing,
             prioritize_reads=prioritize_reads,
             erase_suspend_slices=erase_suspend_slices,
+            tracer=self.tracer,
         )
-        self.read_latency = LatencyRecorder()
-        self.write_latency = LatencyRecorder()
+        self._read_latency = self.tracer.attach(LatencySink(op="read"))
+        self._write_latency = self.tracer.attach(LatencySink(op="write"))
+        self._request_ids = itertools.count()
         self.gc_poll_interval_us = gc_poll_interval_us
         self._stall_event = None  # writers waiting for free blocks
         self._collector = engine.process(self._collector_loop(), name="ftl-gc")
+
+    @property
+    def read_latency(self) -> LatencyRecorder:
+        """Host read latencies (a sink over the request event stream)."""
+        return self._read_latency.recorder
+
+    @property
+    def write_latency(self) -> LatencyRecorder:
+        return self._write_latency.recorder
 
     # -- Host request processes ------------------------------------------------
 
@@ -128,29 +148,78 @@ class TimedConventionalSSD:
 
     def _read_proc(self, lpn: int) -> Generator:
         start = self.engine.now
+        request_id = next(self._request_ids)
+        pagesize = self.ftl.geometry.page_size
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "read", "enqueue",
+                request_id=request_id, nbytes=pagesize, t=start,
+            )
+        )
         op = self.ftl.read(lpn)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "read", "service-start",
+                request_id=request_id, t=self.engine.now,
+            )
+        )
         yield self.engine.process(self.service.execute(op))
         latency = self.engine.now - start
-        self.read_latency.record(latency)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "read", "complete", request_id=request_id,
+                latency_us=latency, nbytes=pagesize, t=self.engine.now,
+            )
+        )
         return latency
 
     def _write_proc(self, lpn: int) -> Generator:
         start = self.engine.now
+        request_id = next(self._request_ids)
+        pagesize = self.ftl.geometry.page_size
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "write", "enqueue",
+                request_id=request_id, nbytes=pagesize, t=start,
+            )
+        )
         # If the FTL is nearly out of free blocks the write stalls until
         # the background collector frees some: the conventional-SSD
         # latency cliff. The threshold leaves the collector its transient
         # working blocks (one per GC destination stream).
+        stalled = False
         while (
             self.ftl.free_block_count
             <= self.ftl.config.streams + self.ftl.config.gc_streams - 1
         ):
+            if not stalled:
+                stalled = True
+                if self.tracer.enabled:
+                    self.tracer.publish(
+                        GcEvent(
+                            "ftl.gc", "stall",
+                            free_blocks=self.ftl.free_block_count,
+                            t=self.engine.now,
+                        )
+                    )
             self.ftl.stats.foreground_gc_stalls += 1
             yield Timeout(self.engine, self.gc_poll_interval_us)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "write", "service-start",
+                request_id=request_id, t=self.engine.now,
+            )
+        )
         ops = self.ftl.write(lpn, auto_gc=False)
         for op in ops:
             yield self.engine.process(self.service.execute(op))
         latency = self.engine.now - start
-        self.write_latency.record(latency)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "write", "complete", request_id=request_id,
+                latency_us=latency, nbytes=pagesize, t=self.engine.now,
+            )
+        )
         return latency
 
     # -- Background collection ----------------------------------------------------

@@ -23,6 +23,8 @@ from repro.flash.timing import TimingModel
 from repro.flash.wear import WearTracker
 from repro.ftl.gc import VictimPolicy, make_policy
 from repro.ftl.mapping import UNMAPPED, PageMap
+from repro.obs.events import GcEvent
+from repro.obs.tracer import Tracer
 
 
 class GCStuckError(FlashError):
@@ -120,10 +122,14 @@ class ConventionalFTL:
         nand: NandArray | None = None,
         timing: TimingModel | None = None,
         wear: WearTracker | None = None,
+        tracer: Tracer | None = None,
     ):
         self.geometry = geometry
         self.config = config or FTLConfig()
-        self.nand = nand or NandArray(geometry, timing=timing, wear=wear)
+        self.nand = nand or NandArray(geometry, timing=timing, wear=wear, tracer=tracer)
+        # One bus for the whole stack: GC events interleave with the NAND
+        # ops they cause, so a single sink sees cause and effect.
+        self.tracer = tracer if tracer is not None else self.nand.tracer
         self.policy: VictimPolicy = make_policy(self.config.gc_policy)
         self.stats = FTLStats()
 
@@ -240,7 +246,20 @@ class ConventionalFTL:
                 self._active[stream] = None
             if auto_gc and self.gc_needed():
                 self.stats.foreground_gc_stalls += 1
+                if self.tracer.enabled:
+                    self.tracer.publish(
+                        GcEvent(
+                            "ftl.gc", "watermark-low", free_blocks=len(self._free)
+                        )
+                    )
                 ops.extend(self.collect(self.gc_high_watermark))
+                if self.tracer.enabled:
+                    self.tracer.publish(
+                        GcEvent(
+                            "ftl.gc", "watermark-recovered",
+                            free_blocks=len(self._free),
+                        )
+                    )
             self._active[stream] = self._take_free_block()
             active = self._active[stream]
 
@@ -288,6 +307,13 @@ class ConventionalFTL:
             raise GCStuckError(
                 f"victim block {victim} is fully valid; no spare capacity"
             )
+        if self.tracer.enabled:
+            self.tracer.publish(
+                GcEvent(
+                    "ftl.gc", "victim-selected", victim=victim,
+                    valid_pages=len(valid), free_blocks=len(self._free),
+                )
+            )
         ops: list[FlashOp] = []
         for src in valid:
             dst_block = self._gc_destination()
@@ -313,6 +339,13 @@ class ConventionalFTL:
         self.stats.blocks_erased += 1
         ops.append(FlashOp(OpKind.ERASE, victim, None, erase_latency))
         self.stats.gc_runs += 1
+        if self.tracer.enabled:
+            self.tracer.publish(
+                GcEvent(
+                    "ftl.gc", "collected", victim=victim,
+                    pages_copied=len(valid), free_blocks=len(self._free),
+                )
+            )
         return ops
 
     def collect(self, target_free_blocks: int) -> list[FlashOp]:
@@ -358,6 +391,14 @@ class ConventionalFTL:
         if not self._sealed:
             return []
         coldest = min(self._sealed, key=lambda b: self._seal_times.get(b, 0))
+        if self.tracer.enabled:
+            self.tracer.publish(
+                GcEvent(
+                    "ftl.gc", "wear-level", victim=coldest,
+                    valid_pages=self.map.block_valid_count(coldest),
+                    free_blocks=len(self._free),
+                )
+            )
         ops: list[FlashOp] = []
         for src in self.map.valid_pages_in_block(coldest):
             dst_block = self._gc_destination()
@@ -391,6 +432,14 @@ class ConventionalFTL:
         for block in self.nand.disturbed_blocks(threshold):
             if block not in self._sealed:
                 continue  # active/free blocks refresh naturally
+            if self.tracer.enabled:
+                self.tracer.publish(
+                    GcEvent(
+                        "ftl.gc", "scrub", victim=block,
+                        valid_pages=self.map.block_valid_count(block),
+                        free_blocks=len(self._free),
+                    )
+                )
             for src in self.map.valid_pages_in_block(block):
                 dst_block = self._gc_destination()
                 offset = self.nand.write_offset(dst_block)

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from collections.abc import Generator
 
+import itertools
+
 from repro.block.dmzoned import ZonedBlockConfig, ZonedBlockDevice
 from repro.block.interface import ZonedDevice
 from repro.flash.geometry import ZonedGeometry
@@ -20,6 +22,9 @@ from repro.flash.service import FlashServiceModel
 from repro.flash.timing import TimingModel
 from repro.hostio.scheduler import AlwaysOnScheduler, HostIOState, ReclaimScheduler
 from repro.metrics.latency import LatencyRecorder
+from repro.obs.events import HostRequestEvent, ReclaimEvent
+from repro.obs.sinks import LatencySink
+from repro.obs.tracer import Tracer
 from repro.sim.engine import Engine, Timeout
 from repro.zns.device import ZNSDevice
 
@@ -38,23 +43,38 @@ class TimedZonedBlockDevice:
         reclaim_poll_interval_us: float = 100.0,
         reclaim_quantum_copies: int = 4,
         device: ZonedDevice | None = None,
+        tracer: Tracer | None = None,
     ):
         geometry = geometry or ZonedGeometry.bench()
         self.engine = engine
         if device is None:
-            device = ZNSDevice(geometry, timing=timing)
-        self.layer = ZonedBlockDevice(device, config=config)
+            device = ZNSDevice(geometry, timing=timing, tracer=tracer)
+        self.layer = ZonedBlockDevice(device, config=config, tracer=tracer)
+        # One bus end to end: host requests, reclaim decisions, NVMe
+        # commands and flash ops all land on the same stream.
+        self.tracer = self.layer.tracer
         self.service = FlashServiceModel(
             engine, geometry.flash, timing=device.nand.timing,
             prioritize_reads=prioritize_reads,
+            tracer=self.tracer,
         )
         self.scheduler = scheduler or AlwaysOnScheduler()
-        self.read_latency = LatencyRecorder()
-        self.write_latency = LatencyRecorder()
+        self._read_latency = self.tracer.attach(LatencySink(op="read"))
+        self._write_latency = self.tracer.attach(LatencySink(op="write"))
+        self._request_ids = itertools.count()
         self.reclaim_poll_interval_us = reclaim_poll_interval_us
         self.reclaim_quantum_copies = reclaim_quantum_copies
         self._io_state = HostIOState(low_watermark=self.layer.config.gc_low_zones)
         self._reclaimer = engine.process(self._reclaim_loop(), name="host-reclaim")
+
+    @property
+    def read_latency(self) -> LatencyRecorder:
+        """Host read latencies (a sink over the request event stream)."""
+        return self._read_latency.recorder
+
+    @property
+    def write_latency(self) -> LatencyRecorder:
+        return self._write_latency.recorder
 
     # -- Host requests --------------------------------------------------------
 
@@ -66,27 +86,65 @@ class TimedZonedBlockDevice:
 
     def _read_proc(self, lba: int) -> Generator:
         start = self.engine.now
+        request_id = next(self._request_ids)
+        pagesize = self.layer.block_size
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "read", "enqueue",
+                request_id=request_id, nbytes=pagesize, t=start,
+            )
+        )
         self._io_state.pending_reads += 1
         try:
             _, op = self.layer.read(lba)
+            self.tracer.publish(
+                HostRequestEvent(
+                    "hostio.request", "read", "service-start",
+                    request_id=request_id, t=self.engine.now,
+                )
+            )
             yield self.engine.process(self.service.execute(op))
         finally:
             self._io_state.pending_reads -= 1
             self._io_state.last_read_at = self.engine.now
         latency = self.engine.now - start
-        self.read_latency.record(latency)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "read", "complete", request_id=request_id,
+                latency_us=latency, nbytes=pagesize, t=self.engine.now,
+            )
+        )
         return latency
 
     def _write_proc(self, lba: int) -> Generator:
         start = self.engine.now
+        request_id = next(self._request_ids)
+        pagesize = self.layer.block_size
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "write", "enqueue",
+                request_id=request_id, nbytes=pagesize, t=start,
+            )
+        )
         # Stall while the host is out of zones (reclaim will free some).
         while self.layer.free_zone_count <= 1:
             yield Timeout(self.engine, self.reclaim_poll_interval_us)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "write", "service-start",
+                request_id=request_id, t=self.engine.now,
+            )
+        )
         ops = self.layer.write(lba, auto_gc=False)
         for op in ops:
             yield self.engine.process(self.service.execute(op))
         latency = self.engine.now - start
-        self.write_latency.record(latency)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "write", "complete", request_id=request_id,
+                latency_us=latency, nbytes=pagesize, t=self.engine.now,
+            )
+        )
         return latency
 
     # -- Background reclaim -----------------------------------------------------
@@ -105,12 +163,28 @@ class TimedZonedBlockDevice:
                 self.layer.gc_needed() and self.layer._sealed
             ) or self.layer.reclaim_in_progress
             if wants_work and self.scheduler.may_reclaim(self._io_state):
+                if self.tracer.enabled:
+                    self.tracer.publish(
+                        ReclaimEvent(
+                            "hostio.scheduler", "granted",
+                            free_zones=self.layer.free_zone_count,
+                            t=self.engine.now,
+                        )
+                    )
                 ops = self.layer.reclaim_step(self.reclaim_quantum_copies)
                 for op in ops:
                     yield self.engine.process(
                         self.service.execute(op, priority=FlashServiceModel.PRIO_BACKGROUND)
                     )
             else:
+                if wants_work and self.tracer.enabled:
+                    self.tracer.publish(
+                        ReclaimEvent(
+                            "hostio.scheduler", "deferred",
+                            free_zones=self.layer.free_zone_count,
+                            t=self.engine.now,
+                        )
+                    )
                 yield Timeout(self.engine, self.reclaim_poll_interval_us)
 
 

@@ -5,6 +5,11 @@
 - :mod:`repro.metrics.counters` -- byte/op counters and throughput windows.
 - :mod:`repro.metrics.wa` -- write-amplification accounting split into the
   layers the paper discusses (application, host translation, device FTL).
+
+The device stack no longer mutates these instruments directly: layers
+publish typed events on the :mod:`repro.obs` bus, and the sinks in
+:mod:`repro.obs.sinks` feed the same ``OpCounter``/``LatencyRecorder``
+objects, so the familiar ``device.counters`` properties are unchanged.
 """
 
 from repro.metrics.counters import OpCounter, ThroughputMeter

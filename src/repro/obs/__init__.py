@@ -1,0 +1,81 @@
+"""repro.obs: the unified telemetry bus for the device stack.
+
+One event stream replaces three disconnected measurement mechanisms
+(hand-wired :class:`~repro.metrics.counters.OpCounter` fields, per-facade
+:class:`~repro.metrics.latency.LatencyRecorder` instances, and invisible
+GC/reclaim/scheduler decisions):
+
+- :mod:`repro.obs.events` -- the typed event vocabulary;
+- :mod:`repro.obs.tracer` -- the publish/fan-out bus (no-op when no
+  sinks are attached);
+- :mod:`repro.obs.sinks` -- counter/latency/throughput sinks (the legacy
+  instruments reimplemented over the stream), recording and
+  latency-breakdown aggregation;
+- :mod:`repro.obs.jsonl` -- JSONL trace export and multi-process merge;
+- :mod:`repro.obs.runtime` -- process-wide sink installation, including
+  the ``ZNS_REPRO_TRACE`` / ``ZNS_REPRO_METRICS`` environment activation
+  behind the CLI's ``--trace`` and ``--metrics-out``.
+
+Quick taste::
+
+    from repro.obs import RecordingSink
+    from repro.zns.device import ZNSDevice
+
+    device = ZNSDevice()
+    log = device.tracer.attach(RecordingSink())
+    device.write(0, npages=4)
+    device.reset_zone(0)
+    [e.kind for e in log.events]
+    # ['zone-transition', 'flash-op', ..., 'zone-transition', 'flash-op']
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    FlashOpEvent,
+    GcEvent,
+    HostRequestEvent,
+    ReclaimEvent,
+    ZoneAppendEvent,
+    ZoneTransitionEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.obs.jsonl import JsonlSink, merge_trace_parts, read_events
+from repro.obs.runtime import (
+    install_global_sink,
+    new_tracer,
+    remove_global_sink,
+)
+from repro.obs.sinks import (
+    LatencyBreakdownSink,
+    LatencySink,
+    OpCounterSink,
+    RecordingSink,
+    ThroughputSink,
+)
+from repro.obs.tracer import Sink, Tracer
+
+__all__ = [
+    "EVENT_TYPES",
+    "FlashOpEvent",
+    "GcEvent",
+    "HostRequestEvent",
+    "JsonlSink",
+    "LatencyBreakdownSink",
+    "LatencySink",
+    "OpCounterSink",
+    "ReclaimEvent",
+    "RecordingSink",
+    "Sink",
+    "ThroughputSink",
+    "Tracer",
+    "ZoneAppendEvent",
+    "ZoneTransitionEvent",
+    "event_from_dict",
+    "event_to_dict",
+    "install_global_sink",
+    "merge_trace_parts",
+    "new_tracer",
+    "read_events",
+    "remove_global_sink",
+]

@@ -1,0 +1,74 @@
+"""JSONL trace export: one event per line, mergeable across processes.
+
+:class:`JsonlSink` serializes every event it receives via
+:func:`~repro.obs.events.event_to_dict`. Lines are flushed as written so
+a file inherited across ``fork()`` never replays buffered data -- the
+property the ``--jobs`` fan-out relies on (each worker writes its own
+``<path>.<pid>.part`` file; see :mod:`repro.obs.runtime`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator
+
+from repro.obs.events import event_from_dict, event_to_dict
+
+
+class JsonlSink:
+    """Writes each event as one JSON line to ``path`` (lazily opened)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = None
+
+    def on_event(self, event: Any) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(event_to_dict(event), sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_events(path: str) -> Iterator[Any]:
+    """Yield typed events from a JSONL trace file."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield event_from_dict(json.loads(line))
+
+
+def merge_trace_parts(path: str) -> int:
+    """Merge ``<path>.<pid>.part`` worker files into ``path``.
+
+    Under ``--jobs`` every process (parent and pool workers) traces into
+    its own part file; this concatenates them in sorted filename order
+    and removes the parts. Returns the number of lines written.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    prefix = os.path.basename(path) + "."
+    parts = sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.startswith(prefix) and name.endswith(".part")
+    )
+    lines = 0
+    with open(path, "w") as merged:
+        for part in parts:
+            with open(part) as handle:
+                for line in handle:
+                    if line.strip():
+                        merged.write(line)
+                        lines += 1
+            os.remove(part)
+    return lines
+
+
+__all__ = ["JsonlSink", "merge_trace_parts", "read_events"]

@@ -1,0 +1,242 @@
+"""Sinks: consumers of the trace stream.
+
+The legacy instruments (:class:`~repro.metrics.counters.OpCounter`,
+:class:`~repro.metrics.latency.LatencyRecorder`,
+:class:`~repro.metrics.counters.ThroughputMeter`) are reimplemented here
+as sinks over the event stream instead of fields threaded by hand through
+every layer. Devices attach their own filtered sinks and expose the
+underlying instrument through thin compatibility properties
+(``device.counters``, ``device.read_latency``), so call sites and
+reported values are unchanged.
+
+New capabilities that the hand-wired instruments could never provide:
+
+- :class:`RecordingSink` -- keep every event (tests, ad-hoc analysis);
+- :class:`LatencyBreakdownSink` -- per-phase latency attribution
+  (host queueing vs device service) from the host-request lifecycle,
+  plus per-layer flash-op tallies. This is the aggregator behind the
+  CLI's ``--metrics-out``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.metrics.counters import OpCounter, ThroughputMeter
+from repro.metrics.latency import LatencyRecorder
+from repro.obs.events import FlashOpEvent, HostRequestEvent
+
+
+class RecordingSink:
+    """Keeps every event in ``events``, optionally filtered by layer."""
+
+    def __init__(self, layer: str | None = None):
+        self.layer = layer
+        self.events: list[Any] = []
+
+    def on_event(self, event: Any) -> None:
+        if self.layer is None or event.layer == self.layer:
+            self.events.append(event)
+
+    def of_kind(self, kind: str) -> list[Any]:
+        return [event for event in self.events if event.kind == kind]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class OpCounterSink:
+    """Maintains an :class:`OpCounter` from one layer's flash-op events.
+
+    Parameters
+    ----------
+    layer:
+        Only :class:`FlashOpEvent` with this exact layer tag are counted.
+    copy_programs:
+        If True (the physical-NAND convention), a copy also counts its
+        bytes as programmed flash bytes (``bytes_written``); command-level
+        layers (ZNS simple copy) count copies alone.
+    """
+
+    def __init__(self, layer: str, copy_programs: bool = False):
+        self.layer = layer
+        self.copy_programs = copy_programs
+        self.counter = OpCounter()
+
+    def on_event(self, event: Any) -> None:
+        if event.__class__ is not FlashOpEvent or event.layer != self.layer:
+            return
+        counter = self.counter
+        op = event.op
+        if op == "program":
+            counter.writes += event.count
+            counter.bytes_written += event.nbytes
+        elif op == "read":
+            counter.reads += event.count
+            counter.bytes_read += event.nbytes
+        elif op == "erase":
+            counter.erases += event.count
+        elif op == "copy":
+            counter.copies += event.count
+            counter.bytes_copied += event.nbytes
+            if self.copy_programs:
+                counter.bytes_written += event.nbytes
+        else:
+            raise ValueError(f"unknown flash op {op!r}")
+
+
+class LatencySink:
+    """Feeds a :class:`LatencyRecorder` from host-request completions.
+
+    Filters on (layer, op): e.g. ``LatencySink("hostio.request", "read")``
+    reproduces the old hand-wired ``read_latency`` recorder exactly --
+    the same latencies, recorded at the same completion points.
+    """
+
+    def __init__(
+        self,
+        layer: str = "hostio.request",
+        op: str = "read",
+        recorder: LatencyRecorder | None = None,
+    ):
+        self.layer = layer
+        self.op = op
+        self.recorder = recorder or LatencyRecorder()
+
+    def on_event(self, event: Any) -> None:
+        if (
+            event.__class__ is HostRequestEvent
+            and event.phase == "complete"
+            and event.op == self.op
+            and event.layer == self.layer
+        ):
+            self.recorder.record(event.latency_us)
+
+
+class ThroughputSink:
+    """Feeds a :class:`ThroughputMeter` from host-request completions."""
+
+    def __init__(
+        self,
+        layer: str = "hostio.request",
+        ops: tuple[str, ...] = ("read", "write", "append"),
+        meter: ThroughputMeter | None = None,
+    ):
+        self.layer = layer
+        self.ops = ops
+        self.meter = meter or ThroughputMeter()
+
+    def on_event(self, event: Any) -> None:
+        if (
+            event.__class__ is HostRequestEvent
+            and event.phase == "complete"
+            and event.layer == self.layer
+            and event.op in self.ops
+            and event.t is not None
+        ):
+            self.meter.record(event.nbytes, event.t)
+
+
+class _PhaseStats:
+    """Streaming aggregate for one (op, phase) latency series."""
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> dict[str, float]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_us": round(mean, 3),
+            "max_us": round(self.max, 3),
+        }
+
+
+class LatencyBreakdownSink:
+    """Per-phase latency attribution plus per-layer flash-op tallies.
+
+    From the host-request lifecycle (enqueue -> service-start -> complete)
+    it attributes each request's latency to *host queueing* (time between
+    enqueue and service start: write stalls on free space, zone-lock
+    waits) and *device service* (everything after), the split the paper's
+    §2.4 tail-latency discussion turns on. Flash-op events are tallied per
+    layer and op so a run's physical work (and write amplification) can
+    be read off the same stream.
+    """
+
+    def __init__(self, layer: str = "hostio.request"):
+        self.layer = layer
+        self.reset()
+
+    def reset(self) -> None:
+        self._open: dict[tuple[str, int], tuple[float, float]] = {}
+        self._phases: dict[str, dict[str, _PhaseStats]] = {}
+        self._flash_ops: dict[str, dict[str, int]] = {}
+        self._flash_bytes: dict[str, int] = {}
+
+    def on_event(self, event: Any) -> None:
+        cls = event.__class__
+        if cls is FlashOpEvent:
+            per_layer = self._flash_ops.setdefault(event.layer, {})
+            per_layer[event.op] = per_layer.get(event.op, 0) + event.count
+            self._flash_bytes[event.layer] = (
+                self._flash_bytes.get(event.layer, 0) + event.nbytes
+            )
+            return
+        if cls is not HostRequestEvent or event.layer != self.layer:
+            return
+        key = (event.op, event.request_id)
+        if event.phase == "enqueue":
+            if event.t is not None:
+                self._open[key] = (event.t, event.t)
+        elif event.phase == "service-start":
+            entry = self._open.get(key)
+            if entry is not None and event.t is not None:
+                self._open[key] = (entry[0], event.t)
+        elif event.phase == "complete":
+            entry = self._open.pop(key, None)
+            stats = self._phases.setdefault(
+                event.op,
+                {"total": _PhaseStats(), "queued": _PhaseStats(), "service": _PhaseStats()},
+            )
+            stats["total"].add(event.latency_us)
+            if entry is not None and event.t is not None:
+                enqueued_at, service_at = entry
+                queued = service_at - enqueued_at
+                stats["queued"].add(queued)
+                stats["service"].add(event.latency_us - queued)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe aggregate; empty dict when nothing was observed."""
+        payload: dict[str, Any] = {}
+        if self._phases:
+            payload["host_requests"] = {
+                op: {phase: stats.summary() for phase, stats in phases.items()}
+                for op, phases in sorted(self._phases.items())
+            }
+        if self._flash_ops:
+            payload["flash_ops"] = {
+                layer: dict(sorted(ops.items()))
+                for layer, ops in sorted(self._flash_ops.items())
+            }
+            payload["flash_bytes"] = dict(sorted(self._flash_bytes.items()))
+        return payload
+
+
+__all__ = [
+    "LatencyBreakdownSink",
+    "LatencySink",
+    "OpCounterSink",
+    "RecordingSink",
+    "ThroughputSink",
+]

@@ -331,7 +331,13 @@ class Engine:
     # -- Execution --------------------------------------------------------
 
     def step(self) -> None:
-        """Process the single next event."""
+        """Process the single next event.
+
+        Raises :class:`SimulationError` if the queue is empty (the kernel
+        has nothing left to do).
+        """
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
         when, _seq, event = heapq.heappop(self._queue)
         if when < self.now:
             raise SimulationError("event scheduled in the past")

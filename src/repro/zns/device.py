@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections.abc import Generator
 from typing import Any
 
+import itertools
+
 from repro.flash.geometry import ZonedGeometry
 from repro.flash.nand import NandArray
 from repro.flash.ops import FlashOp, OpKind
@@ -26,6 +28,14 @@ from repro.flash.service import FlashServiceModel
 from repro.flash.timing import TimingModel
 from repro.metrics.counters import OpCounter
 from repro.metrics.latency import LatencyRecorder
+from repro.obs.events import (
+    FlashOpEvent,
+    HostRequestEvent,
+    ZoneAppendEvent,
+    ZoneTransitionEvent,
+)
+from repro.obs.sinks import LatencySink, OpCounterSink
+from repro.obs.tracer import Tracer
 from repro.sim.engine import Engine
 from repro.sim.resources import Resource
 from repro.zns.errors import (
@@ -64,19 +74,38 @@ class ZNSDevice:
         timing: TimingModel | None = None,
         spare_blocks: int = 0,
         striped: bool = True,
+        tracer: Tracer | None = None,
     ):
         self.geometry = geometry or ZonedGeometry.bench()
         self.nand = nand or NandArray(
-            self.geometry.flash, timing=timing, store_data=store_data
+            self.geometry.flash, timing=timing, store_data=store_data, tracer=tracer
         )
+        # Command-level events (layer "zns.device") share the NAND's bus,
+        # so one sink sees both the NVMe command and the flash ops it
+        # caused. The device's counters are a sink over that stream.
+        self.tracer = tracer if tracer is not None else self.nand.tracer
+        self._counter_sink = self.tracer.attach(OpCounterSink("zns.device"))
         self.ftl = ZnsFTL(self.geometry, self.nand, spare_blocks=spare_blocks)
         self.striped = striped
         self.zones: list[Zone] = [
             Zone(zone_id=z, size_pages=self.geometry.pages_per_zone)
             for z in range(self.ftl.zone_count)
         ]
-        self.counters = OpCounter()
         self._open_order: list[int] = []  # implicitly-open zones, LRU first
+
+    @property
+    def counters(self) -> OpCounter:
+        """Command-level operation counters (a sink over the trace stream)."""
+        return self._counter_sink.counter
+
+    def _publish_transition(self, zone: Zone, old_state: ZoneState, trigger: str) -> None:
+        if self.tracer.enabled and zone.state is not old_state:
+            self.tracer.publish(
+                ZoneTransitionEvent(
+                    "zns.device", zone.zone_id, old_state.value,
+                    zone.state.value, trigger, wp=zone.wp,
+                )
+            )
 
     # -- Introspection / report ----------------------------------------------------
 
@@ -153,8 +182,10 @@ class ZNSDevice:
                 )
         if self.open_count >= self.geometry.open_limit:
             self._close_lru_implicit()
+        old_state = zone.state
         zone.transition_open(explicit=False)
         self._open_order.append(zone.zone_id)
+        self._publish_transition(zone, old_state, "implicit-open")
 
     def _touch_open(self, zone_id: int) -> None:
         if zone_id in self._open_order:
@@ -165,8 +196,10 @@ class ZNSDevice:
         for zone_id in self._open_order:
             zone = self.zones[zone_id]
             if zone.state is ZoneState.IMPLICIT_OPEN:
+                old_state = zone.state
                 zone.transition_closed()
                 self._open_order.remove(zone_id)
+                self._publish_transition(zone, old_state, "implicit-close")
                 return
         raise OpenZoneLimitError(
             f"{self.open_count} zones open, none implicitly; "
@@ -193,18 +226,24 @@ class ZNSDevice:
         if not zone.state.is_open and self.open_count >= self.geometry.open_limit:
             self._close_lru_implicit()
         self._note_no_longer_open(zone_id)
+        old_state = zone.state
         zone.transition_open(explicit=True)
+        self._publish_transition(zone, old_state, "open")
 
     def close_zone(self, zone_id: int) -> None:
         zone = self.zone(zone_id)
+        old_state = zone.state
         zone.transition_closed()
         self._note_no_longer_open(zone_id)
+        self._publish_transition(zone, old_state, "close")
 
     def finish_zone(self, zone_id: int) -> None:
         """Mark a zone FULL without writing the remainder (frees its slot)."""
         zone = self.zone(zone_id)
+        old_state = zone.state
         zone.transition_full()
         self._note_no_longer_open(zone_id)
+        self._publish_transition(zone, old_state, "finish")
 
     def reset_zone(self, zone_id: int) -> list[FlashOp]:
         """Erase the zone's blocks and rewind the write pointer."""
@@ -212,6 +251,7 @@ class ZNSDevice:
         if zone.state is ZoneState.OFFLINE:
             raise ZoneStateError(f"zone {zone_id} is offline")
         blocks_before = self.ftl.blocks_of_zone(zone_id)
+        old_state = zone.state
         latencies, new_capacity = self.ftl.reset_zone(zone_id)
         zone.transition_empty(new_capacity=new_capacity)
         self._note_no_longer_open(zone_id)
@@ -219,8 +259,11 @@ class ZNSDevice:
             FlashOp(OpKind.ERASE, block, None, latency, uses_channel=False)
             for block, latency in zip(blocks_before, latencies)
         ]
-        for _ in ops:
-            self.counters.note_erase()
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent("zns.device", "erase", count=len(ops))
+            )
+        self._publish_transition(zone, old_state, "reset")
         return ops
 
     # -- Data commands ----------------------------------------------------------------
@@ -247,18 +290,32 @@ class ZNSDevice:
                 f"write at offset {offset} but zone {zone_id} wp is {zone.wp}"
             )
         self._ensure_open_for_write(zone)
+        start_wp = zone.wp
         ops: list[FlashOp] = []
         for i in range(npages):
             page = self._page_of(zone_id, zone.wp + i)
             payload = data[i] if isinstance(data, (list, tuple)) else data
             latency = self.nand.program(page, payload)
-            self.counters.note_write(self.page_size)
             ops.append(
                 FlashOp(OpKind.PROGRAM, self.geometry.flash.block_of_page(page), page, latency)
             )
+        old_state = zone.state
         zone.advance(npages)
+        if self.tracer.enabled:
+            # One command-level event for the whole write (count=npages);
+            # the per-page view is the flash.nand stream beneath it.
+            self.tracer.publish(
+                FlashOpEvent(
+                    "zns.device", "program",
+                    block=self.geometry.flash.block_of_page(
+                        self._page_of(zone_id, start_wp)
+                    ),
+                    count=npages, nbytes=npages * self.page_size,
+                )
+            )
         if zone.state is ZoneState.FULL:
             self._note_no_longer_open(zone_id)
+            self._publish_transition(zone, old_state, "write-full")
         return ops
 
     def append(self, zone_id: int, npages: int = 1, data: Any = None) -> tuple[int, list[FlashOp]]:
@@ -271,6 +328,10 @@ class ZNSDevice:
         zone = self.zone(zone_id)
         assigned = zone.wp
         ops = self.write(zone_id, offset=None, npages=npages, data=data)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                ZoneAppendEvent("zns.device", zone_id, assigned, npages=npages)
+            )
         return assigned, ops
 
     def read(self, zone_id: int, offset: int) -> tuple[Any, FlashOp]:
@@ -279,7 +340,14 @@ class ZNSDevice:
         zone.check_readable(offset)
         page = self._page_of(zone_id, offset)
         payload, latency = self.nand.read(page)
-        self.counters.note_read(self.page_size)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "zns.device", "read",
+                    block=self.geometry.flash.block_of_page(page),
+                    page=page, nbytes=self.page_size, latency_us=latency,
+                )
+            )
         return payload, FlashOp(
             OpKind.READ, self.geometry.flash.block_of_page(page), page, latency
         )
@@ -307,12 +375,11 @@ class ZNSDevice:
             src_zone.check_readable(src_offset)
             src_page = self._page_of(src_zone_id, src_offset)
             dst_page = self._page_of(dst_zone_id, start + i)
-            # Device-internal movement: read + program without channel use.
-            payload, _ = self.nand.read(src_page)
-            self.nand.counters.reads -= 1
-            self.nand.counters.bytes_read -= self.page_size
+            # Device-internal movement: sense + program without channel
+            # use. The sense is not a host read (it still disturbs the
+            # source block); the command accounts for itself below.
+            payload = self.nand.sense_for_copy(src_page)
             latency = self.nand.program(dst_page, payload)
-            self.counters.note_copy(self.page_size)
             ops.append(
                 FlashOp(
                     OpKind.COPY,
@@ -322,9 +389,21 @@ class ZNSDevice:
                     uses_channel=False,
                 )
             )
+        old_state = dst.state
         dst.advance(len(sources))
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "zns.device", "copy",
+                    block=self.geometry.flash.block_of_page(
+                        self._page_of(dst_zone_id, start)
+                    ),
+                    count=len(sources), nbytes=len(sources) * self.page_size,
+                )
+            )
         if dst.state is ZoneState.FULL:
             self._note_no_longer_open(dst_zone_id)
+            self._publish_transition(dst, old_state, "write-full")
         return start, ops
 
 
@@ -343,19 +422,38 @@ class TimedZNSDevice:
         timing: TimingModel | None = None,
         striped: bool = True,
         prioritize_reads: bool = False,
+        tracer: Tracer | None = None,
     ):
         self.engine = engine
-        self.device = ZNSDevice(geometry or ZonedGeometry.bench(), timing=timing, striped=striped)
+        self.device = ZNSDevice(
+            geometry or ZonedGeometry.bench(), timing=timing, striped=striped, tracer=tracer
+        )
+        self.tracer = self.device.tracer
         self.service = FlashServiceModel(
             engine,
             self.device.geometry.flash,
             timing=self.device.nand.timing,
             prioritize_reads=prioritize_reads,
+            tracer=self.tracer,
         )
-        self.read_latency = LatencyRecorder()
-        self.write_latency = LatencyRecorder()
-        self.append_latency = LatencyRecorder()
+        self._read_latency = self.tracer.attach(LatencySink(op="read"))
+        self._write_latency = self.tracer.attach(LatencySink(op="write"))
+        self._append_latency = self.tracer.attach(LatencySink(op="append"))
+        self._request_ids = itertools.count()
         self._zone_locks = [Resource(engine) for _ in range(self.device.zone_count)]
+
+    @property
+    def read_latency(self) -> LatencyRecorder:
+        """Host read latencies (a sink over the request event stream)."""
+        return self._read_latency.recorder
+
+    @property
+    def write_latency(self) -> LatencyRecorder:
+        return self._write_latency.recorder
+
+    @property
+    def append_latency(self) -> LatencyRecorder:
+        return self._append_latency.recorder
 
     def submit_read(self, zone_id: int, offset: int):
         return self.engine.process(self._read_proc(zone_id, offset))
@@ -371,10 +469,29 @@ class TimedZNSDevice:
 
     def _read_proc(self, zone_id: int, offset: int) -> Generator:
         start = self.engine.now
+        request_id = next(self._request_ids)
+        pagesize = self.device.page_size
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "read", "enqueue",
+                request_id=request_id, nbytes=pagesize, t=start,
+            )
+        )
         _, op = self.device.read(zone_id, offset)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "read", "service-start",
+                request_id=request_id, t=self.engine.now,
+            )
+        )
         yield self.engine.process(self.service.execute(op))
         latency = self.engine.now - start
-        self.read_latency.record(latency)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "read", "complete", request_id=request_id,
+                latency_us=latency, nbytes=pagesize, t=self.engine.now,
+            )
+        )
         return latency
 
     def _write_proc(self, zone_id: int, npages: int) -> Generator:
@@ -384,8 +501,24 @@ class TimedZNSDevice:
         writer cannot compute its offset until this write is durable.
         """
         start = self.engine.now
+        request_id = next(self._request_ids)
+        nbytes = npages * self.device.page_size
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "write", "enqueue",
+                request_id=request_id, nbytes=nbytes, t=start,
+            )
+        )
         lock = self._zone_locks[zone_id]
         req = yield lock.request()
+        # Queueing for this request is the zone-lock wait (§4.2): the
+        # service phase begins once the write pointer is ours.
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "write", "service-start",
+                request_id=request_id, t=self.engine.now,
+            )
+        )
         try:
             ops = self.device.write(zone_id, npages=npages)
             for op in ops:
@@ -393,7 +526,12 @@ class TimedZNSDevice:
         finally:
             lock.release(req)
         latency = self.engine.now - start
-        self.write_latency.record(latency)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "write", "complete", request_id=request_id,
+                latency_us=latency, nbytes=nbytes, t=self.engine.now,
+            )
+        )
         return latency
 
     def _append_proc(self, zone_id: int, npages: int) -> Generator:
@@ -403,11 +541,30 @@ class TimedZNSDevice:
         the zone's stripe, so they program planes in parallel.
         """
         start = self.engine.now
+        request_id = next(self._request_ids)
+        nbytes = npages * self.device.page_size
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "append", "enqueue",
+                request_id=request_id, nbytes=nbytes, t=start,
+            )
+        )
         _, ops = self.device.append(zone_id, npages=npages)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "append", "service-start",
+                request_id=request_id, t=self.engine.now,
+            )
+        )
         for op in ops:
             yield self.engine.process(self.service.execute(op))
         latency = self.engine.now - start
-        self.append_latency.record(latency)
+        self.tracer.publish(
+            HostRequestEvent(
+                "hostio.request", "append", "complete", request_id=request_id,
+                latency_us=latency, nbytes=nbytes, t=self.engine.now,
+            )
+        )
         return latency
 
     def _reset_proc(self, zone_id: int) -> Generator:

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 from repro.flash.geometry import ZonedGeometry
 from repro.flash.nand import NandArray
+from repro.obs.events import GcEvent
+from repro.obs.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -49,8 +51,10 @@ class ZnsFTL:
         nand: NandArray,
         spare_blocks: int = 0,
         rotate_on_reset: bool = True,
+        tracer: Tracer | None = None,
     ):
         flash = geometry.flash
+        self.tracer = tracer if tracer is not None else nand.tracer
         usable_blocks = flash.total_blocks - spare_blocks
         if usable_blocks < geometry.blocks_per_zone:
             raise ValueError("not enough blocks for even one zone after spares")
@@ -142,6 +146,13 @@ class ZnsFTL:
         else:
             self._zone_blocks[zone_id] = pool[:want]
 
+        if self.tracer.enabled:
+            self.tracer.publish(
+                GcEvent(
+                    "zns.ftl", "zone-reset", victim=zone_id,
+                    free_blocks=len(self._free_pool),
+                )
+            )
         return latencies, self.zone_capacity_pages(zone_id)
 
     # -- DRAM accounting (paper §2.2) -----------------------------------------------

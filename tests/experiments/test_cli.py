@@ -79,7 +79,7 @@ class TestRun:
         blocker.write_text("")
         assert main(["run", "E2", "--cache-dir", str(blocker)]) == 2
         err = capsys.readouterr().err
-        assert "cache unusable" in err
+        assert "cache or output path unusable" in err
         assert "Traceback" not in err
 
 
@@ -150,6 +150,38 @@ class TestRunAll:
         assert main(["run", "all", "--jobs", "2", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert [entry["experiment_id"] for entry in payload] == list(MODULES)
+
+
+class TestTelemetry:
+    def test_trace_writes_merged_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "E14", "--trace", str(trace)]) == 0
+        lines = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert lines, "trace file is empty"
+        assert {"flash-op", "gc"} <= {entry["event"] for entry in lines}
+        # Part files are merged and removed.
+        assert list(tmp_path.glob("*.part")) == []
+        assert str(trace) in capsys.readouterr().err
+
+    def test_metrics_out_writes_summaries(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.json"
+        assert main(["run", "E14", "--metrics-out", str(metrics_file)]) == 0
+        metrics = json.loads(metrics_file.read_text())
+        assert metrics["E14"]["flash_ops"]["flash.nand"]["program"] > 0
+
+    def test_trace_env_restored_after_run(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.obs.runtime import TRACE_ENV
+
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert main(["run", "E14", "--trace", str(tmp_path / "t.jsonl")]) == 0
+        assert TRACE_ENV not in os.environ
+
+    def test_untraced_results_carry_no_metrics(self, capsys):
+        assert main(["run", "E14", "--json", "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" not in payload[0]
 
 
 class TestFormats:

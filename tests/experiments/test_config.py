@@ -1,4 +1,4 @@
-"""Tests for the ExperimentConfig/ExperimentResult API and the legacy shim."""
+"""Tests for the ExperimentConfig/ExperimentResult API and the entry point."""
 
 import json
 
@@ -105,6 +105,16 @@ class TestResultSerialization:
         with pytest.raises(ValueError, match="schema version"):
             ExperimentResult.from_dict(payload)
 
+    def test_metrics_omitted_when_empty(self):
+        assert "metrics" not in self._result().to_dict()
+
+    def test_metrics_round_trip(self):
+        result = self._result()
+        result.metrics = {"flash_ops": {"flash.nand": {"read": 2}}}
+        clone = ExperimentResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone == result
+        assert clone.metrics == result.metrics
+
 
 @experiment("X1")
 def _demo_run(config):
@@ -121,22 +131,21 @@ class TestExperimentDecorator:
         result = _demo_run(ExperimentConfig("X1", full=True, seed=5))
         assert result.headline == {"full": True, "seed": 5, "knob": None}
 
-    def test_legacy_kwargs_equivalent_to_config(self):
-        legacy = _demo_run(quick=False, seed=5)
-        modern = _demo_run(ExperimentConfig("X1", full=True, seed=5))
-        assert legacy == modern
-
-    def test_legacy_overrides_become_params(self):
-        result = _demo_run(quick=True, knob=3)
+    def test_params_flow_through_config(self):
+        result = _demo_run(ExperimentConfig("X1", params={"knob": 3}))
         assert result.headline["knob"] == 3
 
-    def test_legacy_positional_quick(self):
-        assert _demo_run(False).headline["full"] is True
-        assert _demo_run(True).headline["full"] is False
+    def test_legacy_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            _demo_run(quick=False, seed=5)
 
-    def test_mixed_config_and_kwargs_rejected(self):
-        with pytest.raises(TypeError, match="not both"):
-            _demo_run(ExperimentConfig("X1"), seed=1)
+    def test_legacy_positional_quick_rejected(self):
+        with pytest.raises(TypeError, match="ExperimentConfig"):
+            _demo_run(False)
+
+    def test_missing_config_rejected(self):
+        with pytest.raises(TypeError):
+            _demo_run()
 
     def test_non_config_positional_rejected(self):
         with pytest.raises(TypeError, match="ExperimentConfig"):

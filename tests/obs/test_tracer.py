@@ -1,0 +1,91 @@
+"""Tracer bus semantics: no-op when silent, ordered fan-out when not."""
+
+from repro.obs.events import FlashOpEvent, HostRequestEvent
+from repro.obs.sinks import RecordingSink
+from repro.obs.tracer import Tracer
+
+
+class TestZeroSink:
+    def test_fresh_tracer_is_disabled(self):
+        assert Tracer().enabled is False
+
+    def test_publish_with_no_sinks_is_a_no_op(self):
+        tracer = Tracer()
+        tracer.publish(FlashOpEvent("flash.nand", "read", 0, 0))  # must not raise
+
+    def test_guarded_hot_path_skips_construction(self):
+        # The publisher convention: nothing is built when nobody listens.
+        tracer = Tracer()
+        built = []
+
+        def make_event():
+            built.append(1)
+            return FlashOpEvent("flash.nand", "read", 0, 0)
+
+        if tracer.enabled:
+            tracer.publish(make_event())
+        assert built == []
+
+
+class TestFanOut:
+    def test_attach_enables_detach_disables(self):
+        tracer = Tracer()
+        sink = tracer.attach(RecordingSink())
+        assert tracer.enabled is True
+        tracer.detach(sink)
+        assert tracer.enabled is False
+
+    def test_detach_of_stranger_is_ignored(self):
+        tracer = Tracer()
+        tracer.attach(RecordingSink())
+        tracer.detach(RecordingSink())  # never attached
+        assert tracer.enabled is True
+
+    def test_sinks_receive_events_in_attachment_order(self):
+        tracer = Tracer()
+        order = []
+
+        class Tagged:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_event(self, event):
+                order.append(self.tag)
+
+        tracer.attach(Tagged("a"))
+        tracer.attach(Tagged("b"))
+        tracer.attach(Tagged("c"))
+        tracer.publish(FlashOpEvent("flash.nand", "program", 1, 2))
+        assert order == ["a", "b", "c"]
+
+    def test_every_sink_sees_every_event(self):
+        tracer = Tracer()
+        first = tracer.attach(RecordingSink())
+        second = tracer.attach(RecordingSink())
+        events = [
+            FlashOpEvent("flash.nand", "read", 0, 0),
+            HostRequestEvent("hostio.request", "read", "complete", request_id=1),
+        ]
+        for event in events:
+            tracer.publish(event)
+        assert first.events == events
+        assert second.events == events
+
+
+class TestRecordingSink:
+    def test_layer_filter(self):
+        tracer = Tracer()
+        nand_only = tracer.attach(RecordingSink(layer="flash.nand"))
+        tracer.publish(FlashOpEvent("flash.nand", "read", 0, 0))
+        tracer.publish(FlashOpEvent("zns.device", "read", 0, 0))
+        assert [e.layer for e in nand_only.events] == ["flash.nand"]
+
+    def test_of_kind_and_clear(self):
+        tracer = Tracer()
+        sink = tracer.attach(RecordingSink())
+        tracer.publish(FlashOpEvent("flash.nand", "read", 0, 0))
+        tracer.publish(HostRequestEvent("hostio.request", "read", "enqueue"))
+        assert len(sink.of_kind("flash-op")) == 1
+        assert len(sink.of_kind("host-request")) == 1
+        sink.clear()
+        assert sink.events == []
