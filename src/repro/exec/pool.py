@@ -25,12 +25,14 @@ by construction.
 from __future__ import annotations
 
 import importlib
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.exec.cache import ResultCache
+from repro.exec.profiling import PROFILE_ENV, profiled_call, profiling_requested
 from repro.exec.progress import NullReporter, ProgressReporter
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 
@@ -45,14 +47,30 @@ def _module_for(experiment_id: str):
 
 
 def _worker_run(config_payload: dict) -> dict:
-    """Run one whole experiment in a worker; dicts in, dicts out."""
+    """Run one whole experiment in a worker; dicts in, dicts out.
+
+    With profiling raised (env inherited from the parent), the worker
+    profiles itself and folds the ranking into the result's metrics.
+    """
     config = ExperimentConfig.from_dict(config_payload)
-    return _module_for(config.experiment_id).run(config).to_dict()
+    run = _module_for(config.experiment_id).run
+    if profiling_requested():
+        result, entries = profiled_call(run, config)
+        result.metrics = {**result.metrics, "profile": entries}
+        return result.to_dict()
+    return run(config).to_dict()
 
 
 def _worker_point(module_name: str, point_kwargs: dict) -> dict:
-    """Run one sweep point in a worker."""
+    """Run one sweep point in a worker.
+
+    Under profiling the row travels wrapped so the parent can strip the
+    per-point profile before handing rows to ``combine``.
+    """
     module = importlib.import_module(module_name)
+    if profiling_requested():
+        row, entries = profiled_call(module.SWEEP.point, **point_kwargs)
+        return {"__row__": row, "__profile__": entries}
     return module.SWEEP.point(**point_kwargs)
 
 
@@ -77,6 +95,11 @@ class Executor:
         A :class:`ResultCache`, or None to disable caching entirely.
     reporter:
         Progress sink; defaults to silent.
+    profile:
+        Capture a cProfile ranking per unit of work (whole experiment, or
+        each sweep point under ``jobs > 1``) into the result's metrics.
+        Profiled runs bypass the cache: cached results carry no profile,
+        and profile-laden results must not poison the cache.
     """
 
     def __init__(
@@ -84,12 +107,14 @@ class Executor:
         jobs: int = 1,
         cache: ResultCache | None = None,
         reporter: ProgressReporter | None = None,
+        profile: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
-        self.cache = cache
+        self.cache = None if profile else cache
         self.reporter = reporter or NullReporter()
+        self.profile = profile
 
     # -- Public API ----------------------------------------------------------------
 
@@ -134,7 +159,12 @@ class Executor:
             config = configs[index]
             self.reporter.started(config, index, total)
             started = time.perf_counter()
-            result = _module_for(config.experiment_id).run(config)
+            run = _module_for(config.experiment_id).run
+            if self.profile:
+                result, entries = profiled_call(run, config)
+                result.metrics = {**result.metrics, "profile": entries}
+            else:
+                result = run(config)
             record = ExecutionRecord(config, result, time.perf_counter() - started, False)
             if self.cache is not None:
                 self.cache.put(config, result)
@@ -150,9 +180,31 @@ class Executor:
         records: dict[int, ExecutionRecord],
         total: int,
     ) -> None:
+        saved_profile_env = os.environ.get(PROFILE_ENV)
+        if self.profile:
+            # Raised before the pool forks so every worker inherits it and
+            # profiles its own unit of work independently.
+            os.environ[PROFILE_ENV] = "1"
+        try:
+            self._run_pool_inner(configs, misses, records, total)
+        finally:
+            if self.profile:
+                if saved_profile_env is None:
+                    os.environ.pop(PROFILE_ENV, None)
+                else:
+                    os.environ[PROFILE_ENV] = saved_profile_env
+
+    def _run_pool_inner(
+        self,
+        configs: Sequence[ExperimentConfig],
+        misses: list[int],
+        records: dict[int, ExecutionRecord],
+        total: int,
+    ) -> None:
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             future_slot: dict[Future, tuple[int, int]] = {}
             point_rows: dict[int, list[Any]] = {}
+            point_profiles: dict[int, list[Any]] = {}
             remaining: dict[int, int] = {}
             started_at: dict[int, float] = {}
 
@@ -165,6 +217,7 @@ class Executor:
                 if sweep is not None:
                     points = sweep.points(config)
                     point_rows[index] = [None] * len(points)
+                    point_profiles[index] = [None] * len(points)
                     remaining[index] = len(points)
                     for slot, kwargs in enumerate(points):
                         future = pool.submit(_worker_point, module.__name__, kwargs)
@@ -184,6 +237,9 @@ class Executor:
                     if slot < 0:
                         result = ExperimentResult.from_dict(payload)
                     else:
+                        if self.profile:
+                            point_profiles[index][slot] = payload["__profile__"]
+                            payload = payload["__row__"]
                         point_rows[index][slot] = payload
                     remaining[index] -= 1
                     if remaining[index]:
@@ -191,6 +247,14 @@ class Executor:
                     if slot >= 0:
                         module = _module_for(config.experiment_id)
                         result = module.SWEEP.combine(config, point_rows.pop(index))
+                        if self.profile:
+                            result.metrics = {
+                                **result.metrics,
+                                "profile": [
+                                    {"point": i, "entries": entries}
+                                    for i, entries in enumerate(point_profiles.pop(index))
+                                ],
+                            }
                     record = ExecutionRecord(
                         config, result, time.perf_counter() - started_at[index], False
                     )

@@ -123,6 +123,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write per-experiment latency/flash-op summaries to FILE as "
         "JSON (implies --no-cache)",
     )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="capture a cProfile top-30 (cumulative time) per experiment "
+        "into the result metrics; with --jobs, each worker profiles its "
+        "own unit of work independently (implies --no-cache)",
+    )
     return parser
 
 
@@ -202,12 +209,15 @@ def _cmd_run(args) -> int:
     ]
     # Telemetry comes from actually running the devices; cached results
     # carry no event stream, so instrumented runs bypass the cache.
-    instrumented = bool(args.trace or args.metrics_out)
+    instrumented = bool(args.trace or args.metrics_out or args.profile)
     cache = None
     if not args.no_cache and not instrumented:
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
     executor = Executor(
-        jobs=args.jobs, cache=cache, reporter=ProgressReporter(stream=sys.stderr)
+        jobs=args.jobs,
+        cache=cache,
+        reporter=ProgressReporter(stream=sys.stderr),
+        profile=args.profile,
     )
     try:
         records = _run_instrumented(executor, configs, args)

@@ -14,10 +14,12 @@ infinity.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
 from repro.flash.geometry import FlashGeometry
 from repro.ftl.ftl import ConventionalFTL, FTLConfig
-from repro.workloads.synthetic import uniform_stream
+from repro.workloads.synthetic import uniform_array
 
 
 def measure_wa(
@@ -40,17 +42,15 @@ def measure_wa(
         ),
     )
     n = ftl.logical_pages
-    # Fill sequentially, then overwrite once to reach steady state.
-    for lpn in range(n):
-        ftl.write(lpn)
-    warmup = uniform_stream(n, n, seed=seed)
-    for lpn in warmup:
-        ftl.write(lpn)
+    # Fill sequentially, then overwrite once to reach steady state. The
+    # batched path is state-identical to scalar writes (see the parity
+    # tests); uniform_array draws the same addresses as uniform_stream.
+    ftl.write_pages(np.arange(n, dtype=np.int64))
+    ftl.write_pages(uniform_array(n, n, seed=seed))
     # Measure over the steady-state phase only.
     host_before = ftl.stats.host_pages_written
     copied_before = ftl.stats.gc_pages_copied
-    for lpn in uniform_stream(n, int(overwrite_multiple * n), seed=seed + 1):
-        ftl.write(lpn)
+    ftl.write_pages(uniform_array(n, int(overwrite_multiple * n), seed=seed + 1))
     host = ftl.stats.host_pages_written - host_before
     copied = ftl.stats.gc_pages_copied - copied_before
     return {

@@ -56,6 +56,13 @@ class FlashGeometry:
     planes_per_channel: int = 2
     channels: int = 4
     cell_type: CellType = CellType.TLC
+    # Derived sizes, precomputed once: these sit on every hot address
+    # computation, so they must be plain attribute loads, not properties.
+    total_planes: int = field(init=False, repr=False, compare=False)
+    total_blocks: int = field(init=False, repr=False, compare=False)
+    total_pages: int = field(init=False, repr=False, compare=False)
+    block_size: int = field(init=False, repr=False, compare=False)
+    capacity_bytes: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         for name in (
@@ -67,28 +74,12 @@ class FlashGeometry:
         ):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1, got {getattr(self, name)}")
-
-    # -- Derived sizes -----------------------------------------------------
-
-    @property
-    def total_planes(self) -> int:
-        return self.planes_per_channel * self.channels
-
-    @property
-    def total_blocks(self) -> int:
-        return self.blocks_per_plane * self.total_planes
-
-    @property
-    def total_pages(self) -> int:
-        return self.total_blocks * self.pages_per_block
-
-    @property
-    def block_size(self) -> int:
-        return self.pages_per_block * self.page_size
-
-    @property
-    def capacity_bytes(self) -> int:
-        return self.total_pages * self.page_size
+        set_ = object.__setattr__  # frozen dataclass
+        set_(self, "total_planes", self.planes_per_channel * self.channels)
+        set_(self, "total_blocks", self.blocks_per_plane * self.total_planes)
+        set_(self, "total_pages", self.total_blocks * self.pages_per_block)
+        set_(self, "block_size", self.pages_per_block * self.page_size)
+        set_(self, "capacity_bytes", self.total_pages * self.page_size)
 
     # -- Address arithmetic -------------------------------------------------
 

@@ -265,15 +265,213 @@ class NandArray:
             )
         return latency
 
+    # -- Batched operations ------------------------------------------------------
+    #
+    # The batch entry points perform the same state transitions as a loop of
+    # scalar calls, with the same constraint checks, but mutate the arrays
+    # in bulk and publish ONE aggregate trace event per batch
+    # (``count=n``, ``nbytes=n * page_size``), so counter sinks book totals
+    # identical to the scalar stream. Constraints are validated before any
+    # mutation, so a failed batch leaves the array untouched.
+
+    def _check_program_order(
+        self, pages: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Validate a batch program destination; returns (blocks, ublocks, counts).
+
+        Every block touched must receive its pages strictly sequentially
+        from its current write offset (the scalar :meth:`program` rule,
+        applied per block across the whole batch).
+        """
+        if pages.size == 0:
+            raise ValueError("empty page batch")
+        lo, hi = int(pages.min()), int(pages.max())
+        if lo < 0 or hi >= self.geometry.total_pages:
+            raise IndexError(f"page batch out of range [0, {self.geometry.total_pages})")
+        ppb = self.geometry.pages_per_block
+        blocks = pages // ppb
+        offsets = pages - blocks * ppb
+        order = np.lexsort((offsets, blocks))
+        sblocks = blocks[order]
+        soffsets = offsets[order]
+        ublocks, first, counts = np.unique(
+            sblocks, return_index=True, return_counts=True
+        )
+        if self.wear.bad_mask[ublocks].any():
+            bad = int(ublocks[self.wear.bad_mask[ublocks]][0])
+            raise BadBlockError(f"program on retired block {bad}")
+        step = np.diff(soffsets)
+        boundaries = np.zeros(len(soffsets) - 1, dtype=bool) if len(soffsets) > 1 else None
+        if boundaries is not None:
+            boundaries[first[1:] - 1] = True
+            if not np.all((step == 1) | boundaries):
+                raise ProgramOrderError("batch pages not sequential within a block")
+        if not np.array_equal(soffsets[first], self._write_offsets[ublocks]):
+            raise ProgramOrderError(
+                "batch does not start at each block's next programmable offset"
+            )
+        return blocks, ublocks, counts
+
+    def program_batch(self, pages: np.ndarray, data: Any = None) -> float:
+        """Program many pages at once; returns the batch's total latency.
+
+        Equivalent to ``for p in pages: self.program(p)`` (same ordering
+        constraints, same counter totals) with one aggregate trace event.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        blocks, ublocks, counts = self._check_program_order(pages)
+        self._write_offsets[ublocks] += counts.astype(np.int32)
+        if self.store_data:
+            seq = data if isinstance(data, (list, tuple)) else [data] * len(pages)
+            for page, payload in zip(pages.tolist(), seq):
+                self._data[page] = payload
+        n = len(pages)
+        latency = n * self.timing.program_total_us(self.geometry.page_size)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "flash.nand", "program", int(blocks[0]), int(pages[0]),
+                    nbytes=n * self.geometry.page_size, count=n, latency_us=latency,
+                )
+            )
+        return latency
+
+    def program_run(self, block: int, n: int) -> tuple[int, float]:
+        """Program the next ``n`` free pages of ``block``; returns (first_page, latency).
+
+        The append-style batch: no per-page addresses needed, just the run
+        length. Fastest path for FTL active-block fills.
+        """
+        self.geometry.check_block(block)
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if self.wear.bad_mask[block]:
+            raise BadBlockError(f"program on retired block {block}")
+        offset = int(self._write_offsets[block])
+        if offset + n > self.geometry.pages_per_block:
+            raise ProgramOrderError(
+                f"block {block} has {self.geometry.pages_per_block - offset} "
+                f"free pages; batch wants {n}"
+            )
+        self._write_offsets[block] = offset + n
+        first_page = block * self.geometry.pages_per_block + offset
+        latency = n * self.timing.program_total_us(self.geometry.page_size)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "flash.nand", "program", block, first_page,
+                    nbytes=n * self.geometry.page_size, count=n, latency_us=latency,
+                )
+            )
+        return first_page, latency
+
+    def sense_batch(self, pages: np.ndarray) -> float:
+        """Read many programmed pages; returns total latency.
+
+        Equivalent to ``for p in pages: self.read(p)`` for counting
+        purposes (payloads are not returned; use scalar reads when the
+        array stores data you need back).
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            raise ValueError("empty page batch")
+        lo, hi = int(pages.min()), int(pages.max())
+        if lo < 0 or hi >= self.geometry.total_pages:
+            raise IndexError(f"page batch out of range [0, {self.geometry.total_pages})")
+        ppb = self.geometry.pages_per_block
+        blocks = pages // ppb
+        ublocks, counts = np.unique(blocks, return_counts=True)
+        if self.wear.bad_mask[ublocks].any():
+            bad = int(ublocks[self.wear.bad_mask[ublocks]][0])
+            raise BadBlockError(f"read on retired block {bad}")
+        offsets = pages - blocks * ppb
+        if np.any(offsets >= self._write_offsets[blocks]):
+            raise ReadUnwrittenError("batch reads at least one unprogrammed page")
+        np.add.at(self._reads_since_erase, ublocks, counts)
+        n = len(pages)
+        latency = n * self.timing.read_total_us(self.geometry.page_size)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "flash.nand", "read", int(blocks[0]), int(pages[0]),
+                    nbytes=n * self.geometry.page_size, count=n, latency_us=latency,
+                )
+            )
+        return latency
+
+    def sense_for_copy_batch(self, pages: np.ndarray) -> None:
+        """Bulk :meth:`sense_for_copy`: checks and read disturb, no events.
+
+        Like the scalar form, the accesses are neither counted nor
+        published as host reads; the caller accounts for the copy at its
+        own layer.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            raise ValueError("empty page batch")
+        lo, hi = int(pages.min()), int(pages.max())
+        if lo < 0 or hi >= self.geometry.total_pages:
+            raise IndexError(f"page batch out of range [0, {self.geometry.total_pages})")
+        ppb = self.geometry.pages_per_block
+        blocks = pages // ppb
+        ublocks, counts = np.unique(blocks, return_counts=True)
+        if self.wear.bad_mask[ublocks].any():
+            bad = int(ublocks[self.wear.bad_mask[ublocks]][0])
+            raise BadBlockError(f"read on retired block {bad}")
+        offsets = pages - blocks * ppb
+        if np.any(offsets >= self._write_offsets[blocks]):
+            raise ReadUnwrittenError("batch senses at least one unprogrammed page")
+        np.add.at(self._reads_since_erase, ublocks, counts)
+
+    def copy_batch(self, src_pages: np.ndarray, dst_pages: np.ndarray) -> float:
+        """On-die copy of many pages; returns total latency.
+
+        Equivalent to ``for s, d in zip(src_pages, dst_pages):
+        self.copy_page(s, d)``: source blocks absorb read disturb,
+        destinations obey program order, and the counter sink books the
+        same copy count and byte totals from one aggregate event.
+        """
+        src_pages = np.asarray(src_pages, dtype=np.int64)
+        dst_pages = np.asarray(dst_pages, dtype=np.int64)
+        if len(src_pages) != len(dst_pages):
+            raise ValueError("src/dst length mismatch")
+        if src_pages.size == 0:
+            raise ValueError("empty page batch")
+        lo, hi = int(src_pages.min()), int(src_pages.max())
+        if lo < 0 or hi >= self.geometry.total_pages:
+            raise IndexError(f"page batch out of range [0, {self.geometry.total_pages})")
+        ppb = self.geometry.pages_per_block
+        src_blocks = src_pages // ppb
+        usrc, src_counts = np.unique(src_blocks, return_counts=True)
+        if self.wear.bad_mask[usrc].any():
+            bad = int(usrc[self.wear.bad_mask[usrc]][0])
+            raise BadBlockError(f"read on retired block {bad}")
+        src_offsets = src_pages - src_blocks * ppb
+        if np.any(src_offsets >= self._write_offsets[src_blocks]):
+            raise ReadUnwrittenError("batch copies at least one unprogrammed page")
+        dst_blocks, udst, dst_counts = self._check_program_order(dst_pages)
+        np.add.at(self._reads_since_erase, usrc, src_counts)
+        self._write_offsets[udst] += dst_counts.astype(np.int32)
+        if self.store_data:
+            for src, dst in zip(src_pages.tolist(), dst_pages.tolist()):
+                self._data[dst] = self._data.get(src)
+        n = len(src_pages)
+        latency = n * (self.timing.read_us + self.timing.program_us)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "flash.nand", "copy", int(dst_blocks[0]), int(dst_pages[0]),
+                    nbytes=n * self.geometry.page_size, count=n, latency_us=latency,
+                )
+            )
+        return latency
+
     # -- Bulk helpers -----------------------------------------------------------
 
     def erased_blocks(self) -> list[int]:
         """All live blocks currently erased (write offset 0)."""
-        return [
-            b
-            for b in range(self.geometry.total_blocks)
-            if self._write_offsets[b] == 0 and not self.wear.is_bad(b)
-        ]
+        mask = (self._write_offsets == 0) & ~self.wear.bad_mask
+        return np.flatnonzero(mask).tolist()
 
     def physical_bytes_written(self) -> int:
         """Total bytes programmed to flash (host writes + copies)."""
@@ -298,11 +496,8 @@ class NandArray:
         the block interface hides from hosts and ZNS surfaces to them.
         """
         limit = threshold * self.read_disturb_limit
-        return [
-            b
-            for b in range(self.geometry.total_blocks)
-            if self._reads_since_erase[b] >= limit and not self.wear.is_bad(b)
-        ]
+        mask = (self._reads_since_erase >= limit) & ~self.wear.bad_mask
+        return np.flatnonzero(mask).tolist()
 
 
 __all__ = ["NandArray"]

@@ -24,7 +24,7 @@ from repro.flash.timing import TimingModel
 from repro.obs.events import FlashOpEvent
 from repro.obs.runtime import new_tracer
 from repro.obs.tracer import Tracer
-from repro.sim.engine import Engine, Timeout
+from repro.sim.engine import Engine
 from repro.sim.resources import PriorityResource
 
 _OP_NAMES = {
@@ -121,11 +121,11 @@ class FlashServiceModel:
             # Sense on the plane, then move data over the channel.
             plane_req = yield plane.request(prio)
             first_grant_at = self.engine.now
-            yield Timeout(self.engine, array_time)
+            yield self.engine.sleep(array_time)
             plane.release(plane_req)
             if transfer_time > 0 and op.uses_channel:
                 chan_req = yield channel.request(prio)
-                yield Timeout(self.engine, transfer_time)
+                yield self.engine.sleep(transfer_time)
                 channel.release(chan_req)
         elif op.kind == OpKind.ERASE and self.erase_suspend_slices > 1:
             # Suspendable erase: hold the plane one slice at a time. If
@@ -138,8 +138,8 @@ class FlashServiceModel:
                 if i == 0:
                     first_grant_at = self.engine.now
                 if i > 0 and plane.total_grants > grants_before + 1:
-                    yield Timeout(self.engine, self.timing.erase_suspend_overhead_us)
-                yield Timeout(self.engine, slice_time)
+                    yield self.engine.sleep(self.timing.erase_suspend_overhead_us)
+                yield self.engine.sleep(slice_time)
                 plane.release(plane_req)
         else:
             # Writes: transfer into the plane's page buffer first, then
@@ -147,13 +147,13 @@ class FlashServiceModel:
             if transfer_time > 0 and op.uses_channel:
                 chan_req = yield channel.request(prio)
                 first_grant_at = self.engine.now
-                yield Timeout(self.engine, transfer_time)
+                yield self.engine.sleep(transfer_time)
                 channel.release(chan_req)
                 plane_req = yield plane.request(prio)
             else:
                 plane_req = yield plane.request(prio)
                 first_grant_at = self.engine.now
-            yield Timeout(self.engine, array_time)
+            yield self.engine.sleep(array_time)
             plane.release(plane_req)
 
         elapsed = self.engine.now - start

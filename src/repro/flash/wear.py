@@ -56,12 +56,18 @@ class WearTracker:
     failure_probability: float = 0.5
     failure_rng: np.random.Generator | None = None
     erase_counts: np.ndarray = field(init=False, repr=False)
+    #: Boolean retired-block mask kept in lockstep with the ``_bad`` set so
+    #: bulk scans (erased/disturbed block sweeps) stay vectorized.
+    bad_mask: np.ndarray = field(init=False, repr=False)
     _bad: set[int] = field(default_factory=set, repr=False)
 
     def __post_init__(self) -> None:
         if self.total_blocks < 1:
             raise ValueError("total_blocks must be >= 1")
         self.erase_counts = np.zeros(self.total_blocks, dtype=np.int64)
+        self.bad_mask = np.zeros(self.total_blocks, dtype=bool)
+        for block in self._bad:
+            self.bad_mask[block] = True
 
     @classmethod
     def for_cell(
@@ -87,6 +93,7 @@ class WearTracker:
         """Retire a block (grown defect or erase failure)."""
         self._check(block)
         self._bad.add(block)
+        self.bad_mask[block] = True
 
     def record_erase(self, block: int) -> bool:
         """Count one erase; returns False if the block failed and retired.
@@ -106,9 +113,11 @@ class WearTracker:
             return True
         if self.failure_rng is None:
             self._bad.add(block)
+            self.bad_mask[block] = True
             return False
         if self.failure_rng.random() < self.failure_probability:
             self._bad.add(block)
+            self.bad_mask[block] = True
             return False
         return True
 

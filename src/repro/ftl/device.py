@@ -23,7 +23,7 @@ from repro.metrics.latency import LatencyRecorder
 from repro.obs.events import GcEvent, HostRequestEvent
 from repro.obs.sinks import LatencySink
 from repro.obs.tracer import Tracer
-from repro.sim.engine import Engine, Timeout
+from repro.sim.engine import Engine
 
 
 class ConventionalSSD:
@@ -203,7 +203,7 @@ class TimedConventionalSSD:
                         )
                     )
             self.ftl.stats.foreground_gc_stalls += 1
-            yield Timeout(self.engine, self.gc_poll_interval_us)
+            yield self.engine.sleep(self.gc_poll_interval_us)
         self.tracer.publish(
             HostRequestEvent(
                 "hostio.request", "write", "service-start",
@@ -245,7 +245,7 @@ class TimedConventionalSSD:
                 for op in erases:
                     yield self.engine.process(self.service.execute(op))
             else:
-                yield Timeout(self.engine, self.gc_poll_interval_us)
+                yield self.engine.sleep(self.gc_poll_interval_us)
 
 
 __all__ = ["ConventionalSSD", "TimedConventionalSSD"]

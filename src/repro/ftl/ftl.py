@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.flash.errors import FlashError
 from repro.flash.geometry import FlashGeometry
 from repro.flash.nand import NandArray
@@ -151,6 +153,9 @@ class ConventionalFTL:
         self._free: list[int] = list(range(geometry.total_blocks))
         self._sealed: set[int] = set()
         self._seal_times: dict[int, int] = {}
+        # Array twin of _seal_times (stale entries for unsealed blocks are
+        # never read), so victim selection indexes instead of dict-gets.
+        self._seal_time_arr = np.zeros(geometry.total_blocks, dtype=np.int64)
         self._clock = 0  # logical time: one tick per host write
         self._active: dict[int, int | None] = {s: None for s in range(self.config.streams)}
         self._gc_active: dict[int, int | None] = {
@@ -211,18 +216,20 @@ class ConventionalFTL:
         planes = self.geometry.total_planes
         preferred = self._plane_cursor % planes
         self._plane_cursor += 1
-
-        def key(block: int) -> tuple[int, int]:
-            plane_distance = (self.geometry.plane_of_block(block) - preferred) % planes
-            return (int(wear[block]), plane_distance)
-
-        best = min(self._free, key=key)
-        self._free.remove(best)
+        free = np.fromiter(self._free, dtype=np.int64, count=len(self._free))
+        # Lexicographic (wear, plane_distance) collapses to a single integer
+        # key because plane_distance < planes; argmin's first-occurrence
+        # tie-break matches min() over the list.
+        key = wear[free] * planes + (free - preferred) % planes
+        idx = int(np.argmin(key))
+        best = int(free[idx])
+        del self._free[idx]
         return best
 
     def _seal(self, block: int) -> None:
         self._sealed.add(block)
         self._seal_times[block] = self._clock
+        self._seal_time_arr[block] = self._clock
         self.policy.notify_sealed(block, self._clock)
 
     # -- Host operations -------------------------------------------------------
@@ -269,6 +276,70 @@ class ConventionalFTL:
         ops.append(FlashOp(OpKind.PROGRAM, active, page, latency))
         return ops
 
+    def write_pages(
+        self, lpns: np.ndarray, stream: int = 0, auto_gc: bool = True
+    ) -> int:
+        """Write many logical pages; the batched twin of :meth:`write`.
+
+        Semantically identical to ``for lpn in lpns: self.write(lpn, stream,
+        auto_gc)`` -- same mapping table, counters, seal times, GC victim
+        sequence, and trace aggregates -- but programs the active block in
+        chunk-sized runs and skips building :class:`FlashOp` records.
+        Returns the number of pages written. Callers that replay physical
+        ops in the DES must use the scalar path.
+        """
+        lpns = np.asarray(lpns, dtype=np.int64)
+        n = int(lpns.size)
+        if n == 0:
+            return 0
+        if int(lpns.min()) < 0 or int(lpns.max()) >= self.logical_pages:
+            raise IndexError(f"lpn batch out of range [0, {self.logical_pages})")
+        if stream not in self._active:
+            raise ValueError(f"stream {stream} out of range [0, {self.config.streams})")
+        ppb = self.geometry.pages_per_block
+        done = 0
+        while done < n:
+            active = self._active[stream]
+            if active is None or self.nand.is_block_full(active):
+                # The scalar path ticks the clock BEFORE boundary handling,
+                # so the seal time and any GC this write triggers see the
+                # advanced clock; the chunk's remaining ticks land after.
+                self._clock += 1
+                pending_tick = 1
+                if active is not None:
+                    self._seal(active)
+                    self._active[stream] = None
+                if auto_gc and self.gc_needed():
+                    self.stats.foreground_gc_stalls += 1
+                    if self.tracer.enabled:
+                        self.tracer.publish(
+                            GcEvent(
+                                "ftl.gc", "watermark-low", free_blocks=len(self._free)
+                            )
+                        )
+                    self.collect(self.gc_high_watermark, build_ops=False)
+                    if self.tracer.enabled:
+                        self.tracer.publish(
+                            GcEvent(
+                                "ftl.gc", "watermark-recovered",
+                                free_blocks=len(self._free),
+                            )
+                        )
+                active = self._take_free_block()
+                self._active[stream] = active
+            else:
+                pending_tick = 0
+            offset = self.nand.write_offset(active)
+            take = min(ppb - offset, n - done)
+            first, _ = self.nand.program_run(active, take)
+            self.map.map_batch(
+                lpns[done : done + take], first + np.arange(take, dtype=np.int64)
+            )
+            self._clock += take - pending_tick
+            done += take
+        self.stats.host_pages_written += n
+        return n
+
     def read(self, lpn: int) -> FlashOp:
         """Read one logical page; raises :class:`UnmappedReadError` if empty."""
         ppn = self.map.lookup(lpn)
@@ -285,25 +356,35 @@ class ConventionalFTL:
 
     # -- Garbage collection -----------------------------------------------------
 
-    def collect_once(self) -> list[FlashOp]:
-        """Reclaim one victim block; returns the copy and erase ops."""
+    def collect_once(self, build_ops: bool = True) -> list[FlashOp]:
+        """Reclaim one victim block; returns the copy and erase ops.
+
+        ``build_ops=False`` skips constructing the per-page :class:`FlashOp`
+        records (returning an empty list) for callers that never replay
+        them -- the batched host-write path uses this.
+        """
         candidates = self._sealed
         if not candidates:
             raise GCStuckError("no sealed blocks to collect")
-        victim = self.policy.select(
-            candidates,
-            self.map.block_valid_count,
+        # The candidate array preserves set iteration order so the
+        # vectorized policies' first-occurrence tie-breaks match the
+        # scalar loops they replace.
+        cand_arr = np.fromiter(candidates, dtype=np.int64, count=len(candidates))
+        victim = self.policy.select_array(
+            cand_arr,
+            self.map.valid_counts,
             self.geometry.pages_per_block,
-            lambda b: self._seal_times.get(b, 0),
+            self._seal_time_arr,
             self._clock,
         )
         if self.map.block_valid_count(victim) >= self.geometry.pages_per_block:
             # Validity-blind policies (FIFO) can pick a fully-valid block,
             # which reclaims nothing; fall back to the emptiest candidate,
             # as production cleaners do.
-            victim = min(candidates, key=self.map.block_valid_count)
-        valid = self.map.valid_pages_in_block(victim)
-        if len(valid) >= self.geometry.pages_per_block:
+            victim = int(cand_arr[np.argmin(self.map.valid_counts[cand_arr])])
+        valid = self.map.valid_pages_array(victim)
+        nvalid = int(valid.size)
+        if nvalid >= self.geometry.pages_per_block:
             raise GCStuckError(
                 f"victim block {victim} is fully valid; no spare capacity"
             )
@@ -311,48 +392,87 @@ class ConventionalFTL:
             self.tracer.publish(
                 GcEvent(
                     "ftl.gc", "victim-selected", victim=victim,
-                    valid_pages=len(valid), free_blocks=len(self._free),
+                    valid_pages=nvalid, free_blocks=len(self._free),
                 )
             )
         ops: list[FlashOp] = []
-        for src in valid:
-            dst_block = self._gc_destination()
-            offset = self.nand.write_offset(dst_block)
-            dst_page = self.geometry.first_page_of_block(dst_block) + offset
-            latency = self.nand.copy_page(src, dst_page)
-            self.map.relocate(src, dst_page)
-            self.stats.gc_pages_copied += 1
-            ops.append(
-                FlashOp(
-                    OpKind.COPY,
-                    dst_block,
-                    dst_page,
-                    latency,
-                    uses_channel=not self.config.copyback,
-                )
-            )
+        if self.config.gc_streams == 1:
+            # Single-destination fast path: copy the victim's valid pages
+            # in block-sized chunks instead of one page at a time. Seal
+            # times, allocation order, and map state match the scalar loop
+            # exactly (the clock never moves during a collection).
+            ppb = self.geometry.pages_per_block
+            copy_latency = self.nand.timing.read_us + self.nand.timing.program_us
+            uses_channel = not self.config.copyback
+            copied = 0
+            while copied < nvalid:
+                block = self._gc_active[0]
+                if block is None or self.nand.is_block_full(block):
+                    if block is not None:
+                        self._seal(block)
+                    block = self._take_free_block()
+                    self._gc_active[0] = block
+                offset = self.nand.write_offset(block)
+                take = min(ppb - offset, nvalid - copied)
+                chunk = valid[copied : copied + take]
+                first = block * ppb + offset
+                dst_pages = first + np.arange(take, dtype=np.int64)
+                self.nand.copy_batch(chunk, dst_pages)
+                self.map.relocate_batch(chunk, dst_pages)
+                if build_ops:
+                    ops.extend(
+                        FlashOp(
+                            OpKind.COPY, block, page, copy_latency,
+                            uses_channel=uses_channel,
+                        )
+                        for page in range(first, first + take)
+                    )
+                copied += take
+            self._gc_cursor += nvalid
+            self.stats.gc_pages_copied += nvalid
+        else:
+            for src in valid.tolist():
+                dst_block = self._gc_destination()
+                offset = self.nand.write_offset(dst_block)
+                dst_page = self.geometry.first_page_of_block(dst_block) + offset
+                latency = self.nand.copy_page(src, dst_page)
+                self.map.relocate(src, dst_page)
+                self.stats.gc_pages_copied += 1
+                if build_ops:
+                    ops.append(
+                        FlashOp(
+                            OpKind.COPY,
+                            dst_block,
+                            dst_page,
+                            latency,
+                            uses_channel=not self.config.copyback,
+                        )
+                    )
         erase_latency = self.nand.erase(victim)
         self._sealed.discard(victim)
         self._seal_times.pop(victim, None)
         self.policy.notify_erased(victim)
         self._free.append(victim)
         self.stats.blocks_erased += 1
-        ops.append(FlashOp(OpKind.ERASE, victim, None, erase_latency))
+        if build_ops:
+            ops.append(FlashOp(OpKind.ERASE, victim, None, erase_latency))
         self.stats.gc_runs += 1
         if self.tracer.enabled:
             self.tracer.publish(
                 GcEvent(
                     "ftl.gc", "collected", victim=victim,
-                    pages_copied=len(valid), free_blocks=len(self._free),
+                    pages_copied=nvalid, free_blocks=len(self._free),
                 )
             )
         return ops
 
-    def collect(self, target_free_blocks: int) -> list[FlashOp]:
+    def collect(self, target_free_blocks: int, build_ops: bool = True) -> list[FlashOp]:
         """Run GC until the free pool reaches ``target_free_blocks``."""
         ops: list[FlashOp] = []
         while len(self._free) < target_free_blocks:
-            ops.extend(self.collect_once())
+            result = self.collect_once(build_ops)
+            if build_ops:
+                ops.extend(result)
         return ops
 
     def _gc_destination(self) -> int:

@@ -23,11 +23,37 @@ from __future__ import annotations
 import abc
 from collections.abc import Iterable
 
+import numpy as np
+
 
 class VictimPolicy(abc.ABC):
     """Strategy interface for choosing the next GC victim block."""
 
     name: str = "abstract"
+
+    def select_array(
+        self,
+        candidates: np.ndarray,
+        valid_counts: np.ndarray,
+        pages_per_block: int,
+        seal_times: np.ndarray,
+        now: int,
+    ) -> int:
+        """Vectorized :meth:`select` over per-block state arrays.
+
+        ``candidates`` preserves the iteration order the scalar path would
+        see, so first-minimum tie-breaking (``np.argmin``/``argmax`` return
+        the first occurrence) picks the exact same victim. ``valid_counts``
+        and ``seal_times`` are indexed by block id. The default falls back
+        to the scalar strategy.
+        """
+        return self.select(
+            candidates.tolist(),
+            lambda b: int(valid_counts[b]),
+            pages_per_block,
+            lambda b: int(seal_times[b]),
+            now,
+        )
 
     @abc.abstractmethod
     def select(
@@ -80,6 +106,14 @@ class GreedyPolicy(VictimPolicy):
             raise ValueError("no GC candidates")
         return best
 
+    def select_array(self, candidates, valid_counts, pages_per_block, seal_times, now):
+        if candidates.size == 0:
+            raise ValueError("no GC candidates")
+        # argmin returns the first index holding the minimum, matching the
+        # scalar loop's strict-inequality tie-break (and its v == 0 early
+        # exit, which also lands on the first zero in iteration order).
+        return int(candidates[np.argmin(valid_counts[candidates])])
+
 
 class CostBenefitPolicy(VictimPolicy):
     """LFS-style cost-benefit cleaning: maximize (1-u)*age/(1+u)."""
@@ -98,6 +132,16 @@ class CostBenefitPolicy(VictimPolicy):
         if best is None:
             raise ValueError("no GC candidates")
         return best
+
+    def select_array(self, candidates, valid_counts, pages_per_block, seal_times, now):
+        if candidates.size == 0:
+            raise ValueError("no GC candidates")
+        # Same float64 arithmetic in the same order as the scalar loop, so
+        # scores (and therefore the argmax victim) are bit-identical.
+        u = valid_counts[candidates] / pages_per_block
+        age = np.maximum(now - seal_times[candidates], 1)
+        score = (1.0 - u) * age / (1.0 + u)
+        return int(candidates[np.argmax(score)])
 
 
 class FifoPolicy(VictimPolicy):
@@ -126,6 +170,15 @@ class FifoPolicy(VictimPolicy):
         if best is None:
             raise ValueError("no GC candidates")
         return best
+
+    def select_array(self, candidates, valid_counts, pages_per_block, seal_times, now):
+        if candidates.size == 0:
+            raise ValueError("no GC candidates")
+        get = self._order.get
+        ranks = np.fromiter(
+            (get(int(b), 0) for b in candidates), dtype=np.int64, count=candidates.size
+        )
+        return int(candidates[np.argmin(ranks)])
 
 
 _POLICIES = {

@@ -102,8 +102,14 @@ class PageMap:
 
     def valid_pages_in_block(self, block: int) -> list[int]:
         """Physical pages in ``block`` that currently hold valid data."""
+        return self.valid_pages_array(block).tolist()
+
+    def valid_pages_array(self, block: int) -> np.ndarray:
+        """Vectorized :meth:`valid_pages_in_block` (int64 array, ascending)."""
         self.geometry.check_block(block)
-        return [p for p in self.geometry.pages_of_block(block) if self.p2l[p] != UNMAPPED]
+        start = block * self.geometry.pages_per_block
+        window = self.p2l[start : start + self.geometry.pages_per_block]
+        return np.flatnonzero(window != UNMAPPED) + start
 
     def block_valid_count(self, block: int) -> int:
         self.geometry.check_block(block)
@@ -121,6 +127,64 @@ class PageMap:
         self.p2l[ppn_to] = lpn
         self.valid_counts[self.geometry.block_of_page(ppn_to)] += 1
         return lpn
+
+    # -- Batched operations (exact-parity fast paths) -----------------------
+
+    def map_batch(self, lpns: np.ndarray, ppns: np.ndarray) -> None:
+        """Bind ``lpns[i]`` to ``ppns[i]`` for all i, as :meth:`map` would.
+
+        Semantically identical to ``for l, p in zip(lpns, ppns): self.map(l, p)``
+        including duplicate ``lpns`` within the batch (later occurrences
+        supersede earlier ones, whose physical pages become invalid), but
+        without per-page Python work. ``ppns`` must be freshly-programmed
+        (unmapped) physical pages, all within one erasure block.
+        """
+        n = len(lpns)
+        if n == 0:
+            return
+        if n == 1:
+            self.map(int(lpns[0]), int(ppns[0]))
+            return
+        ppb = self.geometry.pages_per_block
+        block = int(ppns[0]) // ppb
+        # Last occurrence of each lpn wins; earlier in-batch occurrences
+        # map-then-invalidate entirely inside ``block`` (net zero on its
+        # valid count), so only survivors touch the maps.
+        rev_unique, rev_first = np.unique(lpns[::-1], return_index=True)
+        survivor_idx = n - 1 - rev_first
+        unique_lpns = rev_unique
+        final_ppns = ppns[survivor_idx]
+        prev = self.l2p[unique_lpns]
+        remapped = prev != UNMAPPED
+        prev_ppns = prev[remapped]
+        if prev_ppns.size:
+            self.p2l[prev_ppns] = UNMAPPED
+            np.subtract.at(self.valid_counts, prev_ppns // ppb, 1)
+            if self.valid_counts[prev_ppns // ppb].min() < 0:
+                raise AssertionError("valid count went negative in map_batch")
+        self.mapped_pages += int(unique_lpns.size - np.count_nonzero(remapped))
+        self.l2p[unique_lpns] = final_ppns
+        self.p2l[final_ppns] = unique_lpns
+        self.valid_counts[block] += unique_lpns.size
+
+    def relocate_batch(self, ppns_from: np.ndarray, ppns_to: np.ndarray) -> None:
+        """Move valid bindings in bulk (GC copy-forward), as :meth:`relocate`.
+
+        All ``ppns_from`` must be valid and distinct; ``ppns_to`` must be
+        unmapped, freshly-programmed pages within one erasure block.
+        """
+        n = len(ppns_from)
+        if n == 0:
+            return
+        ppb = self.geometry.pages_per_block
+        lpns = self.p2l[ppns_from]
+        if lpns.size and lpns.min() == UNMAPPED:
+            raise ValueError("relocate_batch of invalid physical page")
+        self.p2l[ppns_from] = UNMAPPED
+        np.subtract.at(self.valid_counts, ppns_from // ppb, 1)
+        self.l2p[lpns] = ppns_to
+        self.p2l[ppns_to] = lpns
+        self.valid_counts[int(ppns_to[0]) // ppb] += n
 
     def dram_bytes(self, bytes_per_entry: int = 4) -> int:
         """On-board DRAM the forward map would occupy (paper §2.2)."""

@@ -25,7 +25,7 @@ from repro.metrics.latency import LatencyRecorder
 from repro.obs.events import HostRequestEvent, ReclaimEvent
 from repro.obs.sinks import LatencySink
 from repro.obs.tracer import Tracer
-from repro.sim.engine import Engine, Timeout
+from repro.sim.engine import Engine
 from repro.zns.device import ZNSDevice
 
 
@@ -128,7 +128,7 @@ class TimedZonedBlockDevice:
         )
         # Stall while the host is out of zones (reclaim will free some).
         while self.layer.free_zone_count <= 1:
-            yield Timeout(self.engine, self.reclaim_poll_interval_us)
+            yield self.engine.sleep(self.reclaim_poll_interval_us)
         self.tracer.publish(
             HostRequestEvent(
                 "hostio.request", "write", "service-start",
@@ -185,7 +185,7 @@ class TimedZonedBlockDevice:
                             t=self.engine.now,
                         )
                     )
-                yield Timeout(self.engine, self.reclaim_poll_interval_us)
+                yield self.engine.sleep(self.reclaim_poll_interval_us)
 
 
 __all__ = ["TimedZonedBlockDevice"]

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from collections.abc import Callable, Generator
 from typing import Any
 
@@ -65,7 +66,7 @@ class Event:
     them instead.
     """
 
-    __slots__ = ("engine", "callbacks", "value", "_state", "_exception")
+    __slots__ = ("engine", "callbacks", "value", "_state", "_exception", "_poolable")
 
     def __init__(self, engine: Engine):
         self.engine = engine
@@ -73,6 +74,9 @@ class Event:
         self.value: Any = None
         self._state = _PENDING
         self._exception: BaseException | None = None
+        # Pool-managed events (engine-internal bootstraps, Engine.sleep
+        # timeouts) are recycled after processing instead of discarded.
+        self._poolable = False
 
     @property
     def triggered(self) -> bool:
@@ -216,8 +220,9 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Event | None = None
-        # Bootstrap: resume on an immediately-triggered event.
-        start = Event(engine)
+        # Bootstrap: resume on an immediately-triggered event. The event is
+        # engine-internal (no reference escapes), so it comes from a pool.
+        start = engine._acquire_event()
         start.callbacks.append(self._resume)
         start.succeed()
 
@@ -296,11 +301,24 @@ class Engine:
     queue is empty or ``until`` is reached.
     """
 
+    #: Upper bound on each recycling pool; beyond this, events are simply
+    #: dropped to the garbage collector.
+    _POOL_LIMIT = 4096
+
     def __init__(self):
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Event]] = []
+        # Same-time fast lane: events scheduled with zero delay. Entries
+        # carry (time, seq) like heap entries and are appended at the
+        # current clock with increasing sequence numbers, so the head is
+        # always the lane's minimum and a single head-to-head comparison
+        # with the heap top recovers global (time, seq) order without
+        # paying O(log n) per zero-delay event.
+        self._fifo: deque[tuple[float, int, Event]] = deque()
         self._sequence = itertools.count()
         self._processed_count = 0
+        self._event_pool: list[Event] = []
+        self._timeout_pool: list[Timeout] = []
 
     @property
     def processed_events(self) -> int:
@@ -308,7 +326,31 @@ class Engine:
         return self._processed_count
 
     def _schedule(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), event))
+        if delay == 0.0:
+            self._fifo.append((self.now, next(self._sequence), event))
+        else:
+            heapq.heappush(self._queue, (self.now + delay, next(self._sequence), event))
+
+    def _acquire_event(self) -> Event:
+        """A pending pool-managed :class:`Event` (engine-internal use)."""
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.value = None
+            event._exception = None
+            event._state = _PENDING
+            return event
+        event = Event(self)
+        event._poolable = True
+        return event
+
+    def _recycle(self, event: Event) -> None:
+        if type(event) is Timeout:
+            pool: list = self._timeout_pool
+        else:
+            pool = self._event_pool
+        if len(pool) < self._POOL_LIMIT:
+            pool.append(event)
 
     # -- Public factory helpers ------------------------------------------
 
@@ -317,6 +359,29 @@ class Engine:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float, value: Any = None) -> Timeout:
+        """A pooled :class:`Timeout` for fire-and-forget waits.
+
+        Identical in behavior to ``Timeout(engine, delay, value)``, but the
+        event object is recycled once processed. Use only for timeouts
+        yielded inline and never referenced afterwards (the hot pattern in
+        service models); holding one past its firing reads recycled state.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout.value = value
+            timeout._exception = None
+            timeout._state = _TRIGGERED
+            self._schedule(timeout, delay)
+            return timeout
+        timeout = Timeout(self, delay, value)
+        timeout._poolable = True
+        return timeout
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
         """Start a new process running ``generator``."""
@@ -336,18 +401,34 @@ class Engine:
         Raises :class:`SimulationError` if the queue is empty (the kernel
         has nothing left to do).
         """
-        if not self._queue:
+        fifo = self._fifo
+        queue = self._queue
+        if fifo:
+            if queue and queue[0] < fifo[0]:
+                when, _seq, event = heapq.heappop(queue)
+            else:
+                when, _seq, event = fifo.popleft()
+        elif queue:
+            when, _seq, event = heapq.heappop(queue)
+        else:
             raise SimulationError("step() on an empty event queue")
-        when, _seq, event = heapq.heappop(self._queue)
         if when < self.now:
             raise SimulationError("event scheduled in the past")
         self.now = when
         self._processed_count += 1
         event._process()
+        if event._poolable:
+            self._recycle(event)
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        fifo = self._fifo
+        queue = self._queue
+        if fifo:
+            if queue and queue[0] < fifo[0]:
+                return queue[0][0]
+            return fifo[0][0]
+        return queue[0][0] if queue else float("inf")
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains, ``until`` time passes, or event fires.
@@ -360,7 +441,7 @@ class Engine:
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
-                if not self._queue:
+                if not self._queue and not self._fifo:
                     raise SimulationError(
                         "event queue drained before `until` event triggered"
                     )
@@ -369,11 +450,43 @@ class Engine:
                 raise stop._exception
             return stop.value
 
+        # Numeric fast path: no sentinel event is allocated to mark the
+        # horizon, and the step() pop is inlined to avoid per-event call
+        # overhead. processed_events accounting matches step() exactly.
         horizon = float("inf") if until is None else float(until)
         if horizon < self.now:
             raise SimulationError(f"cannot run until {horizon}; now is {self.now}")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        fifo = self._fifo
+        queue = self._queue
+        heappop = heapq.heappop
+        while True:
+            if fifo:
+                if queue and queue[0] < fifo[0]:
+                    head = queue[0]
+                    from_heap = True
+                else:
+                    head = fifo[0]
+                    from_heap = False
+            elif queue:
+                head = queue[0]
+                from_heap = True
+            else:
+                break
+            when = head[0]
+            if when > horizon:
+                break
+            if from_heap:
+                heappop(queue)
+            else:
+                fifo.popleft()
+            if when < self.now:
+                raise SimulationError("event scheduled in the past")
+            self.now = when
+            self._processed_count += 1
+            event = head[2]
+            event._process()
+            if event._poolable:
+                self._recycle(event)
         if horizon != float("inf"):
             self.now = horizon
         return None

@@ -27,6 +27,22 @@ def uniform_stream(
         yield int(rng.integers(0, num_pages))
 
 
+def uniform_array(
+    num_pages: int, count: int, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """Vectorized :func:`uniform_stream`: the same addresses as one array.
+
+    numpy's Generator draws an identical sequence whether ``integers`` is
+    called ``count`` times or once with ``size=count``, so this is
+    byte-for-byte the stream batched consumers can feed to
+    ``write_pages``-style APIs.
+    """
+    if num_pages < 1:
+        raise ValueError("num_pages must be >= 1")
+    rng = make_rng(seed)
+    return rng.integers(0, num_pages, size=count, dtype=np.int64)
+
+
 def sequential_stream(num_pages: int, count: int, start: int = 0) -> Iterator[int]:
     """Sequential addresses with wraparound: the best case (WA -> 1)."""
     if num_pages < 1:
@@ -123,6 +139,7 @@ __all__ = [
     "hot_cold_stream",
     "read_write_mix",
     "sequential_stream",
+    "uniform_array",
     "uniform_stream",
     "zipfian_stream",
 ]

@@ -21,6 +21,8 @@ from typing import Any
 
 import itertools
 
+import numpy as np
+
 from repro.flash.geometry import ZonedGeometry
 from repro.flash.nand import NandArray
 from repro.flash.ops import FlashOp, OpKind
@@ -154,6 +156,23 @@ class ZNSDevice:
             block_index, within = divmod(offset, ppb)
         if within >= ppb or block_index >= len(blocks):
             raise IndexError(f"offset {offset} beyond zone {zone_id}")
+        return blocks[block_index] * ppb + within
+
+    def _pages_of(self, zone_id: int, offsets: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_page_of` over an offset array."""
+        blocks = np.asarray(self.ftl.blocks_of_zone(zone_id), dtype=np.int64)
+        ppb = self.geometry.flash.pages_per_block
+        if self.striped:
+            width = len(blocks)
+            block_index = offsets % width
+            within = offsets // width
+        else:
+            block_index, within = np.divmod(offsets, ppb)
+        if offsets.size and (
+            int(within.max()) >= ppb or int(block_index.max()) >= len(blocks)
+        ):
+            bad = int(offsets[(within >= ppb) | (block_index >= len(blocks))][0])
+            raise IndexError(f"offset {bad} beyond zone {zone_id}")
         return blocks[block_index] * ppb + within
 
     def block_of_offset(self, zone_id: int, offset: int) -> int:
@@ -405,6 +424,109 @@ class ZNSDevice:
             self._note_no_longer_open(dst_zone_id)
             self._publish_transition(dst, old_state, "write-full")
         return start, ops
+
+    # -- Batched data commands ------------------------------------------------------
+    #
+    # The batch twins of write/append/simple_copy: same zone state machine,
+    # same command-level events and counter totals, but the flash work goes
+    # through the NAND batch entry points (one aggregate flash event per
+    # command) and no per-page FlashOp records are built. Callers that
+    # replay physical ops in the DES must use the scalar commands.
+
+    def write_batch(self, zone_id: int, npages: int, offset: int | None = None) -> int:
+        """Batched sequential write at the write pointer; returns ``npages``."""
+        if npages < 1:
+            raise ValueError("npages must be >= 1")
+        zone = self.zone(zone_id)
+        zone.check_writable(npages)
+        if offset is not None and offset != zone.wp:
+            raise WritePointerError(
+                f"write at offset {offset} but zone {zone_id} wp is {zone.wp}"
+            )
+        self._ensure_open_for_write(zone)
+        start_wp = zone.wp
+        pages = self._pages_of(
+            zone_id, np.arange(start_wp, start_wp + npages, dtype=np.int64)
+        )
+        self.nand.program_batch(pages)
+        old_state = zone.state
+        zone.advance(npages)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "zns.device", "program",
+                    block=int(pages[0]) // self.geometry.flash.pages_per_block,
+                    count=npages, nbytes=npages * self.page_size,
+                )
+            )
+        if zone.state is ZoneState.FULL:
+            self._note_no_longer_open(zone_id)
+            self._publish_transition(zone, old_state, "write-full")
+        return npages
+
+    def append_batch(self, zone_id: int, npages: int = 1) -> int:
+        """Batched zone append; returns the assigned start offset."""
+        zone = self.zone(zone_id)
+        assigned = zone.wp
+        self.write_batch(zone_id, npages)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                ZoneAppendEvent("zns.device", zone_id, assigned, npages=npages)
+            )
+        return assigned
+
+    def simple_copy_batch(
+        self, sources: list[tuple[int, int]] | np.ndarray, dst_zone_id: int
+    ) -> int:
+        """Batched NVMe simple copy; returns the destination start offset.
+
+        ``sources`` is a sequence (or ``(n, 2)`` array) of (zone, offset)
+        pages, copied in order to the destination write pointer.
+        """
+        src = np.asarray(sources, dtype=np.int64).reshape(-1, 2)
+        n = len(src)
+        if n == 0:
+            raise ValueError("simple_copy requires at least one source")
+        dst = self.zone(dst_zone_id)
+        dst.check_writable(n)
+        self._ensure_open_for_write(dst)
+        start = dst.wp
+        src_pages = np.empty(n, dtype=np.int64)
+        for zone_id in np.unique(src[:, 0]).tolist():
+            src_zone = self.zone(int(zone_id))
+            mask = src[:, 0] == zone_id
+            offsets = src[mask, 1]
+            if (
+                src_zone.state is ZoneState.OFFLINE
+                or int(offsets.min()) < 0
+                or int(offsets.max()) >= src_zone.wp
+            ):
+                for off in offsets.tolist():
+                    src_zone.check_readable(int(off))
+            src_pages[mask] = self._pages_of(int(zone_id), offsets)
+        dst_pages = self._pages_of(
+            dst_zone_id, np.arange(start, start + n, dtype=np.int64)
+        )
+        # Mirror the scalar command's flash accounting exactly: the sense
+        # side is silent (device-internal) and the program side books as
+        # programs at the flash.nand layer; the copy is counted once here
+        # at the command layer.
+        self.nand.sense_for_copy_batch(src_pages)
+        self.nand.program_batch(dst_pages)
+        old_state = dst.state
+        dst.advance(n)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "zns.device", "copy",
+                    block=int(dst_pages[0]) // self.geometry.flash.pages_per_block,
+                    count=n, nbytes=n * self.page_size,
+                )
+            )
+        if dst.state is ZoneState.FULL:
+            self._note_no_longer_open(dst_zone_id)
+            self._publish_transition(dst, old_state, "write-full")
+        return start
 
 
 class TimedZNSDevice:

@@ -1,0 +1,235 @@
+"""Engine scheduling fast paths: FIFO lane, event pooling, run(until=number).
+
+The PR added a same-time FIFO lane for zero-delay events, recycling
+pools for engine-internal events and ``sleep()`` timeouts, and an
+inlined numeric ``run(until=...)`` that allocates no sentinel event.
+These tests pin the semantics those optimizations must preserve: exact
+global (time, creation-order) processing order, unchanged
+``processed_events`` accounting, and safe object reuse.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine, Interrupt, SimulationError, Timeout
+
+
+class TestFifoLaneOrdering:
+    def test_zero_delay_fires_before_later_heap_events(self):
+        engine = Engine()
+        order = []
+        Timeout(engine, 0.0).callbacks.append(lambda e: order.append("zero"))
+        Timeout(engine, 1.0).callbacks.append(lambda e: order.append("one"))
+        engine.run()
+        assert order == ["zero", "one"]
+
+    def test_same_time_heap_and_fifo_interleave_in_creation_order(self):
+        """A heap event at t=5 created early beats a zero-delay created at t=5."""
+        engine = Engine()
+        order = []
+
+        def spawn_zero(_event):
+            order.append("a")
+            Timeout(engine, 0.0).callbacks.append(lambda e: order.append("c"))
+
+        Timeout(engine, 5.0).callbacks.append(spawn_zero)
+        Timeout(engine, 5.0).callbacks.append(lambda e: order.append("b"))
+        engine.run()
+        # "b" was scheduled (t=5, seq=1) before "c" existed (t=5, seq=2),
+        # so the heap entry must drain before the FIFO entry.
+        assert order == ["a", "b", "c"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        delays=st.lists(
+            st.sampled_from([0.0, 0.0, 1.0, 2.0, 3.0]), min_size=1, max_size=40
+        )
+    )
+    def test_processing_order_is_time_then_creation_order(self, delays):
+        """Mixed zero/positive delays process in exact (time, seq) order."""
+        engine = Engine()
+        fired = []
+        for index, delay in enumerate(delays):
+            Timeout(engine, delay, value=index).callbacks.append(
+                lambda event: fired.append(event.value)
+            )
+        engine.run()
+        expected = [
+            index
+            for index, _ in sorted(enumerate(delays), key=lambda pair: (pair[1], pair[0]))
+        ]
+        assert fired == expected
+
+    def test_peek_sees_fifo_head(self):
+        engine = Engine()
+        Timeout(engine, 3.0)
+        assert engine.peek() == 3.0
+        Timeout(engine, 0.0)
+        assert engine.peek() == 0.0
+
+    def test_step_drains_fifo_and_heap(self):
+        engine = Engine()
+        Timeout(engine, 0.0)
+        Timeout(engine, 1.0)
+        engine.step()
+        engine.step()
+        assert engine.now == 1.0
+        try:
+            engine.step()
+            raise AssertionError("expected SimulationError on empty queue")
+        except SimulationError:
+            pass
+
+    def test_run_until_event_pending_in_fifo(self):
+        """run(until=event) must see work sitting only in the FIFO lane."""
+        engine = Engine()
+
+        def proc():
+            yield engine.sleep(0.0)
+            return 42
+
+        assert engine.run(until=engine.process(proc())) == 42
+
+    def test_interrupt_travels_through_fifo(self):
+        engine = Engine()
+        caught = []
+
+        def sleeper():
+            try:
+                yield Timeout(engine, 100.0)
+            except Interrupt as exc:
+                caught.append((engine.now, exc.cause))
+
+        victim = engine.process(sleeper())
+
+        def interrupter():
+            yield Timeout(engine, 2.0)
+            victim.interrupt("wake")
+
+        engine.process(interrupter())
+        engine.run()
+        assert caught == [(2.0, "wake")]
+
+
+class TestEventPooling:
+    def test_sleep_recycles_timeout_objects(self):
+        engine = Engine()
+        seen = []
+
+        def proc():
+            # The generator resumes *during* each timeout's processing,
+            # before the engine recycles it, so the reuse shows up one
+            # yield later: the third sleep gets the first's object.
+            for delay in (1.0, 2.0, 3.0):
+                timeout = engine.sleep(delay)
+                seen.append(timeout)
+                yield timeout
+
+        engine.process(proc())
+        engine.run()
+        assert engine.now == 6.0
+        assert seen[2] is seen[0]  # the processed timeout was reused
+
+    def test_sleep_matches_timeout_semantics(self):
+        engine = Engine()
+        values = []
+
+        def proc():
+            values.append((yield engine.sleep(1.5, value="a")))
+            values.append((yield Timeout(engine, 0.5, value="b")))
+            values.append((yield engine.sleep(0.0, value="c")))
+
+        engine.process(proc())
+        engine.run()
+        assert values == ["a", "b", "c"]
+        assert engine.now == 2.0
+
+    def test_pooled_sleep_rejects_negative_delay(self):
+        engine = Engine()
+
+        def proc():
+            yield engine.sleep(0.0)
+
+        engine.process(proc())
+        engine.run()  # puts a timeout into the pool
+        try:
+            engine.sleep(-1.0)
+            raise AssertionError("expected SimulationError")
+        except SimulationError:
+            pass
+
+    def test_plain_events_are_never_recycled(self):
+        engine = Engine()
+        event = engine.event()
+        event.succeed("kept")
+        engine.run()
+        assert event.value == "kept"
+        assert event.processed
+        assert event is not engine._acquire_event()
+
+
+class TestRunUntilNumber:
+    def test_processed_events_accounting_unchanged(self):
+        """The sentinel-free numeric horizon counts only real events."""
+        engine = Engine()
+        for delay in (1.0, 2.0, 3.0):
+            Timeout(engine, delay)
+        engine.run(until=2.5)
+        assert engine.processed_events == 2
+        assert engine.now == 2.5
+        engine.run()
+        assert engine.processed_events == 3
+        assert engine.now == 3.0
+
+    def test_horizon_exactly_on_event_time_includes_it(self):
+        engine = Engine()
+        Timeout(engine, 2.0)
+        engine.run(until=2.0)
+        assert engine.processed_events == 1
+        assert engine.now == 2.0
+
+    def test_zero_horizon_drains_zero_delay_events(self):
+        engine = Engine()
+        fired = []
+        Timeout(engine, 0.0).callbacks.append(lambda e: fired.append(True))
+        engine.run(until=0.0)
+        assert fired == [True]
+        assert engine.processed_events == 1
+
+    def test_counts_match_step_by_step_run(self):
+        def build():
+            engine = Engine()
+
+            def proc():
+                for _ in range(10):
+                    yield engine.sleep(0.0)
+                    yield engine.sleep(1.0)
+
+            engine.process(proc())
+            return engine
+
+        stepped = build()
+        while True:
+            try:
+                stepped.step()
+            except SimulationError:
+                break
+        horizon = build()
+        horizon.run(until=1e9)
+        full = build()
+        full.run()
+        assert (
+            stepped.processed_events
+            == horizon.processed_events
+            == full.processed_events
+        )
+
+    def test_past_horizon_rejected(self):
+        engine = Engine()
+        Timeout(engine, 5.0)
+        engine.run()
+        try:
+            engine.run(until=1.0)
+            raise AssertionError("expected SimulationError")
+        except SimulationError:
+            pass
