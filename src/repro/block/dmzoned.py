@@ -23,13 +23,15 @@ from typing import Any
 import numpy as np
 
 from repro.block.interface import ZonedDevice
+from repro.flash.errors import ProgramFaultError, UncorrectableReadError
 from repro.flash.ops import FlashOp
 from repro.ftl.gc import VictimPolicy, make_policy
 from repro.metrics.counters import OpCounter
-from repro.obs.events import FlashOpEvent, ReclaimEvent
+from repro.obs.events import FlashOpEvent, ReclaimEvent, RecoveryEvent
 from repro.obs.runtime import new_tracer
 from repro.obs.sinks import OpCounterSink
 from repro.obs.tracer import Tracer
+from repro.zns.errors import ZoneOfflineError
 from repro.zns.zone import ZoneState
 
 UNMAPPED = -1
@@ -80,6 +82,9 @@ class ZonedBlockStats:
     gc_runs: int = 0
     zones_reset: int = 0
     pcie_copy_pages: int = 0  # GC pages that crossed the host interface
+    zones_degraded: int = 0  # write frontiers lost to READ_ONLY degradation
+    zones_lost: int = 0  # zones gone OFFLINE (capacity permanently lost)
+    pages_lost: int = 0  # mapped pages inside zones that went offline
 
     @property
     def host_write_amplification(self) -> float:
@@ -192,7 +197,21 @@ class ZonedBlockDevice:
         if flat == UNMAPPED:
             raise TranslationError(f"lba {lba} is unmapped")
         zone, offset = divmod(flat, self._pages_per_zone)
-        payload, op = self.device.read(zone, offset)
+        try:
+            payload, op = self.device.read(zone, offset)
+        except ZoneOfflineError:
+            # The zone died under us (scheduled fault): every lba mapped
+            # into it is gone. Account the loss, keep the map consistent,
+            # and let the caller see the I/O failure.
+            self._drop_offline_zone(zone)
+            raise
+        except UncorrectableReadError:
+            # ECC ladder exhausted: this one page is lost; unmap it so
+            # later reads fail fast instead of re-walking the ladder.
+            self._unmap_physical(flat)
+            self._l2p[lba] = UNMAPPED
+            self.stats.pages_lost += 1
+            raise
         self.stats.user_pages_read += 1
         if self.tracer.enabled:
             self.tracer.publish(
@@ -207,17 +226,36 @@ class ZonedBlockDevice:
         self._check(lba)
         self._clock += 1
         ops: list[FlashOp] = []
-        if self._frontier_full(self._write_zone):
-            if self._write_zone is not None:
-                self._seal(self._write_zone)
+        # Each retry consumes a fresh frontier zone, so the attempt bound
+        # only trips when the device keeps degrading zones under us.
+        for _ in range(8):
+            if self._frontier_full(self._write_zone):
+                if self._write_zone is not None:
+                    self._seal(self._write_zone)
+                    self._write_zone = None
+                if auto_gc and self.gc_needed():
+                    ops.extend(self.collect(self.config.gc_high_zones))
+                self._write_zone = self._take_free_zone()
+            zone = self._write_zone
+            offset = self.device.zone(zone).wp
+            try:
+                ops.extend(self.device.write(zone, npages=1, data=data))
+            except ProgramFaultError:
+                # The frontier degraded to READ_ONLY: its valid pages stay
+                # readable and reclaimable, so seal it for GC and move on.
+                self.stats.zones_degraded += 1
+                self._seal(zone)
                 self._write_zone = None
-            if auto_gc and self.gc_needed():
-                ops.extend(self.collect(self.config.gc_high_zones))
-            self._write_zone = self._take_free_zone()
-        zone = self._write_zone
-        offset = self.device.zone(zone).wp
-        ops.extend(self.device.write(zone, npages=1, data=data))
-        self._map(lba, zone, offset)
+                continue
+            except ZoneOfflineError:
+                # Scheduled offline hit the frontier: its data is gone.
+                self._drop_offline_zone(zone)
+                self._write_zone = None
+                continue
+            self._map(lba, zone, offset)
+            break
+        else:
+            raise TranslationError(f"write of lba {lba} failed: zones keep degrading")
         self.stats.user_pages_written += 1
         if self.tracer.enabled:
             self.tracer.publish(
@@ -262,17 +300,46 @@ class ZonedBlockDevice:
         return self.device.zone(zone).state is ZoneState.FULL
 
     def _take_free_zone(self) -> int:
-        if not self._free_zones:
-            raise TranslationError("no free zones available")
-        return self._free_zones.pop(0)
+        while self._free_zones:
+            zone = self._free_zones.pop(0)
+            if self.device.zone(zone).is_writable:
+                return zone
+            # Went OFFLINE while parked free (scheduled fault).
+            self._drop_offline_zone(zone)
+        raise TranslationError("no free zones available")
 
     def _seal(self, zone: int) -> None:
         self._sealed.add(zone)
         self._seal_times[zone] = self._clock
         self.policy.notify_sealed(zone, self._clock)
-        # Finishing releases the device's active-zone resources.
-        if self.device.zone(zone).state is not ZoneState.FULL:
+        # Finishing releases the device's active-zone resources; degraded
+        # (READ_ONLY/OFFLINE) zones hold none and cannot be finished.
+        if self.device.zone(zone).state.is_active:
             self.device.finish_zone(zone)
+
+    def _drop_offline_zone(self, zone: int) -> None:
+        """Forget a zone that went OFFLINE: its data and capacity are lost."""
+        base = self._flat(zone, 0)
+        slot = self._p2l[base : base + self._pages_per_zone]
+        lost = slot[slot != UNMAPPED]
+        for lba in lost.tolist():
+            self._l2p[lba] = UNMAPPED
+        slot[:] = UNMAPPED
+        self._valid[zone] = 0
+        self._sealed.discard(zone)
+        self._seal_times.pop(zone, None)
+        if zone in self._free_zones:
+            self._free_zones.remove(zone)
+        self.policy.notify_erased(zone)
+        self.stats.zones_lost += 1
+        self.stats.pages_lost += int(lost.size)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                RecoveryEvent(
+                    "block.dmzoned", "zone-offline", zone=zone,
+                    detail=f"{int(lost.size)} mapped pages lost",
+                )
+            )
 
     # -- Host garbage collection ---------------------------------------------------------
 
@@ -324,7 +391,30 @@ class ZonedBlockDevice:
             # The page may have been overwritten (invalidated) since staging.
             if self._p2l[self._flat(self._victim, offset)] == UNMAPPED:
                 continue
-            ops.extend(self._relocate(self._victim, offset))
+            dst = self._gc_destination()
+            try:
+                ops.extend(self._relocate(self._victim, offset, dst))
+            except ProgramFaultError:
+                # The GC destination degraded before the copy landed:
+                # seal it for a later pass and retry into a fresh zone.
+                self.stats.zones_degraded += 1
+                self._seal(dst)
+                self._forget_active(dst)
+                self._victim_offsets.insert(0, offset)
+                continue
+            except ZoneOfflineError:
+                if self.device.zone(self._victim).state is ZoneState.OFFLINE:
+                    # The victim died mid-drain: its remaining valid data
+                    # is unrecoverable. Drop it without a reset.
+                    self._drop_offline_zone(self._victim)
+                    self._victim = None
+                    self._victim_offsets = []
+                    return ops
+                # Otherwise the destination went offline (pre-copy).
+                self._drop_offline_zone(dst)
+                self._forget_active(dst)
+                self._victim_offsets.insert(0, offset)
+                continue
             max_copies -= 1
             copied += 1
         if copied and self.tracer.enabled:
@@ -336,11 +426,22 @@ class ZonedBlockDevice:
             )
         if not self._victim_offsets:
             victim = self._victim
+            if self.device.zone(victim).state is ZoneState.OFFLINE:
+                # Drained but unresettable: the zone went offline after its
+                # last valid page moved out. No data lost, capacity is.
+                self._drop_offline_zone(victim)
+                self._victim = None
+                self.stats.gc_runs += 1
+                return ops
             ops.extend(self.device.reset_zone(victim))
             self._sealed.discard(victim)
             self._seal_times.pop(victim, None)
             self.policy.notify_erased(victim)
-            self._free_zones.append(victim)
+            if self.device.zone(victim).state is ZoneState.OFFLINE:
+                # Reset retired the last backing blocks (spares exhausted).
+                self.stats.zones_lost += 1
+            else:
+                self._free_zones.append(victim)
             self._victim = None
             self.stats.zones_reset += 1
             self.stats.gc_runs += 1
@@ -366,8 +467,7 @@ class ZonedBlockDevice:
             ops.extend(self.collect_once())
         return ops
 
-    def _relocate(self, victim: int, offset: int) -> list[FlashOp]:
-        dst_zone = self._gc_destination()
+    def _relocate(self, victim: int, offset: int, dst_zone: int) -> list[FlashOp]:
         dst_offset = self.device.zone(dst_zone).wp
         if self.config.use_simple_copy:
             _, ops = self.device.simple_copy([(victim, offset)], dst_zone)
@@ -389,8 +489,24 @@ class ZonedBlockDevice:
             return self._gc_zone
         if self._gc_zone is not None:
             self._seal(self._gc_zone)
+            self._gc_zone = None
+        if not self._free_zones and self._write_zone is not None:
+            # Free pool drained mid-reclaim (degradation churn under
+            # faults). Borrow the user write frontier as the destination:
+            # mixing GC data into it costs locality, not correctness, and
+            # draining the victim is what returns a zone to the pool.
+            frontier = self.device.zone(self._write_zone)
+            if frontier.is_writable and frontier.remaining > 0:
+                return self._write_zone
         self._gc_zone = self._take_free_zone()
         return self._gc_zone
+
+    def _forget_active(self, zone: int) -> None:
+        """Clear whichever active slot (GC or frontier) referenced ``zone``."""
+        if self._gc_zone == zone:
+            self._gc_zone = None
+        if self._write_zone == zone:
+            self._write_zone = None
 
     # -- Invariant checking (property tests) -------------------------------------------
 

@@ -10,7 +10,11 @@ the experiments themselves stay ignorant of:
 - **memoization** -- a content-addressed on-disk cache keyed on config
   hash + code version (:mod:`repro.exec.cache`);
 - **observability** -- structured per-experiment progress lines and a
-  wall-clock summary (:mod:`repro.exec.progress`).
+  wall-clock summary (:mod:`repro.exec.progress`);
+- **resilience** -- structured :class:`~repro.exec.errors.ErrorResult`
+  reporting for failed units of work, per-unit timeouts, transient-error
+  retries, and graceful degradation when a worker kills its process pool
+  (:mod:`repro.exec.errors`, :mod:`repro.exec.pool`).
 """
 
 from repro.exec.cache import (
@@ -20,17 +24,21 @@ from repro.exec.cache import (
     code_version,
     default_cache_dir,
 )
+from repro.exec.errors import ErrorResult, TransientError, backoff_delay
 from repro.exec.pool import ExecutionRecord, Executor, execute
 from repro.exec.progress import NullReporter, ProgressReporter
 
 __all__ = [
     "CACHE_DIR_ENV",
     "CacheStats",
+    "ErrorResult",
     "ExecutionRecord",
     "Executor",
     "NullReporter",
     "ProgressReporter",
     "ResultCache",
+    "TransientError",
+    "backoff_delay",
     "code_version",
     "default_cache_dir",
     "execute",

@@ -12,6 +12,7 @@ import sys
 from typing import TYPE_CHECKING, TextIO
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.errors import ErrorResult
     from repro.exec.pool import ExecutionRecord
     from repro.experiments.base import ExperimentConfig
 
@@ -34,6 +35,15 @@ class ProgressReporter:
             f"({mode}, seed={config.seed})"
         )
 
+    def failed(
+        self,
+        config: "ExperimentConfig",
+        error: "ErrorResult",
+        index: int,
+        total: int,
+    ) -> None:
+        self._emit(f"[{index + 1:>2}/{total}] FAIL {error.describe()}")
+
     def finished(self, record: "ExecutionRecord", index: int, total: int) -> None:
         provenance = " (cached)" if record.cached else ""
         self._emit(
@@ -44,9 +54,11 @@ class ProgressReporter:
     def summary(self, records: list["ExecutionRecord"], wall_s: float) -> None:
         cached = sum(1 for r in records if r.cached)
         computed = len(records) - cached
+        failed = sum(1 for r in records if not r.ok)
+        tail = f", {failed} FAILED" if failed else ""
         self._emit(
             f"== {len(records)} experiment(s) in {wall_s:.1f}s wall-clock: "
-            f"{computed} computed, {cached} from cache =="
+            f"{computed} computed, {cached} from cache{tail} =="
         )
 
 

@@ -24,6 +24,7 @@ import sys
 
 from repro.experiments.base import SCHEMA_VERSION, ExperimentConfig
 from repro.experiments.runner import (
+    DEFAULT_IDS,
     MODULES,
     UnknownExperimentError,
     resolve_id,
@@ -46,6 +47,7 @@ _DESCRIPTIONS = {
     "E12": "Block-on-ZNS translation vs conventional SSD",
     "E13": "Flash cache designs per interface",
     "E14": "Device lifetime: measured WA x cell endurance",
+    "E15": "Fault resilience: WA/tails under injected flash faults",
     "A1": "Ablation: GC victim policy x workload skew",
     "A2": "Ablation: zone width vs LSM reclaim overhead",
     "A3": "Ablation: erase suspension vs read tails",
@@ -130,13 +132,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "into the result metrics; with --jobs, each worker profiles its "
         "own unit of work independently (implies --no-cache)",
     )
+    run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --jobs, abandon any unit of work (experiment or sweep "
+        "point) still running after SECONDS with a structured Timeout error",
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry transient failures (TransientError, timeouts, killed "
+        "workers) up to N extra times with exponential backoff",
+    )
     return parser
 
 
 def _resolve_ids(spec: str) -> list[str]:
     """Expand 'all' / 'E1' / 'E1,E5,A2' into canonical registry keys."""
     if spec.lower() == "all":
-        return list(MODULES)
+        return list(DEFAULT_IDS)
     return [resolve_id(part) for part in spec.split(",") if part.strip()]
 
 
@@ -218,6 +236,8 @@ def _cmd_run(args) -> int:
         cache=cache,
         reporter=ProgressReporter(stream=sys.stderr),
         profile=args.profile,
+        timeout_s=args.timeout,
+        retries=args.retries,
     )
     try:
         records = _run_instrumented(executor, configs, args)
@@ -245,7 +265,13 @@ def _cmd_run(args) -> int:
             f"wrote metrics for {len(metrics)} experiment(s) to {args.metrics_out}",
             file=sys.stderr,
         )
-    payload = [record.result.to_dict() for record in records]
+    # Records that produced a usable result; hard failures (no result
+    # beyond a placeholder) stay out of the JSON payload so downstream
+    # consumers see partial-but-valid data plus a nonzero exit code.
+    succeeded = [record for record in records if record.error is None]
+    failed = [record for record in records if record.error is not None]
+    degraded = [record for record in succeeded if not record.ok]
+    payload = [record.result.to_dict() for record in succeeded]
     if args.out:
         try:
             with open(args.out, "w") as handle:
@@ -254,14 +280,24 @@ def _cmd_run(args) -> int:
             print(f"zns-repro: error: cannot write {args.out}: {exc}", file=sys.stderr)
             return 2
         print(f"wrote {len(payload)} result(s) to {args.out}", file=sys.stderr)
+    for record in failed:
+        print(f"zns-repro: FAILED {record.error.describe()}", file=sys.stderr)
+    for record in degraded:
+        lost = len(record.result.metrics.get("errors", []))
+        print(
+            f"zns-repro: PARTIAL {record.config.experiment_id}: "
+            f"{lost} sweep point(s) failed (details in result metrics)",
+            file=sys.stderr,
+        )
+    exit_code = 1 if failed or degraded else 0
     if args.json:
         print(json.dumps(payload, indent=1, sort_keys=True))
-        return 0
-    for record in records:
+        return exit_code
+    for record in succeeded:
         print(_render(record.result, args.format))
         provenance = "cached" if record.cached else f"finished in {record.duration_s:.1f}s"
         print(f"[{record.config.experiment_id} {provenance}]\n")
-    return 0
+    return exit_code
 
 
 def _cmd_chart(args) -> int:

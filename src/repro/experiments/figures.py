@@ -45,12 +45,24 @@ def chart_e14(result: ExperimentResult) -> str:
     return ascii_bars(labels, values, unit="y")
 
 
+def chart_e15(result: ExperimentResult) -> str:
+    """WA per stack along the fault-rate ladder; dead devices read 'DEAD'."""
+    labels, values = [], []
+    for row in result.rows:
+        tag = "conv" if row["arm"] == "conventional" else "zns"
+        suffix = " DEAD" if row["died"] else ""
+        labels.append(f"{tag}@{row['fault_scale']:g}x{suffix}")
+        values.append(row["write_amplification"])
+    return ascii_bars(labels, values, unit="x WA")
+
+
 #: Experiments with a figure renderer.
 FIGURES = {
     "E1": chart_e1,
     "E7": chart_e7,
     "E9": chart_e9,
     "E14": chart_e14,
+    "E15": chart_e15,
 }
 
 

@@ -32,6 +32,7 @@ from repro.experiments import (
     e12_dmzoned,
     e13_cache,
     e14_endurance,
+    e15_fault_resilience,
     t1_survey,
 )
 from repro.experiments.base import ExperimentConfig, ExperimentResult
@@ -61,12 +62,18 @@ MODULES: dict[str, ModuleType] = {
     "E12": e12_dmzoned,
     "E13": e13_cache,
     "E14": e14_endurance,
+    "E15": e15_fault_resilience,
     "A1": a1_gc_policy,
     "A2": a2_zone_size,
     "A3": a3_erase_suspend,
     "A4": a4_dramless,
     "A5": a5_metadata,
 }
+
+#: Ids included in ``run all`` / :func:`run_all`. E15 injects flash
+#: faults, so keeping it out of the default suite keeps the suite's
+#: output deterministic and fault-free; run it explicitly by id.
+DEFAULT_IDS: tuple[str, ...] = tuple(key for key in MODULES if key != "E15")
 
 #: id -> run callable. Pre-redesign shim; prefer :func:`run_config`.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -111,12 +118,13 @@ def run_all(
     from repro.exec import execute
 
     configs = [
-        ExperimentConfig(key, full=not quick, seed=seed) for key in MODULES
+        ExperimentConfig(key, full=not quick, seed=seed) for key in DEFAULT_IDS
     ]
     return [record.result for record in execute(configs, jobs=jobs, cache=cache)]
 
 
 __all__ = [
+    "DEFAULT_IDS",
     "EXPERIMENTS",
     "MODULES",
     "UnknownExperimentError",

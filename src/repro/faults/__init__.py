@@ -1,0 +1,19 @@
+"""Seeded fault injection and the recovery paths it exercises.
+
+The paper's §2.1 argues the conventional FTL's burden *is* its
+failure-handling duties -- grown bad blocks, program/erase failures,
+metadata durability across power loss -- while ZNS moves them up to the
+host. This package makes that comparable: a
+:class:`~repro.faults.plan.FaultPlan` describes which faults to arm (and
+when), a :class:`~repro.faults.injector.FaultInjector` replays them
+deterministically from a seed, and the device layers recover --
+:class:`~repro.ftl.ftl.ConventionalFTL` rewrites and retires,
+:class:`~repro.zns.device.ZNSDevice` shrinks or offlines zones and
+surfaces it to the host. A disarmed plan is a strict no-op, like an
+unobserved tracer.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector", "FaultPlan"]

@@ -1,0 +1,235 @@
+"""The runtime half of fault injection: seeded draws and schedules.
+
+A :class:`FaultInjector` is built from a :class:`~repro.faults.plan.FaultPlan`
+and consulted by :class:`~repro.flash.nand.NandArray` (and, for zone
+offlining, :class:`~repro.zns.device.ZNSDevice`) on each operation. It
+owns three pieces of state:
+
+- a NumPy generator seeded from the plan (every probabilistic draw);
+- a global flash-operation counter (``ops``) that scheduled faults key
+  on, advanced once per page/block operation;
+- tallies of every fault fired (:attr:`counts`), which experiments fold
+  into their metrics.
+
+Every fired fault publishes a typed
+:class:`~repro.obs.events.FaultEvent` on the bound tracer, so fault
+schedules show up in ``--trace`` output next to the operations they hit.
+
+Hook contract (what the device layers rely on):
+
+- ``on_program`` / ``on_erase`` decide *whether* the scalar operation
+  fails; the array itself performs the state transition (a failed scalar
+  program still burns its page, a failed erase retires the block).
+- ``on_program_batch`` / ``on_read_batch`` decide *before* any array
+  mutation, preserving the documented batch atomicity contract: a failed
+  batch leaves the array untouched.
+- ``on_read`` walks the ECC read-retry ladder and returns the extra
+  sense latency, raising
+  :class:`~repro.flash.errors.UncorrectableReadError` only when every
+  rung fails. Internal GC/copy senses are never fault-injected -- a
+  device that silently lost data while relocating it would corrupt the
+  mapping invariants the experiments verify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flash.errors import UncorrectableReadError
+from repro.faults.plan import FaultPlan
+from repro.obs.events import FaultEvent
+from repro.obs.tracer import Tracer
+
+
+class FaultInjector:
+    """Draws faults per operation according to a :class:`FaultPlan`.
+
+    One injector serves one device stack (it is advanced by every flash
+    operation, like the tracer is shared by every layer). ``tracer`` may
+    be bound after construction via :meth:`bind` when the stack wires
+    itself up.
+    """
+
+    def __init__(self, plan: FaultPlan, tracer: Tracer | None = None):
+        self.plan = plan
+        self.tracer = tracer
+        self.rng = np.random.default_rng(plan.seed)
+        #: Global flash-operation counter; scheduled faults key on it.
+        self.ops = 0
+        #: Fault tallies by FaultEvent.fault name.
+        self.counts: dict[str, int] = {}
+        self._grown = sorted(plan.grown_bad_blocks)
+        self._grown_next = 0
+        # Blocks whose scheduled op_index has passed: next erase fails.
+        self._pending_bad: set[int] = set()
+        self._offline = sorted(plan.zone_offline_at)
+        self._offline_next = 0
+
+    @property
+    def armed(self) -> bool:
+        return self.plan.armed
+
+    def bind(self, tracer: Tracer) -> "FaultInjector":
+        """Attach the stack's telemetry bus; returns self for chaining."""
+        self.tracer = tracer
+        return self
+
+    # -- Internals -----------------------------------------------------------
+
+    def _tick(self, n: int = 1) -> None:
+        self.ops += n
+        while self._grown_next < len(self._grown) and (
+            self._grown[self._grown_next][0] <= self.ops
+        ):
+            self._pending_bad.add(self._grown[self._grown_next][1])
+            self._grown_next += 1
+
+    def _fire(
+        self,
+        fault: str,
+        block: int | None = None,
+        page: int | None = None,
+        zone: int | None = None,
+        retries: int = 0,
+        latency_us: float = 0.0,
+    ) -> None:
+        self.counts[fault] = self.counts.get(fault, 0) + 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.publish(
+                FaultEvent(
+                    "faults.injector", fault, block, page, zone,
+                    retries=retries, latency_us=latency_us, op_index=self.ops,
+                )
+            )
+
+    def _spike(self, n: int = 1) -> float:
+        """Latency-spike penalty over ``n`` operations (0.0 when disarmed)."""
+        p = self.plan.latency_spike_prob
+        if not p:
+            return 0.0
+        if n == 1:
+            hits = 1 if self.rng.random() < p else 0
+        else:
+            hits = int(np.count_nonzero(self.rng.random(n) < p))
+        if not hits:
+            return 0.0
+        penalty = hits * self.plan.latency_spike_us
+        for _ in range(hits):
+            self._fire("latency-spike", latency_us=self.plan.latency_spike_us)
+        return penalty
+
+    def _ladder(self, block: int, page: int | None) -> float:
+        """Walk the ECC retry ladder for one erroneous page.
+
+        Returns the extra sense latency if some rung corrects the data;
+        raises :class:`UncorrectableReadError` when the ladder runs out.
+        """
+        extra = 0.0
+        success = self.plan.retry_success_prob
+        for rung, cost in enumerate(self.plan.retry_ladder_us, start=1):
+            extra += cost
+            if self.rng.random() < success:
+                self._fire("read-error", block, page, retries=rung, latency_us=extra)
+                return extra
+        self._fire(
+            "read-uncorrectable", block, page,
+            retries=len(self.plan.retry_ladder_us), latency_us=extra,
+        )
+        raise UncorrectableReadError(
+            f"page {page} of block {block} uncorrectable after "
+            f"{len(self.plan.retry_ladder_us)} read retries",
+            latency_us=extra,
+        )
+
+    # -- Hooks consulted by NandArray ---------------------------------------
+
+    def on_program(self, block: int, page: int, latency_us: float) -> tuple[bool, float]:
+        """Decide one scalar program; returns ``(fault, extra_latency_us)``.
+
+        On fault the caller burns the page (write offset advances, data
+        bad) and raises; ``extra`` only applies to the success path.
+        """
+        self._tick()
+        if self.plan.program_fail_prob and self.rng.random() < self.plan.program_fail_prob:
+            self._fire("program-fail", block, page, latency_us=latency_us)
+            return True, 0.0
+        return False, self._spike()
+
+    def on_program_batch(
+        self, n: int, block: int, first_page: int, latency_us: float
+    ) -> tuple[bool, float]:
+        """Decide a batch program *before any mutation*.
+
+        A hit anywhere in the batch fails the whole command with the
+        array untouched (the batch atomicity contract); callers retry the
+        batch on a fresh block or fall back to scalar writes.
+        """
+        self._tick(n)
+        p = self.plan.program_fail_prob
+        if p and bool(np.any(self.rng.random(n) < p)):
+            self._fire("program-fail", block, first_page, latency_us=latency_us)
+            return True, 0.0
+        return False, self._spike(n)
+
+    def on_erase(self, block: int) -> bool:
+        """Decide one erase; True means the block fails and is retired."""
+        self._tick()
+        if block in self._pending_bad:
+            self._pending_bad.discard(block)
+            self._fire("grown-bad-block", block)
+            return True
+        if self.plan.erase_fail_prob and self.rng.random() < self.plan.erase_fail_prob:
+            self._fire("erase-fail", block)
+            return True
+        return False
+
+    def on_read(self, block: int, page: int) -> float:
+        """Extra latency for one host read (retry ladder + spikes).
+
+        Raises :class:`UncorrectableReadError` if the page cannot be
+        corrected at any retry level.
+        """
+        self._tick()
+        extra = self._spike()
+        p = self.plan.read_error_prob
+        if p and self.rng.random() < p:
+            extra += self._ladder(block, page)
+        return extra
+
+    def on_read_batch(self, n: int, block: int, first_page: int) -> float:
+        """Extra latency for a batch of host reads, decided pre-mutation.
+
+        Error pages each walk the ladder independently; one uncorrectable
+        page fails the batch before any read-disturb accounting.
+        """
+        self._tick(n)
+        extra = self._spike(n)
+        p = self.plan.read_error_prob
+        if p:
+            errors = int(np.count_nonzero(self.rng.random(n) < p))
+            for _ in range(errors):
+                extra += self._ladder(block, first_page)
+        return extra
+
+    # -- Scheduled zone faults (polled by ZNSDevice) -------------------------
+
+    def due_zone_offlines(self) -> list[int]:
+        """Zones whose scheduled offline point has passed; fires each once."""
+        due: list[int] = []
+        while self._offline_next < len(self._offline) and (
+            self._offline[self._offline_next][0] <= self.ops
+        ):
+            zone = self._offline[self._offline_next][1]
+            self._offline_next += 1
+            self._fire("zone-offline", zone=zone)
+            due.append(zone)
+        return due
+
+    # -- Reporting -----------------------------------------------------------
+
+    def summary(self) -> dict[str, int]:
+        """Fault tallies by name (sorted copy, JSON-safe)."""
+        return {name: self.counts[name] for name in sorted(self.counts)}
+
+
+__all__ = ["FaultInjector"]

@@ -1,0 +1,148 @@
+"""Declarative fault schedules: what can go wrong, how often, and when.
+
+A :class:`FaultPlan` is a frozen, hashable description of the faults to
+arm on a device stack -- the analogue of
+:class:`~repro.experiments.base.ExperimentConfig` for adversity. Plans
+are pure data: the randomness lives in the
+:class:`~repro.faults.injector.FaultInjector` built from a plan, which
+derives every draw from ``seed`` so the same plan replays the same fault
+schedule on the same operation stream.
+
+Two kinds of faults coexist:
+
+- *Rate-driven* faults (program/erase failures, read errors, latency
+  spikes) fire with a fixed probability per eligible operation.
+- *Scheduled* faults (``grown_bad_blocks``, ``zone_offline_at``) fire at
+  a specific point in the global flash-operation sequence, which is how
+  the e15 experiment plants mid-life grown bad blocks and zone-offline
+  events deterministically.
+
+A plan with every rate at zero and no schedules is *disarmed*
+(:attr:`FaultPlan.armed` is False); device layers treat a disarmed plan
+exactly like no plan at all, so the fault layer is a strict no-op unless
+armed (the same contract the tracer honors when unobserved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, schedulable description of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        Root of every random draw the injector makes. Same plan + same
+        operation stream => same faults.
+    program_fail_prob:
+        Per-page probability that a program operation fails transiently,
+        burning the page (:class:`~repro.flash.errors.ProgramFaultError`).
+    erase_fail_prob:
+        Per-erase probability that the block fails and is retired as a
+        grown bad block (on top of any wear-driven failure).
+    read_error_prob:
+        Per-page probability that a host read needs ECC retries
+        (read-disturb / retention errors).
+    retry_ladder_us:
+        Extra sense latency per ECC read-retry level, walked in order
+        until a rung corrects the data or the ladder is exhausted
+        (:class:`~repro.flash.errors.UncorrectableReadError`).
+    retry_success_prob:
+        Probability each retry rung corrects the error.
+    latency_spike_prob:
+        Per-operation probability of an injected latency spike on
+        host-visible program/read paths (die contention, thermal
+        throttling, firmware housekeeping).
+    latency_spike_us:
+        Size of each injected spike.
+    grown_bad_blocks:
+        ``(op_index, block)`` pairs: once the injector's global flash-op
+        counter reaches ``op_index``, the block's next erase fails and it
+        is retired -- a deterministic mid-life grown bad block.
+    zone_offline_at:
+        ``(op_index, zone)`` pairs: once the op counter reaches
+        ``op_index``, the ZNS device transitions the zone OFFLINE before
+        its next host command -- the spec's "vendor specific" zone death.
+    """
+
+    seed: int = 0
+    program_fail_prob: float = 0.0
+    erase_fail_prob: float = 0.0
+    read_error_prob: float = 0.0
+    retry_ladder_us: tuple[float, ...] = (40.0, 90.0, 180.0)
+    retry_success_prob: float = 0.75
+    latency_spike_prob: float = 0.0
+    latency_spike_us: float = 2_000.0
+    grown_bad_blocks: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    zone_offline_at: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        _check_prob("program_fail_prob", self.program_fail_prob)
+        _check_prob("erase_fail_prob", self.erase_fail_prob)
+        _check_prob("read_error_prob", self.read_error_prob)
+        _check_prob("retry_success_prob", self.retry_success_prob)
+        _check_prob("latency_spike_prob", self.latency_spike_prob)
+        if any(rung < 0 for rung in self.retry_ladder_us):
+            raise ValueError("retry_ladder_us rungs must be >= 0")
+        if self.latency_spike_us < 0:
+            raise ValueError("latency_spike_us must be >= 0")
+        # Tuples may arrive as lists from config code; freeze them.
+        object.__setattr__(
+            self, "retry_ladder_us", tuple(float(r) for r in self.retry_ladder_us)
+        )
+        object.__setattr__(
+            self,
+            "grown_bad_blocks",
+            tuple((int(op), int(blk)) for op, blk in self.grown_bad_blocks),
+        )
+        object.__setattr__(
+            self,
+            "zone_offline_at",
+            tuple((int(op), int(zone)) for op, zone in self.zone_offline_at),
+        )
+        for op, blk in self.grown_bad_blocks:
+            if op < 0 or blk < 0:
+                raise ValueError(f"grown_bad_blocks entry ({op}, {blk}) negative")
+        for op, zone in self.zone_offline_at:
+            if op < 0 or zone < 0:
+                raise ValueError(f"zone_offline_at entry ({op}, {zone}) negative")
+
+    @property
+    def armed(self) -> bool:
+        """True if any fault can ever fire under this plan."""
+        return bool(
+            self.program_fail_prob
+            or self.erase_fail_prob
+            or self.read_error_prob
+            or self.latency_spike_prob
+            or self.grown_bad_blocks
+            or self.zone_offline_at
+        )
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        """This plan with every rate multiplied by ``factor`` (capped at 1).
+
+        Scheduled faults are kept as-is; ``factor=0`` disarms the rates
+        but not the schedules. The e15 sweep uses this to turn one base
+        plan into a fault-rate axis.
+        """
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return replace(
+            self,
+            program_fail_prob=min(1.0, self.program_fail_prob * factor),
+            erase_fail_prob=min(1.0, self.erase_fail_prob * factor),
+            read_error_prob=min(1.0, self.read_error_prob * factor),
+            latency_spike_prob=min(1.0, self.latency_spike_prob * factor),
+        )
+
+
+__all__ = ["FaultPlan"]

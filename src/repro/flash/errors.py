@@ -28,10 +28,40 @@ class EraseLimitError(FlashError):
     """A block exceeded its endurance budget and failed during erase."""
 
 
+class ProgramFaultError(FlashError):
+    """A program operation failed transiently (injected or mid-life fault).
+
+    The target page is *burned*: its write offset has advanced but the
+    data is unreadable, exactly as on real NAND. The layer above must
+    rewrite the data elsewhere; repeated faults on one block signal it
+    should be retired. ``latency_us`` carries the time the failed attempt
+    still consumed.
+    """
+
+    def __init__(self, message: str, latency_us: float = 0.0):
+        super().__init__(message)
+        self.latency_us = latency_us
+
+
+class UncorrectableReadError(FlashError):
+    """A read failed ECC correction at every retry-ladder level.
+
+    Raised only after the full read-retry ladder has been walked (each
+    rung costing extra sense latency); the data at this physical page is
+    lost to the host unless a redundant copy exists.
+    """
+
+    def __init__(self, message: str, latency_us: float = 0.0):
+        super().__init__(message)
+        self.latency_us = latency_us
+
+
 __all__ = [
     "BadBlockError",
     "EraseLimitError",
     "FlashError",
+    "ProgramFaultError",
     "ProgramOrderError",
     "ReadUnwrittenError",
+    "UncorrectableReadError",
 ]

@@ -17,12 +17,13 @@ them and pay no storage cost.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.flash.errors import (
     BadBlockError,
+    ProgramFaultError,
     ProgramOrderError,
     ReadUnwrittenError,
 )
@@ -34,6 +35,9 @@ from repro.obs.events import FlashOpEvent
 from repro.obs.runtime import new_tracer
 from repro.obs.sinks import OpCounterSink
 from repro.obs.tracer import Tracer
+
+if TYPE_CHECKING:  # imported lazily to avoid a faults <-> flash cycle
+    from repro.faults.injector import FaultInjector
 
 
 class NandArray:
@@ -59,6 +63,11 @@ class NandArray:
     tracer:
         The telemetry bus to publish on. Facades stacking layers pass one
         shared tracer down; standalone arrays get their own.
+    faults:
+        A :class:`~repro.faults.injector.FaultInjector` to consult on
+        each operation, or None. A disarmed injector is dropped at
+        construction, so the unfaulted hot paths stay byte-identical to
+        an array built with no injector at all.
     """
 
     #: Reads a block can absorb after erase before neighboring cells
@@ -74,6 +83,7 @@ class NandArray:
         store_data: bool = False,
         read_disturb_limit: int = DEFAULT_READ_DISTURB_LIMIT,
         tracer: Tracer | None = None,
+        faults: "FaultInjector | None" = None,
     ):
         self.geometry = geometry
         self.timing = timing or TimingModel.for_cell(geometry.cell_type)
@@ -91,6 +101,11 @@ class NandArray:
         self._counter_sink = self.tracer.attach(
             OpCounterSink("flash.nand", copy_programs=True)
         )
+        # Disarmed injectors are dropped: the hot-path guard is a single
+        # attribute check, and no RNG is ever consulted.
+        self.faults = faults if faults is not None and faults.armed else None
+        if self.faults is not None and self.faults.tracer is None:
+            self.faults.bind(self.tracer)
         # Next programmable page offset within each block; == pages_per_block
         # means the block is full.
         self._write_offsets = np.zeros(geometry.total_blocks, dtype=np.int32)
@@ -108,6 +123,16 @@ class NandArray:
         """Offset of the next programmable page in ``block``."""
         self.geometry.check_block(block)
         return int(self._write_offsets[block])
+
+    @property
+    def write_offsets(self) -> np.ndarray:
+        """Per-block next-programmable offsets (a copy).
+
+        Firmware recovery scans these to classify blocks (erased / partial
+        / full) after a power loss -- the write offset is physical state,
+        readable back from the flash itself.
+        """
+        return self._write_offsets.copy()
 
     def is_block_full(self, block: int) -> bool:
         return self.write_offset(block) >= self.geometry.pages_per_block
@@ -141,10 +166,22 @@ class NandArray:
                 f"page {page} is offset {offset} of block {block}; next "
                 f"programmable offset is {expected}"
             )
+        latency = self.timing.program_total_us(self.geometry.page_size)
+        if self.faults is not None:
+            fault, extra = self.faults.on_program(block, page, latency)
+            if fault:
+                # The failed attempt still burns the page: the write
+                # offset advances, but the data is bad. The layer above
+                # must rewrite elsewhere.
+                self._write_offsets[block] = offset + 1
+                raise ProgramFaultError(
+                    f"program fault burned page {page} of block {block}",
+                    latency_us=latency,
+                )
+            latency += extra
         self._write_offsets[block] = offset + 1
         if self.store_data:
             self._data[page] = data
-        latency = self.timing.program_total_us(self.geometry.page_size)
         if self.tracer.enabled:
             self.tracer.publish(
                 FlashOpEvent(
@@ -174,6 +211,10 @@ class NandArray:
         block = self.geometry.block_of_page(page)
         payload = self._check_and_sense(block, page)
         latency = self.timing.read_total_us(self.geometry.page_size)
+        if self.faults is not None:
+            # May raise UncorrectableReadError after walking the full ECC
+            # retry ladder; otherwise adds the ladder/spike latency.
+            latency += self.faults.on_read(block, page)
         if self.tracer.enabled:
             self.tracer.publish(
                 FlashOpEvent(
@@ -217,6 +258,11 @@ class NandArray:
         if self.wear.is_bad(block):
             raise BadBlockError(f"erase on retired block {block}")
         survived = self.wear.record_erase(block)
+        if survived and self.faults is not None and self.faults.on_erase(block):
+            # Injected grown bad block: the erase consumed its cycle but
+            # the block is retired, same as a wear-driven failure.
+            self.wear.mark_bad(block)
+            survived = False
         self._write_offsets[block] = 0
         self._reads_since_erase[block] = 0
         if self.store_data:
@@ -320,13 +366,27 @@ class NandArray:
         """
         pages = np.asarray(pages, dtype=np.int64)
         blocks, ublocks, counts = self._check_program_order(pages)
+        n = len(pages)
+        latency = n * self.timing.program_total_us(self.geometry.page_size)
+        if self.faults is not None:
+            # Decided before any mutation: a failed batch leaves the
+            # array untouched (unlike a scalar fault, which burns its
+            # page) so callers can retry the whole command elsewhere.
+            fault, extra = self.faults.on_program_batch(
+                n, int(blocks[0]), int(pages[0]), latency
+            )
+            if fault:
+                raise ProgramFaultError(
+                    f"program fault failed batch of {n} pages starting at "
+                    f"page {int(pages[0])}",
+                    latency_us=latency,
+                )
+            latency += extra
         self._write_offsets[ublocks] += counts.astype(np.int32)
         if self.store_data:
             seq = data if isinstance(data, (list, tuple)) else [data] * len(pages)
             for page, payload in zip(pages.tolist(), seq):
                 self._data[page] = payload
-        n = len(pages)
-        latency = n * self.timing.program_total_us(self.geometry.page_size)
         if self.tracer.enabled:
             self.tracer.publish(
                 FlashOpEvent(
@@ -353,9 +413,17 @@ class NandArray:
                 f"block {block} has {self.geometry.pages_per_block - offset} "
                 f"free pages; batch wants {n}"
             )
-        self._write_offsets[block] = offset + n
         first_page = block * self.geometry.pages_per_block + offset
         latency = n * self.timing.program_total_us(self.geometry.page_size)
+        if self.faults is not None:
+            fault, extra = self.faults.on_program_batch(n, block, first_page, latency)
+            if fault:
+                raise ProgramFaultError(
+                    f"program fault failed run of {n} pages in block {block}",
+                    latency_us=latency,
+                )
+            latency += extra
+        self._write_offsets[block] = offset + n
         if self.tracer.enabled:
             self.tracer.publish(
                 FlashOpEvent(
@@ -387,9 +455,13 @@ class NandArray:
         offsets = pages - blocks * ppb
         if np.any(offsets >= self._write_offsets[blocks]):
             raise ReadUnwrittenError("batch reads at least one unprogrammed page")
-        np.add.at(self._reads_since_erase, ublocks, counts)
         n = len(pages)
         latency = n * self.timing.read_total_us(self.geometry.page_size)
+        if self.faults is not None:
+            # Pre-mutation like the program batches; an uncorrectable
+            # page fails the batch before any disturb accounting.
+            latency += self.faults.on_read_batch(n, int(blocks[0]), int(pages[0]))
+        np.add.at(self._reads_since_erase, ublocks, counts)
         if self.tracer.enabled:
             self.tracer.publish(
                 FlashOpEvent(

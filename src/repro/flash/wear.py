@@ -100,8 +100,9 @@ class WearTracker:
 
         Failure semantics: with endurance disabled (0) erases always
         succeed. Otherwise, once past the rated cycles the block fails
-        deterministically (no RNG) or with ``failure_probability`` (RNG
-        provided).
+        deterministically -- exactly on the first erase past the budget
+        -- when no RNG is supplied or ``failure_probability`` is 0, and
+        with ``failure_probability`` per erase when an RNG is provided.
         """
         self._check(block)
         if block in self._bad:
@@ -111,7 +112,7 @@ class WearTracker:
             return True
         if self.erase_counts[block] <= self.endurance_cycles:
             return True
-        if self.failure_rng is None:
+        if self.failure_rng is None or self.failure_probability <= 0:
             self._bad.add(block)
             self.bad_mask[block] = True
             return False

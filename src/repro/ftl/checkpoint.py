@@ -19,6 +19,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MappingSnapshot:
+    """A durable point-in-time copy of an FTL's forward map.
+
+    What a checkpoint conceptually writes to flash: the logical-to-
+    physical table plus the program-serial *horizon* -- every program
+    with serial below ``serial`` is reflected in ``l2p``; crash recovery
+    replays the out-of-band metadata of pages programmed at or past it
+    (see :meth:`~repro.ftl.ftl.ConventionalFTL.recover`).
+    """
+
+    serial: int
+    clock: int
+    l2p: np.ndarray
+
 
 @dataclass
 class CheckpointStats:
@@ -99,10 +117,13 @@ class CheckpointedFTL:
             entries_per_metadata_page=ftl.geometry.page_size // 4,
             interval_writes=interval_writes,
         )
+        #: The most recent durable mapping snapshot; what survives a crash.
+        self.snapshot: MappingSnapshot | None = None
 
     def write(self, lpn: int, stream: int = 0):
         ops = self.ftl.write(lpn, stream=stream)
-        self.policy.note_mapping_update(lpn)
+        if self.policy.note_mapping_update(lpn):
+            self.snapshot = self.ftl.snapshot_mapping()
         return ops
 
     def read(self, lpn: int):
@@ -110,7 +131,24 @@ class CheckpointedFTL:
 
     def trim(self, lpn: int) -> None:
         self.ftl.trim(lpn)
-        self.policy.note_mapping_update(lpn)
+        if self.policy.note_mapping_update(lpn):
+            self.snapshot = self.ftl.snapshot_mapping()
+
+    # -- Power-loss protocol -------------------------------------------------
+
+    def checkpoint_now(self) -> int:
+        """Force a checkpoint; captures the durable mapping snapshot."""
+        written = self.policy.checkpoint()
+        self.snapshot = self.ftl.snapshot_mapping()
+        return written
+
+    def crash(self) -> None:
+        """Power loss: the wrapped FTL drops all volatile state."""
+        self.ftl.crash()
+
+    def recover(self) -> int:
+        """Rebuild the mapping from the last snapshot + OOB replay."""
+        return self.ftl.recover(self.snapshot)
 
     @property
     def total_write_amplification(self) -> float:
@@ -126,4 +164,9 @@ class CheckpointedFTL:
         return total / stats.host_pages_written
 
 
-__all__ = ["CheckpointPolicy", "CheckpointStats", "CheckpointedFTL"]
+__all__ = [
+    "CheckpointPolicy",
+    "CheckpointStats",
+    "CheckpointedFTL",
+    "MappingSnapshot",
+]

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.flash.errors import FlashError
+from repro.flash.errors import BadBlockError, FlashError, ProgramFaultError
 from repro.flash.geometry import FlashGeometry
 from repro.flash.nand import NandArray
 from repro.flash.ops import FlashOp, OpKind
@@ -25,7 +25,7 @@ from repro.flash.timing import TimingModel
 from repro.flash.wear import WearTracker
 from repro.ftl.gc import VictimPolicy, make_policy
 from repro.ftl.mapping import UNMAPPED, PageMap
-from repro.obs.events import GcEvent
+from repro.obs.events import GcEvent, RecoveryEvent
 from repro.obs.tracer import Tracer
 
 
@@ -97,6 +97,10 @@ class FTLStats:
     trims: int = 0
     foreground_gc_stalls: int = 0
     scrubs: int = 0
+    program_faults: int = 0
+    blocks_retired: int = 0
+    crash_recoveries: int = 0
+    pages_replayed: int = 0
 
     @property
     def device_write_amplification(self) -> float:
@@ -117,6 +121,15 @@ class ConventionalFTL:
     #: always make forward progress.
     _INTERNAL_RESERVE_SLACK = 2
 
+    #: Program faults tolerated on one active block before the FTL stops
+    #: trusting it: valid data is relocated and the block is retired.
+    _RETIRE_AFTER_FAULTS = 2
+
+    #: Bound on the program-fault recovery loop for a single host page.
+    #: Exhausting it means the fault rate is so high no block accepts a
+    #: page; the last fault propagates.
+    _MAX_PROGRAM_ATTEMPTS = 16
+
     def __init__(
         self,
         geometry: FlashGeometry,
@@ -125,10 +138,13 @@ class ConventionalFTL:
         timing: TimingModel | None = None,
         wear: WearTracker | None = None,
         tracer: Tracer | None = None,
+        faults=None,
     ):
         self.geometry = geometry
         self.config = config or FTLConfig()
-        self.nand = nand or NandArray(geometry, timing=timing, wear=wear, tracer=tracer)
+        self.nand = nand or NandArray(
+            geometry, timing=timing, wear=wear, tracer=tracer, faults=faults
+        )
         # One bus for the whole stack: GC events interleave with the NAND
         # ops they cause, so a single sink sees cause and effect.
         self.tracer = tracer if tracer is not None else self.nand.tracer
@@ -163,6 +179,19 @@ class ConventionalFTL:
         }
         self._gc_cursor = 0
         self._plane_cursor = 0
+
+        # Out-of-band (OOB) page metadata, conceptually stored in each
+        # flash page's spare area alongside the data: the logical page it
+        # holds and a monotonic program serial. Real FTLs rebuild their
+        # mapping from exactly this after power loss; :meth:`recover`
+        # does the same. Erase invalidates OOB implicitly -- pages at or
+        # past a block's write offset are never consulted.
+        self._oob_lpn = np.full(geometry.total_pages, UNMAPPED, dtype=np.int64)
+        self._oob_serial = np.zeros(geometry.total_pages, dtype=np.int64)
+        self._program_serial = 0
+        # Program faults seen per block since its last erase; feeds the
+        # retire-after-repeated-faults policy.
+        self._fault_counts: dict[int, int] = {}
 
         low = self.config.gc_low_watermark
         high = self.config.gc_high_watermark
@@ -270,8 +299,15 @@ class ConventionalFTL:
             self._active[stream] = self._take_free_block()
             active = self._active[stream]
 
-        page, latency = self.nand.program_next(active)
+        if self.nand.faults is None:
+            page, latency = self.nand.program_next(active)
+        else:
+            page, latency = self._program_host_page(stream)
+            active = self.geometry.block_of_page(page)
         self.map.map(lpn, page)
+        self._oob_lpn[page] = lpn
+        self._oob_serial[page] = self._program_serial
+        self._program_serial += 1
         self.stats.host_pages_written += 1
         ops.append(FlashOp(OpKind.PROGRAM, active, page, latency))
         return ops
@@ -331,14 +367,152 @@ class ConventionalFTL:
                 pending_tick = 0
             offset = self.nand.write_offset(active)
             take = min(ppb - offset, n - done)
-            first, _ = self.nand.program_run(active, take)
+            try:
+                first, _ = self.nand.program_run(active, take)
+            except ProgramFaultError:
+                # The batch failed whole, pre-mutation (atomicity
+                # contract). Degrade this chunk to scalar programs so
+                # individual burns can be absorbed page by page.
+                self.stats.program_faults += 1
+                if self.tracer.enabled:
+                    self.tracer.publish(
+                        RecoveryEvent(
+                            "ftl.ftl", "batch-degraded", block=active,
+                            pages_moved=take,
+                        )
+                    )
+                for lpn in lpns[done : done + take].tolist():
+                    page, _ = self._program_host_page(stream)
+                    self.map.map(lpn, page)
+                    self._oob_note(page, lpn)
+                self._clock += take - pending_tick
+                done += take
+                continue
             self.map.map_batch(
                 lpns[done : done + take], first + np.arange(take, dtype=np.int64)
             )
+            self._oob_lpn[first : first + take] = lpns[done : done + take]
+            self._oob_serial[first : first + take] = np.arange(
+                self._program_serial, self._program_serial + take, dtype=np.int64
+            )
+            self._program_serial += take
             self._clock += take - pending_tick
             done += take
         self.stats.host_pages_written += n
         return n
+
+    # -- Program-fault recovery ---------------------------------------------------
+
+    def _oob_note(self, page: int, lpn: int) -> None:
+        """Record one page's out-of-band (lpn, serial) at program time."""
+        self._oob_lpn[page] = lpn
+        self._oob_serial[page] = self._program_serial
+        self._program_serial += 1
+
+    def _program_host_page(self, stream: int) -> tuple[int, float]:
+        """Program the next page of ``stream``'s active block, absorbing faults.
+
+        A scalar program fault burns its page (the write offset advances
+        but the data is bad); the FTL skips the burned page and retries,
+        retiring blocks that fault repeatedly. Returns ``(page, latency)``
+        with the failed attempts' time included, so callers charge what
+        the flash actually spent.
+        """
+        total = 0.0
+        for _ in range(self._MAX_PROGRAM_ATTEMPTS):
+            active = self._active[stream]
+            if active is None or self.nand.is_block_full(active):
+                if active is not None:
+                    self._seal(active)
+                    self._active[stream] = None
+                # Burned pages can fill the block mid-write; replenish via
+                # foreground GC before taking a free block, exactly like the
+                # unfaulted block-boundary paths, or the fallback loop would
+                # drain the free pool and wedge the device.
+                if self.gc_needed():
+                    self.stats.foreground_gc_stalls += 1
+                    self.collect(self.gc_high_watermark, build_ops=False)
+                active = self._take_free_block()
+                self._active[stream] = active
+            try:
+                page, latency = self.nand.program_next(active)
+                return page, total + latency
+            except ProgramFaultError as exc:
+                total += exc.latency_us
+                self._note_program_fault(stream, active)
+        raise ProgramFaultError(
+            f"host program failed {self._MAX_PROGRAM_ATTEMPTS} attempts in a row",
+            latency_us=total,
+        )
+
+    def _note_program_fault(self, stream: int, block: int) -> None:
+        """Book one burned page; retire the block if it keeps faulting."""
+        self.stats.program_faults += 1
+        # The burned page sits just below the advanced write offset; clear
+        # its OOB so crash recovery never replays garbage data.
+        burned = (
+            self.geometry.first_page_of_block(block)
+            + self.nand.write_offset(block)
+            - 1
+        )
+        self._oob_lpn[burned] = UNMAPPED
+        count = self._fault_counts.get(block, 0) + 1
+        self._fault_counts[block] = count
+        if self.tracer.enabled:
+            self.tracer.publish(RecoveryEvent("ftl.ftl", "page-rewrite", block=block))
+        if count >= self._RETIRE_AFTER_FAULTS:
+            self._retire_active_block(stream, block)
+
+    def _retire_active_block(self, stream: int, block: int) -> None:
+        """Retire a fault-prone active block without losing mapped data.
+
+        Valid pages are copied forward to the GC destination first (the
+        copies record fresh OOB), then the block is marked bad and leaves
+        circulation -- it was active, so it sits in no other pool.
+        """
+        moved = 0
+        for src in self.map.valid_pages_in_block(block):
+            dst_block = self._gc_destination()
+            offset = self.nand.write_offset(dst_block)
+            dst_page = self.geometry.first_page_of_block(dst_block) + offset
+            self.nand.copy_page(src, dst_page)
+            lpn = self.map.relocate(src, dst_page)
+            self._oob_note(dst_page, lpn)
+            self.stats.gc_pages_copied += 1
+            moved += 1
+        self.nand.wear.mark_bad(block)
+        self._active[stream] = None
+        self._fault_counts.pop(block, None)
+        self.stats.blocks_retired += 1
+        if self.tracer.enabled:
+            self.tracer.publish(
+                RecoveryEvent(
+                    "ftl.ftl", "block-retired", block=block, pages_moved=moved,
+                    detail="program faults",
+                )
+            )
+
+    def _erase_reclaimed(self, block: int) -> tuple[float, bool]:
+        """Erase a block whose valid data has been copied out.
+
+        Returns ``(latency, survived)``. A failed erase (wear-out or an
+        injected grown bad block) retires the block: it leaves circulation
+        and the FTL's spare capacity silently shrinks -- §2.1's failure
+        handling, absorbed invisibly behind the block interface.
+        """
+        self._fault_counts.pop(block, None)
+        try:
+            return self.nand.erase(block), True
+        except BadBlockError:
+            self.stats.blocks_retired += 1
+            if self.tracer.enabled:
+                self.tracer.publish(
+                    RecoveryEvent(
+                        "ftl.ftl", "block-retired", block=block,
+                        detail="erase failure",
+                    )
+                )
+            return self.nand.timing.erase_us, False
 
     def read(self, lpn: int) -> FlashOp:
         """Read one logical page; raises :class:`UnmappedReadError` if empty."""
@@ -419,6 +593,11 @@ class ConventionalFTL:
                 dst_pages = first + np.arange(take, dtype=np.int64)
                 self.nand.copy_batch(chunk, dst_pages)
                 self.map.relocate_batch(chunk, dst_pages)
+                self._oob_lpn[dst_pages] = self.map.p2l[dst_pages]
+                self._oob_serial[dst_pages] = np.arange(
+                    self._program_serial, self._program_serial + take, dtype=np.int64
+                )
+                self._program_serial += take
                 if build_ops:
                     ops.extend(
                         FlashOp(
@@ -436,7 +615,8 @@ class ConventionalFTL:
                 offset = self.nand.write_offset(dst_block)
                 dst_page = self.geometry.first_page_of_block(dst_block) + offset
                 latency = self.nand.copy_page(src, dst_page)
-                self.map.relocate(src, dst_page)
+                lpn = self.map.relocate(src, dst_page)
+                self._oob_note(dst_page, lpn)
                 self.stats.gc_pages_copied += 1
                 if build_ops:
                     ops.append(
@@ -448,12 +628,13 @@ class ConventionalFTL:
                             uses_channel=not self.config.copyback,
                         )
                     )
-        erase_latency = self.nand.erase(victim)
+        erase_latency, survived = self._erase_reclaimed(victim)
         self._sealed.discard(victim)
         self._seal_times.pop(victim, None)
         self.policy.notify_erased(victim)
-        self._free.append(victim)
-        self.stats.blocks_erased += 1
+        if survived:
+            self._free.append(victim)
+            self.stats.blocks_erased += 1
         if build_ops:
             ops.append(FlashOp(OpKind.ERASE, victim, None, erase_latency))
         self.stats.gc_runs += 1
@@ -525,15 +706,17 @@ class ConventionalFTL:
             offset = self.nand.write_offset(dst_block)
             dst_page = self.geometry.first_page_of_block(dst_block) + offset
             latency = self.nand.copy_page(src, dst_page)
-            self.map.relocate(src, dst_page)
+            lpn = self.map.relocate(src, dst_page)
+            self._oob_note(dst_page, lpn)
             self.stats.gc_pages_copied += 1
             ops.append(FlashOp(OpKind.COPY, dst_block, dst_page, latency, uses_channel=False))
-        erase_latency = self.nand.erase(coldest)
+        erase_latency, survived = self._erase_reclaimed(coldest)
         self._sealed.discard(coldest)
         self._seal_times.pop(coldest, None)
         self.policy.notify_erased(coldest)
-        self._free.append(coldest)
-        self.stats.blocks_erased += 1
+        if survived:
+            self._free.append(coldest)
+            self.stats.blocks_erased += 1
         ops.append(FlashOp(OpKind.ERASE, coldest, None, erase_latency))
         return ops
 
@@ -565,20 +748,188 @@ class ConventionalFTL:
                 offset = self.nand.write_offset(dst_block)
                 dst_page = self.geometry.first_page_of_block(dst_block) + offset
                 latency = self.nand.copy_page(src, dst_page)
-                self.map.relocate(src, dst_page)
+                lpn = self.map.relocate(src, dst_page)
+                self._oob_note(dst_page, lpn)
                 self.stats.gc_pages_copied += 1
                 ops.append(
                     FlashOp(OpKind.COPY, dst_block, dst_page, latency, uses_channel=False)
                 )
-            erase_latency = self.nand.erase(block)
+            erase_latency, survived = self._erase_reclaimed(block)
             self._sealed.discard(block)
             self._seal_times.pop(block, None)
             self.policy.notify_erased(block)
-            self._free.append(block)
-            self.stats.blocks_erased += 1
+            if survived:
+                self._free.append(block)
+                self.stats.blocks_erased += 1
             self.stats.scrubs += 1
             ops.append(FlashOp(OpKind.ERASE, block, None, erase_latency))
         return ops
+
+    # -- Power loss and recovery ---------------------------------------------------
+
+    def snapshot_mapping(self):
+        """Durable point-in-time mapping snapshot (what a checkpoint writes).
+
+        Returns a :class:`~repro.ftl.checkpoint.MappingSnapshot` whose
+        ``serial`` is the program-serial horizon: programs below it are
+        reflected in the snapshot's map, programs at or past it are what
+        :meth:`recover` replays from OOB metadata.
+        """
+        from repro.ftl.checkpoint import MappingSnapshot
+
+        return MappingSnapshot(
+            serial=self._program_serial,
+            clock=self._clock,
+            l2p=self.map.l2p.copy(),
+        )
+
+    def crash(self) -> None:
+        """Power loss: drop every volatile structure.
+
+        Flash state survives -- write offsets, wear, and the on-flash OOB
+        metadata (``_oob_lpn``/``_oob_serial`` model each page's spare
+        area). Everything the firmware keeps in RAM is gone until
+        :meth:`recover` rebuilds it: the mapping, the free/sealed pools,
+        active blocks, GC policy state, clocks. Cumulative stats are
+        host-side observability and are kept for experiment continuity.
+        """
+        g = self.geometry
+        self.map = PageMap(g, self.logical_pages)
+        self.policy = make_policy(self.config.gc_policy)
+        self._free = []
+        self._sealed = set()
+        self._seal_times = {}
+        self._seal_time_arr = np.zeros(g.total_blocks, dtype=np.int64)
+        self._clock = 0
+        self._active = {s: None for s in range(self.config.streams)}
+        self._gc_active = {s: None for s in range(self.config.gc_streams)}
+        self._gc_cursor = 0
+        self._plane_cursor = 0
+        self._program_serial = 0
+        self._fault_counts = {}
+
+    def recover(self, snapshot=None) -> int:
+        """Rebuild the mapping after :meth:`crash`; returns pages replayed.
+
+        Reconstruction is checkpoint + out-of-band replay:
+
+        1. Start from ``snapshot``'s forward map (empty if None),
+           dropping entries the flash disagrees with -- the target page
+           was erased, holds a different logical page now, or sits in a
+           retired block.
+        2. Replay every programmed live page whose OOB serial is at or
+           past the snapshot horizon, in serial order, so the latest
+           program of each logical page wins -- exactly the order the
+           firmware issued them.
+        3. Rebuild the reverse map and valid counts from the forward map,
+           and the block pools from write offsets: erased blocks are
+           free, full blocks are sealed, partially-written blocks reopen
+           as active blocks (host streams first, then GC destinations;
+           leftovers are padded shut as real firmware does).
+
+        Trims issued after the last checkpoint are resurrected -- the
+        standard tradeoff of an FTL that checkpoints but does not journal
+        deallocations.
+        """
+        g = self.geometry
+        ppb = g.pages_per_block
+        offsets = self.nand.write_offsets
+        bad = self.nand.wear.bad_mask
+        # A page's OOB is consultable iff its block is live and the page
+        # sits below the block's write offset (erase resets the offset,
+        # implicitly invalidating everything above it).
+        page_offsets = np.arange(g.total_pages, dtype=np.int64) % ppb
+        live_pages = ~np.repeat(bad, ppb)
+        programmed = live_pages & (page_offsets < np.repeat(offsets, ppb))
+        usable = programmed & (self._oob_lpn != UNMAPPED)
+
+        horizon = 0
+        l2p = np.full(self.logical_pages, UNMAPPED, dtype=np.int64)
+        if snapshot is not None:
+            if len(snapshot.l2p) != self.logical_pages:
+                raise ValueError("snapshot does not match this FTL's logical space")
+            horizon = snapshot.serial
+            l2p = snapshot.l2p.copy()
+            mapped = np.flatnonzero(l2p != UNMAPPED)
+            if mapped.size:
+                ppns = l2p[mapped]
+                stale = ~usable[ppns] | (self._oob_lpn[ppns] != mapped)
+                l2p[mapped[stale]] = UNMAPPED
+
+        replay = np.flatnonzero(usable & (self._oob_serial >= horizon))
+        if replay.size:
+            order = np.argsort(self._oob_serial[replay], kind="stable")
+            replay_sorted = replay[order]
+            l2p[self._oob_lpn[replay_sorted]] = replay_sorted
+
+        self.map = PageMap(g, self.logical_pages)
+        self.map.l2p = l2p
+        mapped = np.flatnonzero(l2p != UNMAPPED)
+        if mapped.size:
+            ppns = l2p[mapped]
+            self.map.p2l[ppns] = mapped
+            self.map.valid_counts = np.bincount(
+                ppns // ppb, minlength=g.total_blocks
+            ).astype(np.int32)
+            self.map.mapped_pages = int(mapped.size)
+
+        # Clock resumes past the snapshot; replayed programs stand in for
+        # the host writes whose ticks were lost (an upper bound -- GC
+        # copies replay too -- which only ages cost-benefit decisions).
+        self._clock = (snapshot.clock if snapshot is not None else 0) + int(replay.size)
+        max_serial = int(self._oob_serial[usable].max()) + 1 if usable.any() else 0
+        self._program_serial = max(horizon, max_serial)
+        self._fault_counts = {}
+
+        self.policy = make_policy(self.config.gc_policy)
+        self._seal_times = {}
+        self._seal_time_arr = np.zeros(g.total_blocks, dtype=np.int64)
+        self._sealed = set()
+        live = ~bad
+        self._free = np.flatnonzero(live & (offsets == 0)).tolist()
+        for block in np.flatnonzero(live & (offsets == ppb)).tolist():
+            self._seal(block)
+        self._active = {s: None for s in range(self.config.streams)}
+        self._gc_active = {s: None for s in range(self.config.gc_streams)}
+        host_slots = list(range(self.config.streams))
+        gc_slots = list(range(self.config.gc_streams))
+        partials = np.flatnonzero(live & (offsets > 0) & (offsets < ppb)).tolist()
+        for block in partials:
+            if host_slots:
+                self._active[host_slots.pop(0)] = block
+            elif gc_slots:
+                self._gc_active[gc_slots.pop(0)] = block
+            else:
+                self._pad_and_seal(block)
+
+        self.stats.crash_recoveries += 1
+        self.stats.pages_replayed += int(replay.size)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                RecoveryEvent(
+                    "ftl.ftl", "crash-recovered", pages_moved=int(replay.size),
+                    detail="snapshot" if snapshot is not None else "full-replay",
+                )
+            )
+        return int(replay.size)
+
+    def _pad_and_seal(self, block: int) -> None:
+        """Fill a partial block with padding and seal it (recovery only).
+
+        Used when recovery finds more partially-written blocks than it
+        has active slots; the padding carries no logical data, so its
+        OOB is cleared. Padding is never fault-injected -- a paranoid
+        firmware pads with relaxed single-level-cell programs.
+        """
+        free = self.geometry.pages_per_block - self.nand.write_offset(block)
+        saved = self.nand.faults
+        self.nand.faults = None
+        try:
+            first, _ = self.nand.program_run(block, free)
+        finally:
+            self.nand.faults = saved
+        self._oob_lpn[first : first + free] = UNMAPPED
+        self._seal(block)
 
     # -- Consistency checking (used by property tests) -----------------------------
 

@@ -138,6 +138,56 @@ class HostRequestEvent:
     t: float | None = None
 
 
+@dataclass(slots=True)
+class FaultEvent:
+    """An injected fault fired (layer ``faults.injector``).
+
+    ``fault`` names what went wrong: ``program-fail`` (page burned),
+    ``erase-fail`` / ``grown-bad-block`` (block retired at erase),
+    ``read-error`` (ECC retry ladder walked, ``retries`` rungs,
+    ``latency_us`` extra sense time), ``read-uncorrectable`` (ladder
+    exhausted), ``latency-spike``, ``zone-offline``. ``op_index`` is the
+    injector's global flash-op counter when the fault fired, which makes
+    seeded schedules reproducible and comparable across runs.
+    """
+
+    kind: ClassVar[str] = "fault"
+
+    layer: str
+    fault: str
+    block: int | None = None
+    page: int | None = None
+    zone: int | None = None
+    retries: int = 0
+    latency_us: float = 0.0
+    op_index: int = 0
+    t: float | None = None
+
+
+@dataclass(slots=True)
+class RecoveryEvent:
+    """A recovery action taken in response to a fault.
+
+    Published by the layer that recovered (``ftl.ftl``, ``zns.device``,
+    ``zns.ftl``): ``page-rewrite`` (program fault absorbed by rewriting
+    elsewhere), ``block-retired`` (valid data relocated, block removed
+    from circulation), ``zone-read-only``, ``zone-offline``,
+    ``spare-substituted``, ``capacity-shrunk``, ``crash-recovered``
+    (mapping rebuilt from checkpoint + out-of-band replay,
+    ``pages_moved`` = pages replayed).
+    """
+
+    kind: ClassVar[str] = "recovery"
+
+    layer: str
+    action: str
+    block: int | None = None
+    zone: int | None = None
+    pages_moved: int = 0
+    detail: str = ""
+    t: float | None = None
+
+
 #: Every concrete event type, for (de)serialization and docs.
 EVENT_TYPES: tuple[type, ...] = (
     FlashOpEvent,
@@ -146,6 +196,8 @@ EVENT_TYPES: tuple[type, ...] = (
     ZoneAppendEvent,
     ReclaimEvent,
     HostRequestEvent,
+    FaultEvent,
+    RecoveryEvent,
 )
 
 _KIND_TO_TYPE: dict[str, type] = {cls.kind: cls for cls in EVENT_TYPES}
@@ -171,10 +223,12 @@ def event_from_dict(payload: dict[str, Any]) -> Any:
 
 __all__ = [
     "EVENT_TYPES",
+    "FaultEvent",
     "FlashOpEvent",
     "GcEvent",
     "HostRequestEvent",
     "ReclaimEvent",
+    "RecoveryEvent",
     "ZoneAppendEvent",
     "ZoneTransitionEvent",
     "event_from_dict",

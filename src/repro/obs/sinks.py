@@ -24,7 +24,7 @@ from typing import Any
 
 from repro.metrics.counters import OpCounter, ThroughputMeter
 from repro.metrics.latency import LatencyRecorder
-from repro.obs.events import FlashOpEvent, HostRequestEvent
+from repro.obs.events import FaultEvent, FlashOpEvent, HostRequestEvent, RecoveryEvent
 
 
 class RecordingSink:
@@ -183,6 +183,8 @@ class LatencyBreakdownSink:
         self._phases: dict[str, dict[str, _PhaseStats]] = {}
         self._flash_ops: dict[str, dict[str, int]] = {}
         self._flash_bytes: dict[str, int] = {}
+        self._faults: dict[str, int] = {}
+        self._recoveries: dict[str, int] = {}
 
     def on_event(self, event: Any) -> None:
         cls = event.__class__
@@ -192,6 +194,13 @@ class LatencyBreakdownSink:
             self._flash_bytes[event.layer] = (
                 self._flash_bytes.get(event.layer, 0) + event.nbytes
             )
+            return
+        if cls is FaultEvent:
+            self._faults[event.fault] = self._faults.get(event.fault, 0) + 1
+            return
+        if cls is RecoveryEvent:
+            key = f"{event.layer}:{event.action}"
+            self._recoveries[key] = self._recoveries.get(key, 0) + 1
             return
         if cls is not HostRequestEvent or event.layer != self.layer:
             return
@@ -230,6 +239,10 @@ class LatencyBreakdownSink:
                 for layer, ops in sorted(self._flash_ops.items())
             }
             payload["flash_bytes"] = dict(sorted(self._flash_bytes.items()))
+        if self._faults:
+            payload["faults"] = dict(sorted(self._faults.items()))
+        if self._recoveries:
+            payload["recoveries"] = dict(sorted(self._recoveries.items()))
         return payload
 
 

@@ -17,12 +17,13 @@ assign offsets, so they only contend for planes and channels.
 from __future__ import annotations
 
 from collections.abc import Generator
-from typing import Any
+from typing import Any, TYPE_CHECKING
 
 import itertools
 
 import numpy as np
 
+from repro.flash.errors import ProgramFaultError
 from repro.flash.geometry import ZonedGeometry
 from repro.flash.nand import NandArray
 from repro.flash.ops import FlashOp, OpKind
@@ -33,6 +34,7 @@ from repro.metrics.latency import LatencyRecorder
 from repro.obs.events import (
     FlashOpEvent,
     HostRequestEvent,
+    RecoveryEvent,
     ZoneAppendEvent,
     ZoneTransitionEvent,
 )
@@ -48,6 +50,9 @@ from repro.zns.errors import (
 )
 from repro.zns.ftl import ZnsFTL
 from repro.zns.zone import Zone, ZoneState
+
+if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
 
 
 class ZNSDevice:
@@ -66,6 +71,12 @@ class ZNSDevice:
         (page offset ``i`` lands in block ``i % blocks_per_zone``). Real
         controllers do this for parallelism; disable to get a strictly
         linear layout.
+    faults:
+        Optional armed :class:`~repro.faults.injector.FaultInjector`.
+        Program faults degrade the struck zone to READ_ONLY (scalar) or
+        fail the command with zone state untouched (batch, per the
+        atomicity contract); scheduled zone-offline events are polled
+        before every host command. Disarmed injectors cost nothing.
     """
 
     def __init__(
@@ -77,11 +88,16 @@ class ZNSDevice:
         spare_blocks: int = 0,
         striped: bool = True,
         tracer: Tracer | None = None,
+        faults: "FaultInjector | None" = None,
     ):
         self.geometry = geometry or ZonedGeometry.bench()
         self.nand = nand or NandArray(
-            self.geometry.flash, timing=timing, store_data=store_data, tracer=tracer
+            self.geometry.flash, timing=timing, store_data=store_data, tracer=tracer,
+            faults=faults,
         )
+        # The NAND keeps the injector only when armed; share its decision
+        # so the zone-offline polls below stay strict no-ops when disarmed.
+        self.faults = self.nand.faults
         # Command-level events (layer "zns.device") share the NAND's bus,
         # so one sink sees both the NVMe command and the flash ops it
         # caused. The device's counters are a sink over that stream.
@@ -108,6 +124,60 @@ class ZNSDevice:
                     zone.state.value, trigger, wp=zone.wp,
                 )
             )
+
+    # -- Fault handling ------------------------------------------------------------
+
+    def _poll_faults(self) -> None:
+        """Apply scheduled zone-offline events that have come due.
+
+        Called at the head of every host command when an armed injector is
+        attached; the schedule keys on the injector's global flash-op
+        counter, so offlines land between commands, never mid-command.
+        """
+        for zone_id in self.faults.due_zone_offlines():
+            if not 0 <= zone_id < len(self.zones):
+                continue
+            zone = self.zones[zone_id]
+            if zone.state is ZoneState.OFFLINE:
+                continue
+            old_state = zone.state
+            zone.transition_offline()
+            self._note_no_longer_open(zone_id)
+            self._publish_transition(zone, old_state, "fault-offline")
+            if self.tracer.enabled:
+                self.tracer.publish(
+                    RecoveryEvent(
+                        "zns.device", "zone-offline", zone=zone_id,
+                        detail="scheduled fault",
+                    )
+                )
+
+    def _degrade_read_only(self, zone: Zone, durable_pages: int) -> None:
+        """A program fault struck ``zone`` mid-write: degrade to READ_ONLY.
+
+        The ``durable_pages`` of the failed command that landed before the
+        burn stay readable (the write pointer advances over exactly
+        those); the burned flash page sits beyond the pointer and is never
+        read. The host recovers by copying the zone out and resetting it.
+        """
+        old_state = zone.state
+        zone.advance(durable_pages)
+        zone.transition_read_only()
+        self._note_no_longer_open(zone.zone_id)
+        self._publish_transition(zone, old_state, "program-fault")
+        if self.tracer.enabled:
+            self.tracer.publish(
+                RecoveryEvent(
+                    "zns.device", "zone-read-only", zone=zone.zone_id,
+                    pages_moved=durable_pages, detail="program fault",
+                )
+            )
+
+    def _revert_implicit_open(self, zone: Zone, old_state: ZoneState) -> None:
+        """Undo this command's implicit open after a pre-mutation batch fault."""
+        if zone.state.is_open and not old_state.is_open:
+            zone.transition_closed()
+            self._note_no_longer_open(zone.zone_id)
 
     # -- Introspection / report ----------------------------------------------------
 
@@ -266,6 +336,8 @@ class ZNSDevice:
 
     def reset_zone(self, zone_id: int) -> list[FlashOp]:
         """Erase the zone's blocks and rewind the write pointer."""
+        if self.faults is not None:
+            self._poll_faults()
         zone = self.zone(zone_id)
         if zone.state is ZoneState.OFFLINE:
             raise ZoneStateError(f"zone {zone_id} is offline")
@@ -274,6 +346,13 @@ class ZNSDevice:
         latencies, new_capacity = self.ftl.reset_zone(zone_id)
         zone.transition_empty(new_capacity=new_capacity)
         self._note_no_longer_open(zone_id)
+        if zone.state is ZoneState.OFFLINE and self.tracer.enabled:
+            self.tracer.publish(
+                RecoveryEvent(
+                    "zns.device", "zone-offline", zone=zone_id,
+                    detail="capacity exhausted",
+                )
+            )
         ops = [
             FlashOp(OpKind.ERASE, block, None, latency, uses_channel=False)
             for block, latency in zip(blocks_before, latencies)
@@ -302,6 +381,8 @@ class ZNSDevice:
         """
         if npages < 1:
             raise ValueError("npages must be >= 1")
+        if self.faults is not None:
+            self._poll_faults()
         zone = self.zone(zone_id)
         zone.check_writable(npages)
         if offset is not None and offset != zone.wp:
@@ -314,7 +395,13 @@ class ZNSDevice:
         for i in range(npages):
             page = self._page_of(zone_id, zone.wp + i)
             payload = data[i] if isinstance(data, (list, tuple)) else data
-            latency = self.nand.program(page, payload)
+            try:
+                latency = self.nand.program(page, payload)
+            except ProgramFaultError:
+                # The burn broke the zone's offset<->flash correspondence;
+                # pages before it are durable, the zone degrades.
+                self._degrade_read_only(zone, durable_pages=i)
+                raise
             ops.append(
                 FlashOp(OpKind.PROGRAM, self.geometry.flash.block_of_page(page), page, latency)
             )
@@ -355,6 +442,8 @@ class ZNSDevice:
 
     def read(self, zone_id: int, offset: int) -> tuple[Any, FlashOp]:
         """Read one page at (zone, offset below the write pointer)."""
+        if self.faults is not None:
+            self._poll_faults()
         zone = self.zone(zone_id)
         zone.check_readable(offset)
         page = self._page_of(zone_id, offset)
@@ -384,21 +473,30 @@ class ZNSDevice:
         """
         if not sources:
             raise ValueError("simple_copy requires at least one source")
+        if self.faults is not None:
+            self._poll_faults()
         dst = self.zone(dst_zone_id)
         dst.check_writable(len(sources))
+        # Validate every source before touching flash so a bad source list
+        # fails atomically, exactly like the batch twin: no destination
+        # page is programmed for a command that raises.
+        for src_zone_id, src_offset in sources:
+            self.zone(src_zone_id).check_readable(src_offset)
         self._ensure_open_for_write(dst)
         start = dst.wp
         ops: list[FlashOp] = []
         for i, (src_zone_id, src_offset) in enumerate(sources):
-            src_zone = self.zone(src_zone_id)
-            src_zone.check_readable(src_offset)
             src_page = self._page_of(src_zone_id, src_offset)
             dst_page = self._page_of(dst_zone_id, start + i)
             # Device-internal movement: sense + program without channel
             # use. The sense is not a host read (it still disturbs the
             # source block); the command accounts for itself below.
             payload = self.nand.sense_for_copy(src_page)
-            latency = self.nand.program(dst_page, payload)
+            try:
+                latency = self.nand.program(dst_page, payload)
+            except ProgramFaultError:
+                self._degrade_read_only(dst, durable_pages=i)
+                raise
             ops.append(
                 FlashOp(
                     OpKind.COPY,
@@ -437,18 +535,29 @@ class ZNSDevice:
         """Batched sequential write at the write pointer; returns ``npages``."""
         if npages < 1:
             raise ValueError("npages must be >= 1")
+        if self.faults is not None:
+            self._poll_faults()
         zone = self.zone(zone_id)
         zone.check_writable(npages)
         if offset is not None and offset != zone.wp:
             raise WritePointerError(
                 f"write at offset {offset} but zone {zone_id} wp is {zone.wp}"
             )
+        pre_open_state = zone.state
         self._ensure_open_for_write(zone)
         start_wp = zone.wp
         pages = self._pages_of(
             zone_id, np.arange(start_wp, start_wp + npages, dtype=np.int64)
         )
-        self.nand.program_batch(pages)
+        try:
+            self.nand.program_batch(pages)
+        except ProgramFaultError:
+            # The fault was decided pre-mutation (batch atomicity), so the
+            # flash and the write pointer are untouched: the command is
+            # transient and the host may simply retry it. Undo the
+            # implicit open so zone state is untouched too.
+            self._revert_implicit_open(zone, pre_open_state)
+            raise
         old_state = zone.state
         zone.advance(npages)
         if self.tracer.enabled:
@@ -487,10 +596,13 @@ class ZNSDevice:
         n = len(src)
         if n == 0:
             raise ValueError("simple_copy requires at least one source")
+        if self.faults is not None:
+            self._poll_faults()
         dst = self.zone(dst_zone_id)
         dst.check_writable(n)
-        self._ensure_open_for_write(dst)
-        start = dst.wp
+        # Validate every source before opening the destination, matching
+        # the scalar command: a command that raises leaves all zone state
+        # (including the destination's implicit-open) untouched.
         src_pages = np.empty(n, dtype=np.int64)
         for zone_id in np.unique(src[:, 0]).tolist():
             src_zone = self.zone(int(zone_id))
@@ -504,6 +616,9 @@ class ZNSDevice:
                 for off in offsets.tolist():
                     src_zone.check_readable(int(off))
             src_pages[mask] = self._pages_of(int(zone_id), offsets)
+        pre_open_state = dst.state
+        self._ensure_open_for_write(dst)
+        start = dst.wp
         dst_pages = self._pages_of(
             dst_zone_id, np.arange(start, start + n, dtype=np.int64)
         )
@@ -512,7 +627,12 @@ class ZNSDevice:
         # programs at the flash.nand layer; the copy is counted once here
         # at the command layer.
         self.nand.sense_for_copy_batch(src_pages)
-        self.nand.program_batch(dst_pages)
+        try:
+            self.nand.program_batch(dst_pages)
+        except ProgramFaultError:
+            # Pre-mutation batch fault: destination untouched, retryable.
+            self._revert_implicit_open(dst, pre_open_state)
+            raise
         old_state = dst.state
         dst.advance(n)
         if self.tracer.enabled:

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.flash.geometry import ZonedGeometry
 from repro.flash.nand import NandArray
-from repro.obs.events import GcEvent
+from repro.obs.events import GcEvent, RecoveryEvent
 from repro.obs.tracer import Tracer
 
 
@@ -121,6 +121,13 @@ class ZnsFTL:
             except BadBlockError:
                 # Block retired; charge the (wasted) erase time anyway.
                 latencies.append(self.nand.timing.erase_us)
+                if self.tracer.enabled:
+                    self.tracer.publish(
+                        RecoveryEvent(
+                            "zns.ftl", "block-retired", block=block,
+                            zone=zone_id, detail="erase failure",
+                        )
+                    )
         want = len(self._zone_blocks[zone_id])
 
         if self.rotate_on_reset:
@@ -134,8 +141,20 @@ class ZnsFTL:
             spare = self._spares.pop()
             if not self.nand.wear.is_bad(spare):
                 if not self.nand.is_block_erased(spare):
-                    latencies.append(self.nand.erase(spare))
+                    try:
+                        latencies.append(self.nand.erase(spare))
+                    except BadBlockError:
+                        # The spare itself died on its first erase.
+                        latencies.append(self.nand.timing.erase_us)
+                        continue
                 pool.append(spare)
+                if self.tracer.enabled:
+                    self.tracer.publish(
+                        RecoveryEvent(
+                            "zns.ftl", "spare-substituted", block=spare,
+                            zone=zone_id,
+                        )
+                    )
 
         if self.rotate_on_reset:
             wear = self.nand.wear.erase_counts
@@ -145,6 +164,16 @@ class ZnsFTL:
             self._zone_blocks[zone_id] = take
         else:
             self._zone_blocks[zone_id] = pool[:want]
+
+        if len(self._zone_blocks[zone_id]) < want and self.tracer.enabled:
+            # Spares exhausted: the zone comes back narrower (paper §2.1,
+            # "decreasing the length of a zone after a reset").
+            self.tracer.publish(
+                RecoveryEvent(
+                    "zns.ftl", "capacity-shrunk", zone=zone_id,
+                    detail=f"{want - len(self._zone_blocks[zone_id])} blocks lost",
+                )
+            )
 
         if self.tracer.enabled:
             self.tracer.publish(

@@ -129,6 +129,23 @@ class Zone:
             raise ZoneStateError(f"cannot finish zone {self.zone_id} in {self.state}")
         self.state = ZoneState.FULL
 
+    def transition_read_only(self) -> None:
+        """Degrade: written data stays readable, further writes rejected.
+
+        The device moves a zone here when a program fails mid-zone (paper
+        §2.1's grown-defect handling): the write pointer no longer matches
+        the backing blocks' programmed state, so the host must copy the
+        data out and reset the zone, which erases (and possibly retires)
+        the damaged block.
+        """
+        if self.state is ZoneState.OFFLINE:
+            raise ZoneOfflineError(f"zone {self.zone_id} is offline")
+        self.state = ZoneState.READ_ONLY
+
+    def transition_offline(self) -> None:
+        """Terminal degradation: capacity and any written data are gone."""
+        self.state = ZoneState.OFFLINE
+
     def transition_empty(self, new_capacity: int | None = None) -> None:
         """Reset: write pointer rewinds, optionally shrinking capacity."""
         if self.state is ZoneState.OFFLINE:

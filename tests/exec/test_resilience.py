@@ -1,0 +1,189 @@
+"""Executor survival under failing, crashing, and hanging workers.
+
+The acceptance bar (ISSUE 5): a worker that raises, hangs, or dies must
+yield a structured ErrorResult for its own unit of work only -- the rest
+of the sweep completes and the run reports the loss instead of dying.
+
+The fault modes are injected through ``tests.exec.faulty_experiments``,
+registered under a synthetic id via monkeypatch; pool workers inherit
+both (fork) plus the fault-mode env vars.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.exec import ErrorResult, Executor, ResultCache, backoff_delay
+from repro.exec.errors import error_payload
+from repro.experiments import runner
+from repro.experiments.base import ExperimentConfig
+from tests.exec import faulty_experiments as faulty
+
+FAULTY_ID = "E99"
+EXPECTED_GOOD_SLOTS = [s for s in range(faulty.POINTS) if s != faulty.BAD_SLOT]
+
+
+@pytest.fixture
+def registered(monkeypatch):
+    monkeypatch.setitem(runner.MODULES, FAULTY_ID, faulty)
+    monkeypatch.delenv(faulty.MODE_ENV, raising=False)
+    return ExperimentConfig(FAULTY_ID)
+
+
+@pytest.fixture
+def registered_whole(monkeypatch):
+    monkeypatch.setitem(runner.MODULES, FAULTY_ID, faulty.WHOLE)
+    monkeypatch.delenv(faulty.MODE_ENV, raising=False)
+    return ExperimentConfig(FAULTY_ID)
+
+
+def _set_mode(monkeypatch, mode):
+    monkeypatch.setenv(faulty.MODE_ENV, mode)
+
+
+class TestErrorResult:
+    def test_from_exception_captures_traceback(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError as exc:
+            err = ErrorResult.from_exception(exc, experiment_id="E1")
+        assert err.error_type == "RuntimeError"
+        assert "boom" in err.message
+        assert "RuntimeError: boom" in err.traceback
+        assert not err.is_transient
+
+    def test_synthetic_kinds_are_transient(self):
+        for kind in ("Timeout", "WorkerDied", "TransientError"):
+            assert ErrorResult("E1", kind, "x").is_transient
+        assert not ErrorResult("E1", "ValueError", "x").is_transient
+
+    def test_json_round_trip(self):
+        err = ErrorResult("E1", "ValueError", "bad", "tb", "abcd", 3, 2)
+        assert ErrorResult.from_dict(json.loads(json.dumps(err.to_dict()))) == err
+
+    def test_error_payload_shape(self):
+        payload = error_payload(ValueError("nope"))
+        assert payload["__error__"]["error_type"] == "ValueError"
+        assert "nope" in payload["__error__"]["traceback"]
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        delays = [backoff_delay(a) for a in range(1, 10)]
+        assert delays == [backoff_delay(a) for a in range(1, 10)]
+        assert all(0 < d <= 5.0 for d in delays)
+        # Exponential envelope: the cap dominates eventually.
+        assert backoff_delay(1) < 0.2
+
+
+class TestSweepPointFailure:
+    def test_raising_point_costs_only_itself(self, registered, monkeypatch):
+        _set_mode(monkeypatch, "raise")
+        (record,) = Executor(jobs=2).run([registered])
+        assert record.error is None  # combine still produced a result
+        assert not record.ok
+        errors = record.result.metrics["errors"]
+        assert len(errors) == 1
+        assert errors[0]["error_type"] == "ValueError"
+        assert errors[0]["point_index"] == faulty.BAD_SLOT
+        assert "injected unit failure" in errors[0]["traceback"]
+        assert errors[0]["config_hash"] == registered.content_hash()[:16]
+        # The three surviving points combined normally.
+        assert [row["slot"] for row in record.result.rows] == EXPECTED_GOOD_SLOTS
+
+    def test_serial_whole_run_failure_is_structured(self, registered, monkeypatch):
+        _set_mode(monkeypatch, "raise")
+        (record,) = Executor(jobs=1).run([registered])
+        assert record.error is not None
+        assert record.error.error_type == "ValueError"
+        assert "FAILED" in record.result.title
+        assert record.result.metrics["errors"][0]["error_type"] == "ValueError"
+
+    def test_failures_never_cached(self, registered, monkeypatch, tmp_path):
+        _set_mode(monkeypatch, "raise")
+        cache = ResultCache(tmp_path, version="pinned")
+        Executor(jobs=2, cache=cache).run([registered])
+        monkeypatch.delenv(faulty.MODE_ENV)
+        (record,) = Executor(jobs=2, cache=cache).run([registered])
+        assert not record.cached and record.ok
+
+    def test_healthy_sweep_unaffected(self, registered):
+        (record,) = Executor(jobs=2).run([registered])
+        assert record.ok
+        assert record.result.headline == {"total": 14, "rows": 4}
+
+
+class TestWorkerDeath:
+    def test_killed_worker_yields_error_and_sweep_completes(
+        self, registered, monkeypatch
+    ):
+        _set_mode(monkeypatch, "kill")
+        (record,) = Executor(jobs=2).run([registered])
+        assert not record.ok
+        errors = record.result.metrics["errors"]
+        assert [e["error_type"] for e in errors] == ["WorkerDied"]
+        assert errors[0]["point_index"] == faulty.BAD_SLOT
+        assert [row["slot"] for row in record.result.rows] == EXPECTED_GOOD_SLOTS
+
+    def test_whole_experiment_killed_worker(self, registered_whole, monkeypatch):
+        _set_mode(monkeypatch, "kill")
+        good = ExperimentConfig("E2")
+        bad, ok = Executor(jobs=2).run([registered_whole, good])
+        assert bad.error is not None
+        assert bad.error.error_type == "WorkerDied"
+        assert ok.ok  # the innocent experiment still completed
+
+
+class TestHungWorker:
+    def test_timeout_yields_error_and_sweep_completes(self, registered, monkeypatch):
+        _set_mode(monkeypatch, "hang")
+        (record,) = Executor(jobs=2, timeout_s=2.0).run([registered])
+        assert not record.ok
+        errors = record.result.metrics["errors"]
+        assert [e["error_type"] for e in errors] == ["Timeout"]
+        assert errors[0]["point_index"] == faulty.BAD_SLOT
+        assert [row["slot"] for row in record.result.rows] == EXPECTED_GOOD_SLOTS
+
+
+class TestRetry:
+    def test_transient_failure_retried_to_success(
+        self, registered, monkeypatch, tmp_path
+    ):
+        _set_mode(monkeypatch, "transient")
+        monkeypatch.setenv(faulty.SENTINEL_ENV, str(tmp_path / "tripped"))
+        (record,) = Executor(jobs=2, retries=2).run([registered])
+        assert record.ok
+        assert record.result.headline == {"total": 14, "rows": 4}
+
+    def test_transient_failure_without_retries_fails(
+        self, registered, monkeypatch, tmp_path
+    ):
+        _set_mode(monkeypatch, "transient")
+        monkeypatch.setenv(faulty.SENTINEL_ENV, str(tmp_path / "tripped"))
+        (record,) = Executor(jobs=2, retries=0).run([registered])
+        assert not record.ok
+        assert (
+            record.result.metrics["errors"][0]["error_type"] == "TransientError"
+        )
+
+    def test_deterministic_failure_not_retried(self, registered, monkeypatch):
+        # A ValueError is not transient; retries must not re-run it.
+        _set_mode(monkeypatch, "raise")
+        (record,) = Executor(jobs=2, retries=3).run([registered])
+        errors = record.result.metrics["errors"]
+        assert errors[0]["attempts"] == 1
+
+    def test_serial_transient_retry(self, registered, monkeypatch, tmp_path):
+        _set_mode(monkeypatch, "transient")
+        monkeypatch.setenv(faulty.SENTINEL_ENV, str(tmp_path / "tripped"))
+        (record,) = Executor(jobs=1, retries=1).run([registered])
+        assert record.ok
+
+
+class TestExecutorValidation:
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(timeout_s=0)
+
+    def test_bad_retries_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(retries=-1)

@@ -118,7 +118,7 @@ class TestFigures:
         result = run_experiment("E14", quick=True)
         chart = render_figure(result)
         assert "QLC" in chart
-        assert set(FIGURES) == {"E1", "E7", "E9", "E14"}
+        assert set(FIGURES) == {"E1", "E7", "E9", "E14", "E15"}
 
     def test_unsupported_id_raises(self):
         from repro.experiments.base import ExperimentResult

@@ -12,7 +12,7 @@ import pytest
 from repro.exec import ResultCache
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.experiments.cli import _DESCRIPTIONS, main
-from repro.experiments.runner import EXPERIMENTS, MODULES
+from repro.experiments.runner import DEFAULT_IDS, EXPERIMENTS, MODULES
 
 # Pure-computation experiments that finish in milliseconds.
 FAST_IDS = ["T1", "E2", "E6", "E10"]
@@ -142,14 +142,14 @@ class TestRunAll:
         # pooled executor, and cache serving without paying for the slow
         # DES experiments.
         cache = ResultCache(_isolated_cache_dir)
-        for key in MODULES:
+        for key in DEFAULT_IDS:
             cache.put(
                 ExperimentConfig(key),
                 ExperimentResult(experiment_id=key, title="warm", paper_claim=""),
             )
         assert main(["run", "all", "--jobs", "2", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert [entry["experiment_id"] for entry in payload] == list(MODULES)
+        assert [entry["experiment_id"] for entry in payload] == list(DEFAULT_IDS)
 
 
 class TestTelemetry:

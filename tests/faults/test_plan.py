@@ -1,0 +1,116 @@
+"""FaultPlan: validation, the armed contract, and rate scaling."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultPlan
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "program_fail_prob",
+            "erase_fail_prob",
+            "read_error_prob",
+            "retry_success_prob",
+            "latency_spike_prob",
+        ],
+    )
+    def test_probabilities_bounded(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: -0.1})
+
+    def test_negative_ladder_rung_rejected(self):
+        with pytest.raises(ValueError, match="retry_ladder_us"):
+            FaultPlan(retry_ladder_us=(40.0, -1.0))
+
+    def test_negative_spike_rejected(self):
+        with pytest.raises(ValueError, match="latency_spike_us"):
+            FaultPlan(latency_spike_us=-5.0)
+
+    @pytest.mark.parametrize("field", ["grown_bad_blocks", "zone_offline_at"])
+    def test_negative_schedule_entries_rejected(self, field):
+        with pytest.raises(ValueError, match="negative"):
+            FaultPlan(**{field: ((-1, 3),)})
+        with pytest.raises(ValueError, match="negative"):
+            FaultPlan(**{field: ((100, -3),)})
+
+    def test_lists_frozen_to_tuples(self):
+        plan = FaultPlan(
+            retry_ladder_us=[10.0, 20.0],
+            grown_bad_blocks=[(5, 1)],
+            zone_offline_at=[(9, 2)],
+        )
+        assert plan.retry_ladder_us == (10.0, 20.0)
+        assert plan.grown_bad_blocks == ((5, 1),)
+        assert plan.zone_offline_at == ((9, 2),)
+
+    def test_plan_is_hashable(self):
+        a = FaultPlan(seed=3, program_fail_prob=0.1)
+        b = FaultPlan(seed=3, program_fail_prob=0.1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestArmed:
+    def test_default_plan_disarmed(self):
+        assert not FaultPlan().armed
+
+    def test_seed_alone_does_not_arm(self):
+        assert not FaultPlan(seed=42).armed
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"program_fail_prob": 0.01},
+            {"erase_fail_prob": 0.01},
+            {"read_error_prob": 0.01},
+            {"latency_spike_prob": 0.01},
+            {"grown_bad_blocks": ((10, 0),)},
+            {"zone_offline_at": ((10, 0),)},
+        ],
+        ids=lambda kw: next(iter(kw)),
+    )
+    def test_any_single_fault_arms(self, kwargs):
+        assert FaultPlan(**kwargs).armed
+
+
+class TestScaled:
+    def test_rates_multiply_and_cap(self):
+        plan = FaultPlan(program_fail_prob=0.4, read_error_prob=0.01)
+        doubled = plan.scaled(2.0)
+        assert doubled.program_fail_prob == 0.8
+        assert doubled.read_error_prob == 0.02
+        assert plan.scaled(10.0).program_fail_prob == 1.0
+
+    def test_schedules_survive_scaling(self):
+        plan = FaultPlan(
+            program_fail_prob=0.1,
+            grown_bad_blocks=((100, 7),),
+            zone_offline_at=((200, 3),),
+        )
+        scaled = plan.scaled(0.0)
+        assert scaled.program_fail_prob == 0.0
+        assert scaled.grown_bad_blocks == plan.grown_bad_blocks
+        assert scaled.zone_offline_at == plan.zone_offline_at
+        # Schedules keep the plan armed even with every rate zeroed.
+        assert scaled.armed
+
+    def test_scale_zero_disarms_pure_rate_plan(self):
+        assert not FaultPlan(program_fail_prob=0.5).scaled(0.0).armed
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultPlan().scaled(-1.0)
+
+    def test_original_plan_untouched(self):
+        plan = FaultPlan(program_fail_prob=0.1)
+        plan.scaled(3.0)
+        assert plan.program_fail_prob == 0.1
+        assert dataclasses.asdict(plan) == dataclasses.asdict(
+            FaultPlan(program_fail_prob=0.1)
+        )

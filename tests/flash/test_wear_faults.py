@@ -1,0 +1,94 @@
+"""Property tests for endurance failure: seeded schedules, hard limits.
+
+Satellite of the fault-injection PR: the wear model's failure behavior
+must be reproducible (same seed => same grown-bad-block schedule) and,
+without randomness, exactly deterministic at the rated endurance limit.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.flash.wear import WearTracker
+
+BLOCKS = 8
+
+
+def failure_schedule(tracker: WearTracker, erases: list[int]) -> list[tuple[int, int]]:
+    """Replay an erase script; returns (step, block) for each failure."""
+    failures = []
+    for step, block in enumerate(erases):
+        if tracker.is_bad(block):
+            continue
+        if not tracker.record_erase(block):
+            failures.append((step, block))
+    return failures
+
+
+erase_scripts = st.lists(st.integers(0, BLOCKS - 1), min_size=20, max_size=300)
+
+
+class TestSeededSchedule:
+    @given(seed=st.integers(0, 2**31 - 1), erases=erase_scripts)
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_same_grown_bad_schedule(self, seed, erases):
+        trackers = [
+            WearTracker(
+                BLOCKS,
+                endurance_cycles=3,
+                failure_probability=0.5,
+                failure_rng=np.random.default_rng(seed),
+            )
+            for _ in range(2)
+        ]
+        schedules = [failure_schedule(t, erases) for t in trackers]
+        assert schedules[0] == schedules[1]
+        assert trackers[0].bad_blocks == trackers[1].bad_blocks
+
+    @given(seed=st.integers(0, 2**31 - 1), erases=erase_scripts)
+    @settings(max_examples=20, deadline=None)
+    def test_injector_erase_faults_replay_identically(self, seed, erases):
+        plan = FaultPlan(seed=seed, erase_fail_prob=0.2)
+        # Two injectors built from one plan make identical erase calls.
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        assert [a.on_erase(blk) for blk in erases] == [
+            b.on_erase(blk) for blk in erases
+        ]
+
+
+class TestDeterministicLimit:
+    @given(limit=st.integers(1, 50), block=st.integers(0, BLOCKS - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_no_rng_fails_exactly_at_limit(self, limit, block):
+        tracker = WearTracker(BLOCKS, endurance_cycles=limit)
+        # Every erase within the rated budget succeeds...
+        for _ in range(limit):
+            assert tracker.record_erase(block)
+            assert not tracker.is_bad(block)
+        # ...and the first erase past it fails, retiring the block.
+        assert not tracker.record_erase(block)
+        assert tracker.is_bad(block)
+        assert tracker.bad_mask[block]
+
+    @given(limit=st.integers(1, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_zero_failure_probability_matches_no_rng(self, limit):
+        with_rng = WearTracker(
+            BLOCKS,
+            endurance_cycles=limit,
+            failure_probability=0.0,
+            failure_rng=np.random.default_rng(0),
+        )
+        without = WearTracker(BLOCKS, endurance_cycles=limit)
+        script = [0] * (limit + 1)
+        assert failure_schedule(with_rng, script) == failure_schedule(without, script)
+        assert failure_schedule(with_rng, script) == []  # block already bad
+        # Both retired the block on the same (first-past-budget) erase.
+        assert with_rng.bad_blocks == without.bad_blocks == frozenset({0})
+
+    def test_disabled_endurance_never_fails(self):
+        tracker = WearTracker(BLOCKS, endurance_cycles=0)
+        for _ in range(10_000):
+            assert tracker.record_erase(0)
+        assert not tracker.is_bad(0)

@@ -6,10 +6,12 @@ import pytest
 
 from repro.obs.events import (
     EVENT_TYPES,
+    FaultEvent,
     FlashOpEvent,
     GcEvent,
     HostRequestEvent,
     ReclaimEvent,
+    RecoveryEvent,
     ZoneAppendEvent,
     ZoneTransitionEvent,
     event_from_dict,
@@ -30,6 +32,10 @@ SAMPLES = [
     ReclaimEvent("block.dmzoned", "zone-reset", zone=9, free_zones=4),
     HostRequestEvent("hostio.request", "write", "complete", request_id=11,
                      latency_us=350.0, nbytes=4096, t=99.0),
+    FaultEvent("flash.nand", "program-fail", block=3, page=97, retries=2,
+               latency_us=90.0, op_index=1500),
+    RecoveryEvent("ftl.ftl", "block-retired", block=3, pages_moved=12,
+                  detail="program faults"),
 ]
 
 
