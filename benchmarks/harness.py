@@ -39,14 +39,15 @@ if str(_SRC) not in sys.path:
 
 import numpy as np  # noqa: E402
 
-from repro.flash.geometry import FlashGeometry, ZonedGeometry  # noqa: E402
+from repro.block.factory import DeviceSpec, build_stack  # noqa: E402
+from repro.flash.geometry import FlashGeometry  # noqa: E402
 from repro.flash.ops import FlashOp, OpKind  # noqa: E402
+from repro.fleet import FleetSpec, fleet_summary, simulate_fleet  # noqa: E402
 from repro.ftl.ftl import ConventionalFTL, FTLConfig, GCStuckError  # noqa: E402
 from repro.obs.events import GcEvent  # noqa: E402
 from repro.obs.tracer import Tracer  # noqa: E402
 from repro.sim.engine import Engine, Timeout  # noqa: E402
 from repro.workloads.synthetic import uniform_array  # noqa: E402
-from repro.zns.device import ZNSDevice  # noqa: E402
 from repro.zns.zone import ZoneState  # noqa: E402
 
 DEFAULT_OUT = "BENCH_PR4.json"
@@ -266,8 +267,9 @@ def scenario_e14_endurance() -> dict:
 
 def _append_workload(batched: bool, chunk: int, rounds: int) -> dict:
     """Round-robin zone-append across the device, resetting full zones."""
-    geometry = ZonedGeometry.bench()
-    device = ZNSDevice(geometry)
+    spec = DeviceSpec(kind="zns", geometry="bench")
+    geometry = spec.zoned_geometry()
+    device = build_stack(spec)
     zone_pages = geometry.pages_per_zone
     pages = 0
     for round_no in range(rounds):
@@ -382,10 +384,19 @@ class _GuardCountingTracer(Tracer):
 
 def _batched_fill(tracer: Tracer | None = None, detach_sinks: bool = False) -> int:
     """The batched E1 fill phases on a fresh FTL."""
-    config = FTLConfig(
-        op_ratio=0.07, gc_policy="greedy", gc_low_watermark=1, gc_high_watermark=2
+    ftl = build_stack(
+        DeviceSpec(
+            kind="conventional-ftl",
+            geometry="small",
+            ftl={
+                "op_ratio": 0.07,
+                "gc_policy": "greedy",
+                "gc_low_watermark": 1,
+                "gc_high_watermark": 2,
+            },
+        ),
+        tracer=tracer,
     )
-    ftl = ConventionalFTL(FlashGeometry.small(), config, tracer=tracer)
     if detach_sinks:
         for sink in list(ftl.tracer.sinks):
             ftl.tracer.detach(sink)
@@ -438,12 +449,64 @@ def scenario_tracer_overhead(repeats: int = 3) -> dict:
     }
 
 
+def _fleet_bench_spec() -> FleetSpec:
+    """A mixed conventional/ZNS rack sized like E16's quick scenario."""
+    flash = (("blocks_per_plane", 8),)
+    conv = DeviceSpec(
+        kind="conventional-ftl", geometry="small", flash=flash, ftl={"op_ratio": 0.18}
+    )
+    zns = DeviceSpec(
+        kind="zns",
+        geometry="small",
+        flash=flash,
+        blocks_per_zone=2,
+        max_active_zones=14,
+    )
+    return FleetSpec(
+        mix=((conv, 2), (zns, 2)),
+        tenants=8,
+        ticks=240,
+        warmup_ticks=160,
+        utilization=0.9,
+        seed=0,
+    )
+
+
+def scenario_fleet_serving(repeats: int = 2) -> dict:
+    """E16's serving loop: one mixed rack, serial vs 4-way sharded.
+
+    No legacy reference exists for the fleet layer, so this scenario is
+    throughput-tracked rather than speedup-gated; the physics check is
+    the redesign's invariant itself -- the 4-shard merge must reproduce
+    the serial frame byte-for-byte before either timing is trusted.
+    """
+    spec = _fleet_bench_spec()
+    serial, serial_s = _timed(lambda: simulate_fleet(spec, shards=1), repeats)
+    sharded, sharded_s = _timed(lambda: simulate_fleet(spec, shards=4), repeats)
+    if sharded.to_dict() != serial.to_dict():
+        raise AssertionError("fleet_serving: 4-shard merge diverges from serial frame")
+    summary = fleet_summary(serial)
+    requests = summary["reads"] + summary["writes"]
+    return {
+        "ops": requests,
+        "unit": "host requests served",
+        "wall_s": round(serial_s, 4),
+        "wall_s_sharded": round(sharded_s, 4),
+        "ops_per_sec": round(requests / serial_s, 1),
+        "devices": spec.num_devices,
+        "tenants": spec.tenants,
+        "fleet_wa": summary["fleet_wa"],
+        "read_p99_us": summary["read_p99_us"],
+    }
+
+
 SCENARIOS = {
     "e1_wa_vs_op": scenario_e1_wa_vs_op,
     "e7_append": scenario_e7_append,
     "e14_endurance": scenario_e14_endurance,
     "engine_timeouts": scenario_engine_timeouts,
     "tracer_overhead": scenario_tracer_overhead,
+    "fleet_serving": scenario_fleet_serving,
 }
 
 

@@ -1,6 +1,15 @@
-"""Block-interface abstractions and host-side block-on-ZNS translation."""
+"""Block-interface abstractions, host-side block-on-ZNS translation, and
+the spec-driven device factory (:mod:`repro.block.factory`)."""
 
+from repro.block.factory import DeviceSpec, build_stack, legacy_spec
 from repro.block.interface import BlockDevice, ZonedDevice
 from repro.block.ramdisk import RamDisk
 
-__all__ = ["BlockDevice", "RamDisk", "ZonedDevice"]
+__all__ = [
+    "BlockDevice",
+    "DeviceSpec",
+    "RamDisk",
+    "ZonedDevice",
+    "build_stack",
+    "legacy_spec",
+]

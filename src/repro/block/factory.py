@@ -1,0 +1,529 @@
+"""Device construction as data: ``DeviceSpec`` + :func:`build_stack`.
+
+Before this module, every experiment hand-wired its own device stack --
+the same dozen lines of geometry + config + facade assembly duplicated
+across 20+ modules, impossible to ship across a process boundary and
+impossible to hash into a cache key. A :class:`DeviceSpec` is the frozen,
+hashable, versioned description of one stack (the analogue of
+:class:`~repro.experiments.base.ExperimentConfig` for hardware), and
+:func:`build_stack` is the single place that turns a spec into a live
+object tree. The fleet layer (:mod:`repro.fleet`) leans on this to
+instantiate hundreds of heterogeneous stacks from pure data.
+
+Specs name a stack *kind*:
+
+===================  ========================================================
+kind                 top-level object
+===================  ========================================================
+``conventional-ftl`` :class:`~repro.ftl.ftl.ConventionalFTL` (untimed)
+``conventional-ssd`` :class:`~repro.ftl.device.ConventionalSSD`
+``conventional-timed`` :class:`~repro.ftl.device.TimedConventionalSSD`
+``dftl``             :class:`~repro.ftl.dftl.DemandPagedFTL`
+``zns``              :class:`~repro.zns.device.ZNSDevice` (untimed)
+``zns-timed``        :class:`~repro.zns.device.TimedZNSDevice`
+``dmzoned``          :class:`~repro.block.dmzoned.ZonedBlockDevice` over ZNS
+``dmzoned-timed``    :class:`~repro.hostio.timed.TimedZonedBlockDevice`
+===================  ========================================================
+
+Geometry is a named preset (``small`` / ``bench``) plus optional field
+overrides, so specs stay JSON-round-trippable; adversity arms through
+``fault_plan`` (a frozen :class:`~repro.faults.plan.FaultPlan`) scaled by
+``fault_scale``, with ``fault_scale=0`` meaning the clean reference arm.
+Non-serializable collaborators (a simulation engine, a reclaim
+scheduler, a tracer) are *runtime* arguments to :func:`build_stack`, not
+spec fields.
+
+The pre-factory calling convention -- passing live geometry/config
+objects -- is kept for one release behind :func:`legacy_spec`, which
+converts objects to a spec and warns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import warnings
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.faults.plan import FaultPlan
+
+#: Version of the on-disk / on-the-wire spec schema. Bump when a field is
+#: added, removed, or changes meaning.
+SPEC_VERSION = 1
+
+#: Stack kinds that accept a fault injector.
+FAULT_CAPABLE_KINDS = frozenset({"conventional-ftl", "zns", "dmzoned"})
+
+#: Stack kinds that require a simulation engine at build time.
+TIMED_KINDS = frozenset({"conventional-timed", "zns-timed", "dmzoned-timed"})
+
+KINDS = frozenset(
+    {
+        "conventional-ftl",
+        "conventional-ssd",
+        "conventional-timed",
+        "dftl",
+        "zns",
+        "zns-timed",
+        "dmzoned",
+        "dmzoned-timed",
+    }
+)
+
+ZONED_KINDS = frozenset({"zns", "zns-timed", "dmzoned", "dmzoned-timed"})
+
+GEOMETRY_PRESETS = ("small", "bench")
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert lists/dicts to hashable tuples (sorted for dicts)."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_freeze` for JSON round-trips (tuples -> lists)."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+def _as_kwargs(pairs: tuple[tuple[str, Any], ...]) -> dict[str, Any]:
+    return {name: _thaw(value) for name, value in pairs}
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A frozen, hashable description of one device stack.
+
+    Attributes
+    ----------
+    kind:
+        Stack kind (see the module table).
+    geometry:
+        Named flash-geometry preset: ``"small"`` or ``"bench"``.
+    flash:
+        :class:`~repro.flash.geometry.FlashGeometry` field overrides on
+        top of the preset (e.g. ``{"pages_per_block": 128}``), stored as
+        a sorted tuple of pairs. Pass a plain dict.
+    blocks_per_zone / max_active_zones / max_open_zones:
+        Zoned-geometry shape for ZNS-family kinds; ``None`` keeps the
+        preset's value. Rejected on conventional kinds.
+    ftl:
+        :class:`~repro.ftl.ftl.FTLConfig` kwargs (conventional/dftl
+        kinds) -- e.g. ``{"op_ratio": 0.18, "gc_policy": "greedy"}``.
+    zoned_block:
+        :class:`~repro.block.dmzoned.ZonedBlockConfig` kwargs (dmzoned
+        kinds).
+    extra:
+        Remaining constructor kwargs of the top-level facade
+        (``prioritize_reads``, ``erase_suspend_slices``,
+        ``cache_capacity_pages``, ...), spec-carried when JSON-safe.
+    store_data / striped / spare_blocks:
+        Substrate switches, matching the underlying constructors.
+    fault_plan:
+        Optional frozen :class:`~repro.faults.plan.FaultPlan`; armed via
+        an injector when ``fault_scale > 0`` and the kind supports it.
+    fault_scale:
+        Rate multiplier applied to the plan (0 = clean reference arm).
+    """
+
+    kind: str
+    geometry: str = "bench"
+    flash: tuple[tuple[str, Any], ...] = ()
+    blocks_per_zone: int | None = None
+    max_active_zones: int | None = None
+    max_open_zones: int | None = None
+    ftl: tuple[tuple[str, Any], ...] = ()
+    zoned_block: tuple[tuple[str, Any], ...] = ()
+    extra: tuple[tuple[str, Any], ...] = ()
+    store_data: bool = False
+    striped: bool = True
+    spare_blocks: int = 0
+    fault_plan: FaultPlan | None = field(default=None)
+    fault_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown device kind {self.kind!r}; know {sorted(KINDS)}"
+            )
+        if self.geometry not in GEOMETRY_PRESETS:
+            raise ValueError(
+                f"unknown geometry preset {self.geometry!r}; "
+                f"know {list(GEOMETRY_PRESETS)}"
+            )
+        for name in ("flash", "ftl", "zoned_block", "extra"):
+            value = getattr(self, name)
+            if isinstance(value, Mapping):
+                value = _freeze(value)
+            else:
+                value = _freeze(dict(value))
+            object.__setattr__(self, name, value)
+        if self.kind not in ZONED_KINDS:
+            for name in ("blocks_per_zone", "max_active_zones", "max_open_zones"):
+                if getattr(self, name) is not None:
+                    raise ValueError(f"{name} only applies to zoned kinds, not {self.kind!r}")
+            if self.spare_blocks:
+                raise ValueError("spare_blocks only applies to zoned kinds")
+        if self.ftl and self.kind not in (
+            "conventional-ftl", "conventional-ssd", "conventional-timed", "dftl"
+        ):
+            raise ValueError(f"ftl config does not apply to kind {self.kind!r}")
+        if self.zoned_block and self.kind not in ("dmzoned", "dmzoned-timed"):
+            raise ValueError(f"zoned_block config does not apply to kind {self.kind!r}")
+        if self.fault_scale < 0:
+            raise ValueError("fault_scale must be >= 0")
+        if self.fault_plan is not None and self.kind not in FAULT_CAPABLE_KINDS:
+            raise ValueError(
+                f"kind {self.kind!r} does not support fault injection "
+                f"(supported: {sorted(FAULT_CAPABLE_KINDS)})"
+            )
+
+    # -- Convenience views -----------------------------------------------------
+
+    @property
+    def timed(self) -> bool:
+        """True when building this spec requires a simulation engine."""
+        return self.kind in TIMED_KINDS
+
+    def with_faults(self, plan: FaultPlan | None, scale: float = 1.0) -> "DeviceSpec":
+        """A copy with the fault plan/scale replaced."""
+        return dataclasses.replace(self, fault_plan=plan, fault_scale=scale)
+
+    def derived(self, **overrides: Any) -> "DeviceSpec":
+        """A copy with arbitrary fields replaced (frozen-safe)."""
+        return dataclasses.replace(self, **overrides)
+
+    # -- Serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "schema_version": SPEC_VERSION,
+            "kind": self.kind,
+            "geometry": self.geometry,
+            "flash": _as_kwargs(self.flash),
+            "blocks_per_zone": self.blocks_per_zone,
+            "max_active_zones": self.max_active_zones,
+            "max_open_zones": self.max_open_zones,
+            "ftl": _as_kwargs(self.ftl),
+            "zoned_block": _as_kwargs(self.zoned_block),
+            "extra": _as_kwargs(self.extra),
+            "store_data": self.store_data,
+            "striped": self.striped,
+            "spare_blocks": self.spare_blocks,
+            "fault_scale": self.fault_scale,
+            "fault_plan": (
+                None
+                if self.fault_plan is None
+                else {
+                    f.name: _thaw(getattr(self.fault_plan, f.name))
+                    for f in dataclasses.fields(self.fault_plan)
+                }
+            ),
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DeviceSpec":
+        version = payload.get("schema_version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"device spec schema version {version} not supported "
+                f"(have {SPEC_VERSION})"
+            )
+        plan_payload = payload.get("fault_plan")
+        return cls(
+            kind=payload["kind"],
+            geometry=payload.get("geometry", "bench"),
+            flash=payload.get("flash", ()),
+            blocks_per_zone=payload.get("blocks_per_zone"),
+            max_active_zones=payload.get("max_active_zones"),
+            max_open_zones=payload.get("max_open_zones"),
+            ftl=payload.get("ftl", ()),
+            zoned_block=payload.get("zoned_block", ()),
+            extra=payload.get("extra", ()),
+            store_data=payload.get("store_data", False),
+            striped=payload.get("striped", True),
+            spare_blocks=payload.get("spare_blocks", 0),
+            fault_plan=None if plan_payload is None else FaultPlan(**plan_payload),
+            fault_scale=payload.get("fault_scale", 1.0),
+        )
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON encoding, the basis of the spec hash."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def spec_hash(self) -> str:
+        """Hex digest identifying this spec's contents (stable across runs)."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    # -- Geometry materialization ----------------------------------------------
+
+    def flash_geometry(self):
+        """The concrete :class:`~repro.flash.geometry.FlashGeometry`."""
+        from repro.flash.geometry import FlashGeometry
+
+        preset = FlashGeometry.small() if self.geometry == "small" else FlashGeometry.bench()
+        overrides = _as_kwargs(self.flash)
+        if not overrides:
+            return preset
+        base = {
+            f.name: getattr(preset, f.name)
+            for f in dataclasses.fields(FlashGeometry)
+            if f.init
+        }
+        if "cell_type" in overrides:
+            from repro.flash.cells import CellType
+
+            overrides["cell_type"] = CellType[str(overrides["cell_type"]).upper()]
+        base.update(overrides)
+        return FlashGeometry(**base)
+
+    def zoned_geometry(self):
+        """The concrete :class:`~repro.flash.geometry.ZonedGeometry`."""
+        from repro.flash.geometry import ZonedGeometry
+
+        if self.kind not in ZONED_KINDS:
+            raise ValueError(f"kind {self.kind!r} has no zoned geometry")
+        preset = ZonedGeometry.small() if self.geometry == "small" else ZonedGeometry.bench()
+        return ZonedGeometry(
+            flash=self.flash_geometry(),
+            blocks_per_zone=(
+                preset.blocks_per_zone
+                if self.blocks_per_zone is None
+                else self.blocks_per_zone
+            ),
+            max_active_zones=(
+                preset.max_active_zones
+                if self.max_active_zones is None
+                else self.max_active_zones
+            ),
+            max_open_zones=preset.max_open_zones
+            if self.max_open_zones is None
+            else self.max_open_zones,
+        )
+
+
+def _injector(spec: DeviceSpec):
+    """The armed fault injector a spec calls for, or None."""
+    if spec.fault_plan is None or spec.fault_scale <= 0:
+        return None
+    from repro.faults import FaultInjector
+
+    plan = spec.fault_plan.scaled(spec.fault_scale)
+    if not plan.armed:
+        return None
+    return FaultInjector(plan)
+
+
+def build_stack(spec: DeviceSpec, engine: Any = None, tracer: Any = None, **runtime: Any):
+    """Turn a :class:`DeviceSpec` into a live device stack.
+
+    ``engine`` is required for (and only accepted by) timed kinds;
+    ``tracer`` threads the caller's telemetry bus through every layer.
+    ``runtime`` passes non-serializable collaborators (e.g. a
+    ``scheduler`` for ``dmzoned-timed``) straight to the top-level
+    constructor -- anything spec-worthy belongs in the spec instead.
+    """
+    if not isinstance(spec, DeviceSpec):
+        raise TypeError(f"build_stack takes a DeviceSpec, got {type(spec).__name__}")
+    if spec.timed and engine is None:
+        raise ValueError(f"kind {spec.kind!r} requires a simulation engine")
+    if not spec.timed and engine is not None:
+        raise ValueError(f"kind {spec.kind!r} does not take an engine")
+    extra = _as_kwargs(spec.extra)
+    extra.update(runtime)
+    faults = _injector(spec)
+
+    if spec.kind == "conventional-ftl":
+        from repro.ftl.ftl import ConventionalFTL, FTLConfig
+
+        return ConventionalFTL(
+            spec.flash_geometry(),
+            FTLConfig(**_as_kwargs(spec.ftl)) if spec.ftl else None,
+            tracer=tracer,
+            faults=faults,
+            **extra,
+        )
+    if spec.kind == "conventional-ssd":
+        from repro.ftl.device import ConventionalSSD
+        from repro.ftl.ftl import FTLConfig
+
+        return ConventionalSSD(
+            spec.flash_geometry(),
+            FTLConfig(**_as_kwargs(spec.ftl)) if spec.ftl else None,
+            store_data=spec.store_data,
+            tracer=tracer,
+            **extra,
+        )
+    if spec.kind == "conventional-timed":
+        from repro.ftl.device import TimedConventionalSSD
+        from repro.ftl.ftl import FTLConfig
+
+        return TimedConventionalSSD(
+            engine,
+            spec.flash_geometry(),
+            FTLConfig(**_as_kwargs(spec.ftl)) if spec.ftl else None,
+            tracer=tracer,
+            **extra,
+        )
+    if spec.kind == "dftl":
+        from repro.ftl.dftl import DemandPagedFTL
+        from repro.ftl.ftl import FTLConfig
+
+        return DemandPagedFTL(
+            spec.flash_geometry(),
+            FTLConfig(**_as_kwargs(spec.ftl)) if spec.ftl else None,
+            **extra,
+        )
+    if spec.kind == "zns":
+        from repro.zns.device import ZNSDevice
+
+        return ZNSDevice(
+            spec.zoned_geometry(),
+            store_data=spec.store_data,
+            spare_blocks=spec.spare_blocks,
+            striped=spec.striped,
+            tracer=tracer,
+            faults=faults,
+            **extra,
+        )
+    if spec.kind == "zns-timed":
+        from repro.zns.device import TimedZNSDevice
+
+        return TimedZNSDevice(
+            engine,
+            spec.zoned_geometry(),
+            striped=spec.striped,
+            tracer=tracer,
+            **extra,
+        )
+    if spec.kind == "dmzoned":
+        from repro.block.dmzoned import ZonedBlockConfig, ZonedBlockDevice
+        from repro.zns.device import ZNSDevice
+
+        device = ZNSDevice(
+            spec.zoned_geometry(),
+            store_data=spec.store_data,
+            spare_blocks=spec.spare_blocks,
+            striped=spec.striped,
+            tracer=tracer,
+            faults=faults,
+        )
+        return ZonedBlockDevice(
+            device,
+            ZonedBlockConfig(**_as_kwargs(spec.zoned_block)) if spec.zoned_block else None,
+            **extra,
+        )
+    if spec.kind == "dmzoned-timed":
+        from repro.block.dmzoned import ZonedBlockConfig
+        from repro.hostio.timed import TimedZonedBlockDevice
+
+        return TimedZonedBlockDevice(
+            engine,
+            spec.zoned_geometry(),
+            ZonedBlockConfig(**_as_kwargs(spec.zoned_block)) if spec.zoned_block else None,
+            tracer=tracer,
+            **extra,
+        )
+    raise AssertionError(f"unhandled kind {spec.kind!r}")  # pragma: no cover
+
+
+def legacy_spec(kind: str, geometry: Any = None, config: Any = None, **kwargs: Any) -> DeviceSpec:
+    """One-release shim: convert pre-factory constructor objects to a spec.
+
+    Accepts the live :class:`~repro.flash.geometry.FlashGeometry` /
+    :class:`~repro.flash.geometry.ZonedGeometry` and config objects the
+    old hand-wired call sites passed, emits a :class:`DeprecationWarning`,
+    and returns the equivalent :class:`DeviceSpec`. New code should
+    construct the spec directly.
+    """
+    warnings.warn(
+        "hand-wired device assembly is deprecated; construct a DeviceSpec "
+        "and call repro.block.factory.build_stack instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.block.dmzoned import ZonedBlockConfig
+    from repro.flash.geometry import FlashGeometry, ZonedGeometry
+    from repro.ftl.ftl import FTLConfig
+
+    spec_kwargs: dict[str, Any] = dict(kwargs)
+
+    def flash_fields(flash: FlashGeometry) -> tuple[str, dict[str, Any]]:
+        for preset in GEOMETRY_PRESETS:
+            candidate = FlashGeometry.small() if preset == "small" else FlashGeometry.bench()
+            if flash == candidate:
+                return preset, {}
+        base = FlashGeometry.bench()
+        overrides = {
+            f.name: getattr(flash, f.name)
+            for f in dataclasses.fields(FlashGeometry)
+            if f.init and getattr(flash, f.name) != getattr(base, f.name)
+        }
+        if "cell_type" in overrides:
+            overrides["cell_type"] = overrides["cell_type"].name.lower()
+        return "bench", overrides
+
+    if isinstance(geometry, ZonedGeometry):
+        preset, overrides = flash_fields(geometry.flash)
+        spec_kwargs.setdefault("geometry", preset)
+        if overrides:
+            spec_kwargs.setdefault("flash", overrides)
+        spec_kwargs.setdefault("blocks_per_zone", geometry.blocks_per_zone)
+        spec_kwargs.setdefault("max_active_zones", geometry.max_active_zones)
+        if geometry.max_open_zones is not None:
+            spec_kwargs.setdefault("max_open_zones", geometry.max_open_zones)
+    elif isinstance(geometry, FlashGeometry):
+        preset, overrides = flash_fields(geometry)
+        spec_kwargs.setdefault("geometry", preset)
+        if overrides:
+            spec_kwargs.setdefault("flash", overrides)
+    elif geometry is not None:
+        raise TypeError(f"unsupported geometry object {type(geometry).__name__}")
+
+    if isinstance(config, FTLConfig):
+        defaults = FTLConfig()
+        spec_kwargs.setdefault(
+            "ftl",
+            {
+                f.name: getattr(config, f.name)
+                for f in dataclasses.fields(FTLConfig)
+                if getattr(config, f.name) != getattr(defaults, f.name)
+            },
+        )
+    elif isinstance(config, ZonedBlockConfig):
+        defaults = ZonedBlockConfig()
+        spec_kwargs.setdefault(
+            "zoned_block",
+            {
+                f.name: getattr(config, f.name)
+                for f in dataclasses.fields(ZonedBlockConfig)
+                if getattr(config, f.name) != getattr(defaults, f.name)
+            },
+        )
+    elif config is not None:
+        raise TypeError(f"unsupported config object {type(config).__name__}")
+
+    return DeviceSpec(kind=kind, **spec_kwargs)
+
+
+__all__ = [
+    "FAULT_CAPABLE_KINDS",
+    "GEOMETRY_PRESETS",
+    "KINDS",
+    "SPEC_VERSION",
+    "TIMED_KINDS",
+    "DeviceSpec",
+    "build_stack",
+    "legacy_spec",
+]

@@ -158,6 +158,13 @@ class _PoolState:
     started_at: dict[int, float] = field(default_factory=dict)
     errors: dict[int, list[ErrorResult]] = field(default_factory=dict)
     failed_slots: dict[int, set[int]] = field(default_factory=dict)
+    # Exactly-once unit accounting: a (experiment, slot) pair enters
+    # done_slots the moment it is absorbed for good, and any later payload
+    # for the same pair (a resubmitted-then-also-completed attempt, a
+    # quarantine replay) is dropped instead of decrementing ``remaining``
+    # or bumping the progress line a second time.
+    done_slots: dict[int, set[int]] = field(default_factory=dict)
+    total_units: dict[int, int] = field(default_factory=dict)
 
 
 class Executor:
@@ -350,12 +357,14 @@ class Executor:
                 state.point_rows[index] = [None] * len(points)
                 state.point_profiles[index] = [None] * len(points)
                 state.remaining[index] = len(points)
+                state.total_units[index] = len(points)
                 for slot, kwargs in enumerate(points):
                     units.append(
                         _Unit(index, slot, _worker_point, (module.__name__, kwargs))
                     )
             else:
                 state.remaining[index] = 1
+                state.total_units[index] = 1
                 units.append(_Unit(index, -1, _worker_run, (config.to_dict(),)))
         return units
 
@@ -377,6 +386,11 @@ class Executor:
         """
         index, slot = unit.index, unit.slot
         config = configs[index]
+        if slot in state.done_slots.get(index, set()):
+            # This unit already landed (e.g. a timed-out attempt whose
+            # straggler result surfaced after the retry finished): drop
+            # the duplicate rather than double-count it.
+            return False
         if isinstance(payload, dict) and "__error__" in payload:
             payload = ErrorResult(
                 experiment_id=config.experiment_id,
@@ -399,7 +413,16 @@ class Executor:
                 payload = payload["__row__"]
             state.point_rows[index][slot] = payload
 
+        state.done_slots.setdefault(index, set()).add(slot)
         state.remaining[index] -= 1
+        if slot >= 0:
+            self.reporter.unit_finished(
+                config,
+                index,
+                total,
+                len(state.done_slots[index]),
+                state.total_units[index],
+            )
         if state.remaining[index] == 0:
             self._finalize(configs, records, state, total, index, slot >= 0)
         return False

@@ -44,6 +44,25 @@ class ProgressReporter:
     ) -> None:
         self._emit(f"[{index + 1:>2}/{total}] FAIL {error.describe()}")
 
+    def unit_finished(
+        self,
+        config: "ExperimentConfig",
+        index: int,
+        total: int,
+        done_units: int,
+        total_units: int,
+    ) -> None:
+        """One sweep point (e.g. one fleet shard) of one experiment landed.
+
+        ``done_units`` counts distinct completed units; the executor
+        guarantees each (experiment, slot) is reported exactly once, so
+        nested fan-out (shards inside a sweep) cannot inflate the count.
+        """
+        self._emit(
+            f"[{index + 1:>2}/{total}] {config.experiment_id:<4} "
+            f"point {done_units}/{total_units}"
+        )
+
     def finished(self, record: "ExecutionRecord", index: int, total: int) -> None:
         provenance = " (cached)" if record.cached else ""
         self._emit(

@@ -10,9 +10,9 @@ information barrier (compare any column to the E9 oracle).
 
 from __future__ import annotations
 
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
-from repro.flash.geometry import FlashGeometry
-from repro.ftl.ftl import ConventionalFTL, FTLConfig
+from repro.ftl.ftl import ConventionalFTL
 from repro.workloads.synthetic import hot_cold_stream, uniform_stream
 
 
@@ -27,8 +27,13 @@ def _steady_wa(ftl: ConventionalFTL, addresses) -> float:
 
 
 def measure(policy: str, workload: str, quick: bool, seed: int) -> dict:
-    geometry = FlashGeometry.small() if quick else FlashGeometry.bench()
-    ftl = ConventionalFTL(geometry, FTLConfig(op_ratio=0.07, gc_policy=policy))
+    ftl = build_stack(
+        DeviceSpec(
+            kind="conventional-ftl",
+            geometry="small" if quick else "bench",
+            ftl={"op_ratio": 0.07, "gc_policy": policy},
+        )
+    )
     n = ftl.logical_pages
     for lpn in range(n):
         ftl.write(lpn)

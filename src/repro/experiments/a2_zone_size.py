@@ -10,19 +10,20 @@ This ablation sweeps blocks-per-zone with the LSM workload held fixed.
 from __future__ import annotations
 
 from repro.apps.lsm import LSMConfig, LSMStore, ZoneFileBackend
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.sim.rng import make_rng
-from repro.zns.device import ZNSDevice
 
 
 def measure(blocks_per_zone: int, quick: bool, seed: int) -> dict:
-    zoned = ZonedGeometry(
-        flash=FlashGeometry.small(),
+    spec = DeviceSpec(
+        kind="zns",
+        geometry="small",
         blocks_per_zone=blocks_per_zone,
         max_active_zones=14,
     )
-    device = ZNSDevice(zoned)
+    zoned = spec.zoned_geometry()
+    device = build_stack(spec)
     store = LSMStore(
         ZoneFileBackend(device),
         LSMConfig(memtable_pages=64, level0_pages=768, max_table_pages=32),

@@ -11,22 +11,25 @@ requires to matter).
 
 from __future__ import annotations
 
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
-from repro.flash.geometry import FlashGeometry
-from repro.ftl.device import TimedConventionalSSD
-from repro.ftl.ftl import FTLConfig
 from repro.sim.engine import Engine, Timeout
 from repro.sim.rng import make_rng
 
 
 def measure(erase_suspend_slices: int, quick: bool, seed: int) -> dict:
     engine = Engine()
-    ssd = TimedConventionalSSD(
-        engine,
-        FlashGeometry.small(),
-        FTLConfig(op_ratio=0.07),
-        prioritize_reads=True,  # suspension is pointless without priority
-        erase_suspend_slices=erase_suspend_slices,
+    ssd = build_stack(
+        DeviceSpec(
+            kind="conventional-timed",
+            geometry="small",
+            ftl={"op_ratio": 0.07},
+            extra={
+                "prioritize_reads": True,  # suspension is pointless without priority
+                "erase_suspend_slices": erase_suspend_slices,
+            },
+        ),
+        engine=engine,
     )
     n = ssd.ftl.logical_pages
     for lpn in range(n):

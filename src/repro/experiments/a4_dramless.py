@@ -13,18 +13,22 @@ zone map fits entirely in kilobytes, so its overhead is identically zero.
 
 from __future__ import annotations
 
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
-from repro.flash.geometry import FlashGeometry
-from repro.ftl.dftl import DemandPagedFTL
-from repro.ftl.ftl import FTLConfig
 from repro.sim.rng import make_rng
 
 
-def measure_cache_size(cache_pages: int, quick: bool, seed: int) -> dict:
-    geometry = FlashGeometry.small() if quick else FlashGeometry.bench()
-    device = DemandPagedFTL(
-        geometry, FTLConfig(op_ratio=0.11), cache_capacity_pages=cache_pages
+def _spec(quick: bool, **extra) -> DeviceSpec:
+    return DeviceSpec(
+        kind="dftl",
+        geometry="small" if quick else "bench",
+        ftl={"op_ratio": 0.11},
+        extra=extra,
     )
+
+
+def measure_cache_size(cache_pages: int, quick: bool, seed: int) -> dict:
+    device = build_stack(_spec(quick, cache_capacity_pages=cache_pages))
     n = device.ftl.logical_pages
     for lpn in range(n):
         device.write(lpn)
@@ -51,8 +55,9 @@ def measure_cache_size(cache_pages: int, quick: bool, seed: int) -> dict:
 def run(config: ExperimentConfig) -> ExperimentResult:
     quick = config.quick
     seed = config.seed
-    geometry = FlashGeometry.small() if quick else FlashGeometry.bench()
-    probe = DemandPagedFTL(geometry, FTLConfig(op_ratio=0.11))
+    spec = _spec(quick)
+    geometry = spec.flash_geometry()
+    probe = build_stack(spec)
     full_map = probe.full_map_translation_pages
     sizes = [1, 2, full_map // 4, full_map // 2, full_map]
     sizes = sorted({max(s, 1) for s in sizes})

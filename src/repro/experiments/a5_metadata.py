@@ -13,18 +13,22 @@ checkpoints its entire (tiny) map at the same cadence.
 
 from __future__ import annotations
 
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.flash.geometry import ZonedGeometry
 from repro.ftl.checkpoint import CheckpointedFTL
-from repro.ftl.ftl import ConventionalFTL, FTLConfig
 from repro.sim.rng import make_rng
 
 
 def measure_conventional(interval: int, quick: bool, seed: int) -> dict:
-    geometry = FlashGeometry.small() if quick else FlashGeometry.bench()
-    device = CheckpointedFTL(
-        ConventionalFTL(geometry, FTLConfig(op_ratio=0.11)), interval_writes=interval
+    ftl = build_stack(
+        DeviceSpec(
+            kind="conventional-ftl",
+            geometry="small" if quick else "bench",
+            ftl={"op_ratio": 0.11},
+        )
     )
+    device = CheckpointedFTL(ftl, interval_writes=interval)
     n = device.ftl.logical_pages
     for lpn in range(n):
         device.write(lpn)

@@ -48,6 +48,7 @@ _DESCRIPTIONS = {
     "E13": "Flash cache designs per interface",
     "E14": "Device lifetime: measured WA x cell endurance",
     "E15": "Fault resilience: WA/tails under injected flash faults",
+    "E16": "Fleet serving: placement x mix x burstiness at rack scale",
     "A1": "Ablation: GC victim policy x workload skew",
     "A2": "Ablation: zone width vs LSM reclaim overhead",
     "A3": "Ablation: erase suspension vs read tails",

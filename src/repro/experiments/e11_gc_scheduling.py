@@ -13,30 +13,34 @@ an idle-aware scheduler has real windows to use.
 
 from __future__ import annotations
 
-from repro.block.dmzoned import ZonedBlockConfig
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.hostio.scheduler import make_scheduler
-from repro.hostio.timed import TimedZonedBlockDevice
 from repro.sim.engine import Engine, Timeout
 from repro.sim.rng import make_rng
 
 
 def measure_scheduler(name: str, quick: bool, seed: int, **scheduler_kwargs) -> dict:
     engine = Engine()
-    geometry = ZonedGeometry(
-        flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
-    )
-    host = TimedZonedBlockDevice(
-        engine,
-        geometry,
+    spec = DeviceSpec(
+        kind="dmzoned-timed",
+        geometry="small",
+        blocks_per_zone=2,
+        max_active_zones=14,
         # A wide watermark band (reclaim wanted below 6 free zones, space
         # critical below 2) is what gives the scheduler discretion: inside
         # the band, *when* to reclaim is a free choice.
-        config=ZonedBlockConfig(op_ratio=0.18, use_simple_copy=True, gc_low_zones=6,
-                                gc_high_zones=8),
-        scheduler=make_scheduler(name, **scheduler_kwargs),
-        prioritize_reads=False,  # isolate the scheduling effect
+        zoned_block={
+            "op_ratio": 0.18,
+            "use_simple_copy": True,
+            "gc_low_zones": 6,
+            "gc_high_zones": 8,
+        },
+        extra={"prioritize_reads": False},  # isolate the scheduling effect
+    )
+    # The scheduler is a live collaborator, so it rides as a runtime arg.
+    host = build_stack(
+        spec, engine=engine, scheduler=make_scheduler(name, **scheduler_kwargs)
     )
     n = host.layer.logical_pages
     for lpn in range(n):

@@ -17,22 +17,19 @@ spare ratio), the PCIe traffic reclaim generates, and DES throughput.
 
 from __future__ import annotations
 
-from repro.block.dmzoned import ZonedBlockConfig, ZonedBlockDevice
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
-from repro.ftl.device import TimedConventionalSSD
-from repro.ftl.ftl import ConventionalFTL, FTLConfig
-from repro.hostio.timed import TimedZonedBlockDevice
 from repro.sim.engine import Engine
 from repro.sim.rng import make_rng
 from repro.workloads.synthetic import uniform_stream
-from repro.zns.device import ZNSDevice
 
 _OP = 0.11
 
 
 def _wa_conventional(quick: bool, seed: int) -> dict:
-    ftl = ConventionalFTL(FlashGeometry.small(), FTLConfig(op_ratio=_OP))
+    ftl = build_stack(
+        DeviceSpec(kind="conventional-ftl", geometry="small", ftl={"op_ratio": _OP})
+    )
     n = ftl.logical_pages
     for lpn in range(n):
         ftl.write(lpn)
@@ -47,13 +44,16 @@ def _wa_conventional(quick: bool, seed: int) -> dict:
 
 
 def _wa_host(simple_copy: bool, quick: bool, seed: int) -> dict:
-    zoned = ZonedGeometry(
-        flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
+    layer = build_stack(
+        DeviceSpec(
+            kind="dmzoned",
+            geometry="small",
+            blocks_per_zone=2,
+            max_active_zones=14,
+            zoned_block={"op_ratio": _OP, "use_simple_copy": simple_copy},
+        )
     )
-    device = ZNSDevice(zoned)
-    layer = ZonedBlockDevice(
-        device, ZonedBlockConfig(op_ratio=_OP, use_simple_copy=simple_copy)
-    )
+    device = layer.device
     n = layer.logical_pages
     for lpn in range(n):
         layer.write(lpn)
@@ -69,7 +69,10 @@ def _wa_host(simple_copy: bool, quick: bool, seed: int) -> dict:
 
 def _throughput_conventional(quick: bool, seed: int) -> float:
     engine = Engine()
-    ssd = TimedConventionalSSD(engine, FlashGeometry.small(), FTLConfig(op_ratio=_OP))
+    ssd = build_stack(
+        DeviceSpec(kind="conventional-timed", geometry="small", ftl={"op_ratio": _OP}),
+        engine=engine,
+    )
     n = ssd.ftl.logical_pages
     for lpn in range(n):
         ssd.ftl.write(lpn)
@@ -87,14 +90,16 @@ def _throughput_conventional(quick: bool, seed: int) -> float:
 
 def _throughput_host(simple_copy: bool, quick: bool, seed: int) -> float:
     engine = Engine()
-    zoned = ZonedGeometry(
-        flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
-    )
-    host = TimedZonedBlockDevice(
-        engine,
-        zoned,
-        config=ZonedBlockConfig(op_ratio=_OP, use_simple_copy=simple_copy),
-        prioritize_reads=False,
+    host = build_stack(
+        DeviceSpec(
+            kind="dmzoned-timed",
+            geometry="small",
+            blocks_per_zone=2,
+            max_active_zones=14,
+            zoned_block={"op_ratio": _OP, "use_simple_copy": simple_copy},
+            extra={"prioritize_reads": False},
+        ),
+        engine=engine,
     )
     n = host.layer.logical_pages
     for lpn in range(n):

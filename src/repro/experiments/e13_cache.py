@@ -11,12 +11,9 @@ workload, same cache capacity; compare the device-level WA, erase counts
 from __future__ import annotations
 
 from repro.apps.cache import SetAssociativeCache, ZoneLogCache
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
-from repro.ftl.device import ConventionalSSD
-from repro.ftl.ftl import FTLConfig
 from repro.workloads.synthetic import zipfian_stream
-from repro.zns.device import ZNSDevice
 
 
 @experiment("E13")
@@ -26,7 +23,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     universe = 60_000
     requests = 150_000 if quick else 500_000
 
-    conv = ConventionalSSD(FlashGeometry.small(), FTLConfig(op_ratio=0.07))
+    conv = build_stack(
+        DeviceSpec(kind="conventional-ssd", geometry="small", ftl={"op_ratio": 0.07})
+    )
     set_cache = SetAssociativeCache(conv, ways=4)
     for obj in zipfian_stream(universe, requests, theta=0.9, seed=seed):
         if not set_cache.get(obj):
@@ -39,10 +38,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         "erases": conv.ftl.nand.counters.erases,
     }
 
-    zoned = ZonedGeometry(
-        flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
+    zns = build_stack(
+        DeviceSpec(kind="zns", geometry="small", blocks_per_zone=2, max_active_zones=14)
     )
-    zns = ZNSDevice(zoned)
     log_cache = ZoneLogCache(zns, readmit_hot=True)
     for obj in zipfian_stream(universe, requests, theta=0.9, seed=seed):
         if not log_cache.get(obj):

@@ -16,14 +16,13 @@ from __future__ import annotations
 from repro.cost.lifetime import qlc_enablement_table
 from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.experiments.e1_wa_vs_op import measure_wa
-from repro.flash.geometry import FlashGeometry
 
 
 @experiment("E14")
 def run(config: ExperimentConfig) -> ExperimentResult:
     quick = config.quick
     seed = config.seed
-    geometry = FlashGeometry.small() if quick else FlashGeometry.bench()
+    geometry = "small" if quick else "bench"
     # Conventional: measured at 28% OP (the endurance-friendly config).
     conventional = measure_wa(0.28, geometry, 2.0 if quick else 4.0, seed)
     conventional_wa = conventional["write_amplification"]

@@ -33,14 +33,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.block.dmzoned import TranslationError, ZonedBlockConfig, ZonedBlockDevice
+from repro.block.dmzoned import TranslationError
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import FaultPlan
 from repro.flash.errors import UncorrectableReadError
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
-from repro.ftl.ftl import ConventionalFTL, FTLConfig, GCStuckError
+from repro.ftl.ftl import GCStuckError
 from repro.workloads.synthetic import uniform_array
-from repro.zns.device import ZNSDevice
 from repro.zns.zone import ZoneOfflineError
 
 # Fault-tolerant deployments provision spare capacity for media failure
@@ -68,10 +67,34 @@ def base_plan(seed: int) -> FaultPlan:
     )
 
 
-def _injector(fault_scale: float, seed: int) -> FaultInjector | None:
-    if fault_scale <= 0:
-        return None  # the clean reference arm: no fault layer at all
-    return FaultInjector(base_plan(seed).scaled(fault_scale))
+def _arm_spec(arm: str, fault_scale: float, seed: int) -> DeviceSpec:
+    """One arm's stack as a spec; the fault plan arms via spec fields.
+
+    ``fault_scale=0`` leaves ``fault_plan`` unset -- the clean reference
+    arm has no fault layer at all, exactly as before the factory.
+    """
+    if arm == "conventional":
+        spec = DeviceSpec(
+            kind="conventional-ftl", geometry="small", ftl={"op_ratio": _OP}
+        )
+    else:
+        spec = DeviceSpec(
+            kind="dmzoned",
+            geometry="small",
+            blocks_per_zone=2,
+            max_active_zones=14,
+            # Early reclaim keeps a deeper free-zone buffer, the ZNS-side
+            # insurance against degradation bursts stranding the pool.
+            zoned_block={
+                "op_ratio": _OP,
+                "use_simple_copy": True,
+                "gc_low_zones": 4,
+                "gc_high_zones": 6,
+            },
+        )
+    if fault_scale > 0:
+        spec = spec.with_faults(base_plan(seed), fault_scale)
+    return spec
 
 
 def _read_tail(read_one, n: int, seed: int) -> tuple[float, int]:
@@ -95,12 +118,10 @@ def _read_tail(read_one, n: int, seed: int) -> tuple[float, int]:
 
 def measure_arm(arm: str, fault_scale: float, quick: bool, seed: int) -> dict:
     """WA / read-tail / capacity-loss for one stack at one fault scale."""
-    injector = _injector(fault_scale, seed)
+    stack = build_stack(_arm_spec(arm, fault_scale, seed))
     multiple = 2 if quick else 4
     if arm == "conventional":
-        ftl = ConventionalFTL(
-            FlashGeometry.small(), FTLConfig(op_ratio=_OP), faults=injector
-        )
+        ftl = stack
         nand, stats = ftl.nand, ftl.stats
         n = ftl.logical_pages
         write_one = ftl.write
@@ -117,18 +138,8 @@ def measure_arm(arm: str, fault_scale: float, quick: bool, seed: int) -> dict:
             return stats.host_pages_written
 
     else:
-        zoned = ZonedGeometry(
-            flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
-        )
-        device = ZNSDevice(zoned, faults=injector)
-        layer = ZonedBlockDevice(
-            device,
-            # Early reclaim keeps a deeper free-zone buffer, the ZNS-side
-            # insurance against degradation bursts stranding the pool.
-            ZonedBlockConfig(
-                op_ratio=_OP, use_simple_copy=True, gc_low_zones=4, gc_high_zones=6
-            ),
-        )
+        layer = stack
+        device = layer.device
         nand, stats = device.nand, layer.stats
         n = layer.logical_pages
         write_one = layer.write
@@ -144,6 +155,8 @@ def measure_arm(arm: str, fault_scale: float, quick: bool, seed: int) -> dict:
         def host_written() -> int:
             return stats.user_pages_written
 
+    # The injector the factory armed (None on the clean reference arm).
+    injector = nand.faults
     died = False
     writes_done = 0
     page_size = nand.geometry.page_size

@@ -16,31 +16,45 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.block.factory import DeviceSpec, build_stack, legacy_spec
 from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
 from repro.flash.geometry import FlashGeometry
-from repro.ftl.ftl import ConventionalFTL, FTLConfig
+from repro.ftl.ftl import FTLConfig
 from repro.workloads.synthetic import uniform_array
+
+
+def device_spec(
+    op_ratio: float,
+    geometry: FlashGeometry | str = "bench",
+    gc_policy: str = "greedy",
+) -> DeviceSpec:
+    """The FTL under test as a spec; ``geometry`` is a preset name.
+
+    Tight GC watermarks: idle free blocks are spare capacity the
+    collector cannot exploit, which matters enormously at low OP.
+    Passing a live :class:`FlashGeometry` still works for one release
+    via :func:`~repro.block.factory.legacy_spec` (deprecated).
+    """
+    ftl_cfg = {
+        "op_ratio": op_ratio,
+        "gc_policy": gc_policy,
+        "gc_low_watermark": 1,
+        "gc_high_watermark": 2,
+    }
+    if isinstance(geometry, str):
+        return DeviceSpec(kind="conventional-ftl", geometry=geometry, ftl=ftl_cfg)
+    return legacy_spec("conventional-ftl", geometry, FTLConfig(**ftl_cfg))
 
 
 def measure_wa(
     op_ratio: float,
-    geometry: FlashGeometry,
+    geometry: FlashGeometry | str = "bench",
     overwrite_multiple: float = 3.0,
     seed: int = 0,
     gc_policy: str = "greedy",
 ) -> dict:
     """Steady-state device WA for one OP point."""
-    # Tight GC watermarks: idle free blocks are spare capacity the
-    # collector cannot exploit, which matters enormously at low OP.
-    ftl = ConventionalFTL(
-        geometry,
-        FTLConfig(
-            op_ratio=op_ratio,
-            gc_policy=gc_policy,
-            gc_low_watermark=1,
-            gc_high_watermark=2,
-        ),
-    )
+    ftl = build_stack(device_spec(op_ratio, geometry, gc_policy))
     n = ftl.logical_pages
     # Fill sequentially, then overwrite once to reach steady state. The
     # batched path is state-identical to scalar writes (see the parity
@@ -84,8 +98,7 @@ def sweep_points(config: ExperimentConfig) -> list[dict]:
 
 
 def sweep_point(op_ratio: float, quick: bool, overwrite_multiple: float, seed: int) -> dict:
-    geometry = FlashGeometry.small() if quick else FlashGeometry.bench()
-    return measure_wa(op_ratio, geometry, overwrite_multiple, seed)
+    return measure_wa(op_ratio, "small" if quick else "bench", overwrite_multiple, seed)
 
 
 def combine(config: ExperimentConfig, rows: list[dict]) -> ExperimentResult:
@@ -122,4 +135,4 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     return SWEEP.run(config)
 
 
-__all__ = ["SWEEP", "measure_wa", "run"]
+__all__ = ["SWEEP", "device_spec", "measure_wa", "run"]

@@ -21,13 +21,10 @@ explosion on whichever device is slower.
 
 from __future__ import annotations
 
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
-from repro.ftl.device import TimedConventionalSSD
-from repro.ftl.ftl import FTLConfig
 from repro.sim.engine import Engine, Timeout
 from repro.sim.rng import make_rng
-from repro.zns.device import TimedZNSDevice
 from repro.zns.zone import ZoneState
 
 _WRITERS = 8
@@ -43,10 +40,11 @@ class _ConvRig:
 
     def __init__(self, op_ratio: float):
         self.engine = Engine()
-        self.geometry = FlashGeometry.small()
-        self.ssd = TimedConventionalSSD(
-            self.engine, self.geometry, FTLConfig(op_ratio=op_ratio)
+        spec = DeviceSpec(
+            kind="conventional-timed", geometry="small", ftl={"op_ratio": op_ratio}
         )
+        self.geometry = spec.flash_geometry()
+        self.ssd = build_stack(spec, engine=self.engine)
         self.n = self.ssd.ftl.logical_pages
         for lpn in range(self.n):
             self.ssd.ftl.write(lpn)
@@ -71,8 +69,9 @@ class _ZnsRig:
 
     def __init__(self):
         self.engine = Engine()
-        self.geometry = ZonedGeometry.small()
-        self.device = TimedZNSDevice(self.engine, self.geometry)
+        spec = DeviceSpec(kind="zns-timed", geometry="small")
+        self.geometry = spec.zoned_geometry()
+        self.device = build_stack(spec, engine=self.engine)
         self.zone_count = self.device.device.zone_count
         self._cursors = {}
         zones_per_writer = self.zone_count // _WRITERS

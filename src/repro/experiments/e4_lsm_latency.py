@@ -15,14 +15,11 @@ with useful writes.
 from __future__ import annotations
 
 from repro.apps.lsm import BlockFileBackend, LSMConfig, LSMStore
+from repro.block.factory import DeviceSpec, build_stack
 from repro.block.ramdisk import RamDisk
 from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
-from repro.ftl.device import TimedConventionalSSD
-from repro.ftl.ftl import FTLConfig
 from repro.sim.engine import Engine, Timeout
 from repro.sim.rng import make_rng
-from repro.zns.device import TimedZNSDevice
 from repro.zns.zone import ZoneState
 
 
@@ -42,7 +39,10 @@ def _replay_conventional(plan, reads, read_interval_us, seed):
     engine = Engine()
     # 28% OP: the conventional drive in WD's published RocksDB comparison
     # was the generously-overprovisioned variant.
-    ssd = TimedConventionalSSD(engine, FlashGeometry.small(), FTLConfig(op_ratio=0.28))
+    ssd = build_stack(
+        DeviceSpec(kind="conventional-timed", geometry="small", ftl={"op_ratio": 0.28}),
+        engine=engine,
+    )
     n = ssd.ftl.logical_pages
     for lpn in range(n):  # precondition: device fully mapped
         ssd.ftl.write(lpn)
@@ -89,7 +89,10 @@ def _replay_zns(plan, reads, read_interval_us, seed):
     engine = Engine()
     # Reads overtake queued resets: ZenFS performs resets lazily off the
     # critical path -- the host-side scheduling freedom §4.1 describes.
-    device = TimedZNSDevice(engine, ZonedGeometry.small(), prioritize_reads=True)
+    device = build_stack(
+        DeviceSpec(kind="zns-timed", geometry="small", extra={"prioritize_reads": True}),
+        engine=engine,
+    )
     zone_count = device.device.zone_count
     pages_per_zone = device.device.geometry.pages_per_zone
 

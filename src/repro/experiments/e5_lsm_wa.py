@@ -24,12 +24,9 @@ from repro.apps.lsm import (
     LSMStore,
     ZoneFileBackend,
 )
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
-from repro.ftl.device import ConventionalSSD
-from repro.ftl.ftl import FTLConfig
 from repro.sim.rng import make_rng
-from repro.zns.device import ZNSDevice
 
 _CFG = LSMConfig(memtable_pages=64, level0_pages=768, max_table_pages=32)
 
@@ -64,10 +61,11 @@ def measure_backend(backend: str, quick: bool, seed: int) -> dict:
     warmup = 500_000 if quick else 700_000
     measure = 200_000 if quick else 400_000
     if backend == "zns/zenfs-like":
-        zoned = ZonedGeometry(
-            flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
+        device = build_stack(
+            DeviceSpec(
+                kind="zns", geometry="small", blocks_per_zone=2, max_active_zones=14
+            )
         )
-        device = ZNSDevice(zoned)
         store = LSMStore(ZoneFileBackend(device), _CFG)
         flash_bytes_fn = device.nand.physical_bytes_written
     else:
@@ -75,7 +73,9 @@ def measure_backend(backend: str, quick: bool, seed: int) -> dict:
             "block/aged-fs": (False, "aged"),
             "block/trim": (True, "next-fit"),
         }[backend]
-        ssd = ConventionalSSD(FlashGeometry.small(), FTLConfig(op_ratio=0.07))
+        ssd = build_stack(
+            DeviceSpec(kind="conventional-ssd", geometry="small", ftl={"op_ratio": 0.07})
+        )
         store = LSMStore(
             BlockFileBackend(ssd, trim_on_delete=trim, allocation_strategy=strategy),
             _CFG,

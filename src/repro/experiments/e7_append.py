@@ -13,20 +13,19 @@ zone's blocks stripe across planes).
 
 from __future__ import annotations
 
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.sim.engine import Engine
-from repro.zns.device import TimedZNSDevice
 from repro.zns.zone import ZoneState
 
 
 def _throughput(writers: int, use_append: bool, records_per_writer: int) -> dict:
     engine = Engine()
     # Wide zones (8 blocks) so appends have parallelism to exploit.
-    geometry = ZonedGeometry(
-        flash=FlashGeometry.bench(), blocks_per_zone=8, max_active_zones=14
+    spec = DeviceSpec(
+        kind="zns-timed", geometry="bench", blocks_per_zone=8, max_active_zones=14
     )
-    device = TimedZNSDevice(engine, geometry)
+    device = build_stack(spec, engine=engine)
     zone_cursor = [0]
 
     def producer(engine):

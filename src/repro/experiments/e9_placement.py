@@ -13,17 +13,21 @@ mapped FTL with and without multi-stream separation.
 
 from __future__ import annotations
 
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.placement import HINT_POLICIES, ZonedObjectStore
 from repro.workloads.lifetime import ObjectLifetimeWorkload
-from repro.zns.device import ZNSDevice
 
 
 def measure_policy(policy_name: str, quick: bool, seed: int) -> dict:
-    flash = FlashGeometry.small() if quick else FlashGeometry.bench()
-    zoned = ZonedGeometry(flash=flash, blocks_per_zone=2, max_active_zones=14)
-    device = ZNSDevice(zoned)
+    spec = DeviceSpec(
+        kind="zns",
+        geometry="small" if quick else "bench",
+        blocks_per_zone=2,
+        max_active_zones=14,
+    )
+    zoned = spec.zoned_geometry()
+    device = build_stack(spec)
     store = ZonedObjectStore(
         device, hint_policy=HINT_POLICIES[policy_name], reserve_zones=2
     )

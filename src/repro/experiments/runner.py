@@ -33,6 +33,7 @@ from repro.experiments import (
     e13_cache,
     e14_endurance,
     e15_fault_resilience,
+    e16_fleet_serving,
     t1_survey,
 )
 from repro.experiments.base import ExperimentConfig, ExperimentResult
@@ -63,6 +64,7 @@ MODULES: dict[str, ModuleType] = {
     "E13": e13_cache,
     "E14": e14_endurance,
     "E15": e15_fault_resilience,
+    "E16": e16_fleet_serving,
     "A1": a1_gc_policy,
     "A2": a2_zone_size,
     "A3": a3_erase_suspend,
@@ -70,10 +72,12 @@ MODULES: dict[str, ModuleType] = {
     "A5": a5_metadata,
 }
 
-#: Ids included in ``run all`` / :func:`run_all`. E15 injects flash
-#: faults, so keeping it out of the default suite keeps the suite's
-#: output deterministic and fault-free; run it explicitly by id.
-DEFAULT_IDS: tuple[str, ...] = tuple(key for key in MODULES if key != "E15")
+#: Ids included in ``run all`` / :func:`run_all`. E15 and E16 inject
+#: flash faults, so keeping them out of the default suite keeps the
+#: suite's output deterministic and fault-free; run them explicitly by id.
+DEFAULT_IDS: tuple[str, ...] = tuple(
+    key for key in MODULES if key not in ("E15", "E16")
+)
 
 #: id -> run callable. Pre-redesign shim; prefer :func:`run_config`.
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {

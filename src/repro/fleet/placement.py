@@ -1,0 +1,70 @@
+"""Deterministic tenant-placement policies for the fleet front end.
+
+Placement decides which device serves which tenant -- the §2.4 noisy
+neighbor question at rack scale. Three policies span the outcome space:
+
+- ``round-robin``: tenant *t* lands on device ``t % N``. Ignores demand;
+  heavy tenants spread only by accident of numbering.
+- ``least-loaded``: tenants are placed in descending mean-demand order,
+  each onto the device with the lowest accumulated mean demand -- the
+  informed load balancer a fleet front end would actually run.
+- ``pack``: tenants in descending mean-demand order fill devices in
+  contiguous chunks, so the heaviest tenants share a device -- the
+  adversarial colocation that manufactures noisy neighbors.
+
+All policies are pure functions of the spec (no RNG), so placement is
+identical in every shard of a run.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.spec import FleetSpec
+
+
+def _by_demand(spec: FleetSpec) -> list[int]:
+    """Tenant ids, heaviest mean demand first (id breaks ties)."""
+    return sorted(
+        range(spec.tenants),
+        key=lambda tid: (-spec.tenant_profile(tid).mean_demand, tid),
+    )
+
+
+def _round_robin(spec: FleetSpec) -> list[list[int]]:
+    devices: list[list[int]] = [[] for _ in range(spec.num_devices)]
+    for tid in range(spec.tenants):
+        devices[tid % spec.num_devices].append(tid)
+    return devices
+
+
+def _least_loaded(spec: FleetSpec) -> list[list[int]]:
+    devices: list[list[int]] = [[] for _ in range(spec.num_devices)]
+    load = [0.0] * spec.num_devices
+    for tid in _by_demand(spec):
+        target = min(range(spec.num_devices), key=lambda d: (load[d], d))
+        devices[target].append(tid)
+        load[target] += spec.tenant_profile(tid).mean_demand
+    return devices
+
+
+def _pack(spec: FleetSpec) -> list[list[int]]:
+    devices: list[list[int]] = [[] for _ in range(spec.num_devices)]
+    chunk = -(-spec.tenants // spec.num_devices)  # ceil
+    for slot, tid in enumerate(_by_demand(spec)):
+        devices[slot // chunk].append(tid)
+    return devices
+
+
+_POLICIES = {
+    "round-robin": _round_robin,
+    "least-loaded": _least_loaded,
+    "pack": _pack,
+}
+
+
+def assign(spec: FleetSpec) -> tuple[tuple[int, ...], ...]:
+    """Tenant ids per device (sorted within a device), in rack order."""
+    devices = _POLICIES[spec.placement](spec)
+    return tuple(tuple(sorted(tenants)) for tenants in devices)
+
+
+__all__ = ["assign"]

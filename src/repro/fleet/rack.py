@@ -1,0 +1,520 @@
+"""Sharded rack simulation: N devices, bursty tenants, one merged frame.
+
+Each device runs a self-contained serving simulation: its tenants (fixed
+by :mod:`repro.fleet.placement`) process object create/delete events from
+seeded :class:`~repro.workloads.lifetime.ObjectLifetimeWorkload` streams
+at per-tick intensities from the bursty demand process, against a stack
+built by :func:`repro.block.factory.build_stack`. A deterministic
+single-server queue replays the flash service times, so a bursting
+neighbor inflates everyone's queueing delay and a foreground GC pass
+stalls the reads behind it -- the §2.4 interference, at rack scale.
+
+Determinism is the load-bearing property: every random stream seeds from
+``(fleet seed, purpose, tenant/device id)``, never from which shard runs
+the device, and the per-device result is a
+:class:`~repro.obs.frame.MetricsFrame` whose merge is exactly
+associative and commutative. Hence ``simulate_shard`` results merge
+byte-identical to the serial run for any shard count -- the property
+:func:`repro.fleet.rack.simulate_fleet` exploits and the fleet tests pin.
+
+Storage semantics per interface (as in E3/§2.4's cache scenario): the
+conventional arm overwrites objects in place and trims deletions, paying
+device GC; the ZNS arm appends to per-tenant zone logs and reclaims
+whole zones by reset, so deleted data simply ages out of the log.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterator
+from dataclasses import replace
+from typing import Any
+
+import numpy as np
+
+from repro.block.factory import DeviceSpec, build_stack
+from repro.fleet import placement
+from repro.fleet.spec import FleetSpec
+from repro.obs.events import HostRequestEvent
+from repro.obs.frame import FrameSink, MetricsFrame
+from repro.obs.tracer import Tracer
+from repro.sim.rng import make_rng
+from repro.workloads.lifetime import ObjectLifetimeWorkload
+from repro.workloads.multitenant import demand_trace
+
+#: Stack kinds the rack knows how to drive.
+SERVING_KINDS = ("conventional-ftl", "zns")
+
+
+def derive_seed(*parts: Any) -> int:
+    """A stable 63-bit seed from structured parts (never ``hash()``)."""
+    data = ":".join(str(part) for part in parts).encode()
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big") >> 1
+
+
+def shard_devices(num_devices: int, shards: int) -> list[list[int]]:
+    """Round-robin device ids across ``shards`` (balanced, deterministic)."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    out: list[list[int]] = [[] for _ in range(shards)]
+    for device_id in range(num_devices):
+        out[device_id % shards].append(device_id)
+    return out
+
+
+def _intensity(spec: FleetSpec, tenant_id: int) -> list[int]:
+    """Events/tick for one tenant; placement- and shard-independent."""
+    changes: dict[int, int] = {}
+    steps = spec.warmup_ticks + spec.ticks
+    for event in demand_trace(
+        [spec.tenant_profile(tenant_id)],
+        steps,
+        seed=derive_seed(spec.seed, "demand", tenant_id),
+    ):
+        changes[event.time] = event.zones_wanted
+    level = spec.idle_events
+    out = []
+    for tick in range(steps):
+        level = changes.get(tick, level)
+        out.append(level)
+    return out
+
+
+def _object_stream(spec: FleetSpec, tenant_id: int) -> Iterator[tuple[int, Any]]:
+    """Endless ``(epoch, event)`` stream of one tenant's object churn."""
+    epoch = 0
+    while True:
+        workload = ObjectLifetimeWorkload(
+            num_objects=4096,
+            owners=3,
+            batch_size=4,
+            lifetime_scale=spec.lifetime_scale,
+            seed=derive_seed(spec.seed, "objects", tenant_id, epoch),
+        )
+        for event in workload.events():
+            yield epoch, event
+        epoch += 1
+
+
+def _service_us(ops: list) -> float:
+    """Queue occupancy of one host command's flash ops.
+
+    Channel-using ops serialize on the device's host interface;
+    device-internal ops (erases during reset, copyback) overlap across
+    planes, so only the longest one holds the queue.
+    """
+    channel = 0.0
+    internal = 0.0
+    for op in ops:
+        if op.uses_channel:
+            channel += op.latency_us
+        elif op.latency_us > internal:
+            internal = op.latency_us
+    return channel + internal
+
+
+class _LiveSet:
+    """O(1) add/remove/sample of live objects (deterministic sampling)."""
+
+    def __init__(self) -> None:
+        self._keys: list[Any] = []
+        self._pos: dict[Any, int] = {}
+        self._loc: dict[Any, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._pos
+
+    def add(self, key: Any, location: Any) -> None:
+        if key not in self._pos:
+            self._pos[key] = len(self._keys)
+            self._keys.append(key)
+        self._loc[key] = location
+
+    def location(self, key: Any) -> Any:
+        return self._loc[key]
+
+    def remove(self, key: Any) -> Any:
+        index = self._pos.pop(key)
+        last = self._keys.pop()
+        if last != key:
+            self._keys[index] = last
+            self._pos[last] = index
+        return self._loc.pop(key)
+
+    def sample(self, rng) -> Any:
+        return self._keys[int(rng.integers(0, len(self._keys)))]
+
+
+class _ConventionalTenant:
+    """One tenant's slice of a conventional (overwrite-in-place) device."""
+
+    def __init__(self, spec: FleetSpec, tenant_id: int, ftl, base: int, pages: int):
+        self.ftl = ftl
+        self.base = base
+        self.pages = pages
+        self.live = _LiveSet()
+        self._owner_of_lpn: dict[int, Any] = {}
+        self.events = _object_stream(spec, tenant_id)
+
+    def prefill_lpns(self) -> np.ndarray:
+        return np.arange(self.base, self.base + self.pages, dtype=np.int64)
+
+    def step(self, frame: MetricsFrame) -> float:
+        epoch, event = next(self.events)
+        key = (epoch, event.obj_id)
+        if event.kind == "delete":
+            if key in self.live:
+                self.ftl.trim(self.live.remove(key))
+                frame.add("fleet.objects_deleted")
+            return 0.0
+        # Scatter objects over the slice (Fibonacci hashing): creation
+        # order is sequential, and sequential overwrite would hand the
+        # FTL fully-invalid GC victims -- free GC that real object stores
+        # placing by key hash never see.
+        key_ix = event.obj_id + 4096 * epoch
+        lpn = self.base + (key_ix * 2654435761 % 2**32) % self.pages
+        old = self._owner_of_lpn.get(lpn)
+        if old is not None and old in self.live:
+            self.live.remove(old)
+        ops = self.ftl.write(lpn)
+        self._owner_of_lpn[lpn] = key
+        self.live.add(key, lpn)
+        frame.add("fleet.host_pages_written")
+        return _service_us(ops)
+
+    def read(self, rng, frame: MetricsFrame) -> float | None:
+        from repro.flash.errors import UncorrectableReadError
+
+        if not len(self.live):
+            frame.add("fleet.reads_skipped")
+            return None
+        lpn = self.live.location(self.live.sample(rng))
+        try:
+            return self.ftl.read(lpn).latency_us
+        except UncorrectableReadError as exc:
+            frame.add("fleet.reads_lost")
+            return exc.latency_us
+
+
+class _ZnsTenant:
+    """One tenant's zone log on a ZNS device (append + wholesale reset)."""
+
+    def __init__(self, spec: FleetSpec, tenant_id: int, device, zones: list[int]):
+        self.device = device
+        self.zones = zones
+        self.cursor = 0
+        self.epoch = {zone: 0 for zone in zones}
+        self.live = _LiveSet()
+        self._zone_keys: dict[int, list[Any]] = {zone: [] for zone in zones}
+        self.events = _object_stream(spec, tenant_id)
+
+    def _drop_zone(self, zone: int) -> None:
+        """Forget live objects whose data a reset (or death) destroyed."""
+        for key in self._zone_keys[zone]:
+            if key in self.live:
+                self.live.remove(key)
+        self._zone_keys[zone] = []
+        self.epoch[zone] += 1
+
+    def _retire_zone(self, zone: int) -> None:
+        self._drop_zone(zone)
+        self.zones.remove(zone)
+        del self._zone_keys[zone]
+        del self.epoch[zone]
+
+    def _advance(self, frame: MetricsFrame) -> list:
+        """Move the log head to the next zone, resetting it if needed."""
+        from repro.zns.zone import ZoneState
+
+        self.cursor = (self.cursor + 1) % len(self.zones)
+        zone = self.zones[self.cursor]
+        state = self.device.zone(zone).state
+        if state in (ZoneState.EMPTY, ZoneState.IMPLICIT_OPEN, ZoneState.EXPLICIT_OPEN, ZoneState.CLOSED):
+            return []
+        frame.add("fleet.zone_resets")
+        self._drop_zone(zone)
+        return self.device.reset_zone(zone)
+
+    def step(self, frame: MetricsFrame) -> float:
+        from repro.flash.errors import ProgramFaultError
+        from repro.zns.errors import (
+            ZoneFullError,
+            ZoneOfflineError,
+            ZoneReadOnlyError,
+            ZoneStateError,
+        )
+
+        epoch, event = next(self.events)
+        key = (epoch, event.obj_id)
+        if event.kind == "delete":
+            # Log semantics: a delete frees nothing until its zone resets.
+            if key in self.live:
+                self.live.remove(key)
+                frame.add("fleet.objects_deleted")
+            return 0.0
+        service = 0.0
+        for _attempt in range(len(self.zones) + 1):
+            if not self.zones:
+                frame.add("fleet.writes_refused")
+                return service
+            zone = self.zones[self.cursor]
+            try:
+                offset, ops = self.device.append(zone)
+            except (ZoneFullError, ZoneStateError, ZoneReadOnlyError):
+                service += _service_us(self._advance(frame))
+                continue
+            except ProgramFaultError:
+                # The append burned a page and degraded the zone to
+                # READ_ONLY; data below the failure point stays readable.
+                frame.add("fleet.append_faults")
+                service += _service_us(self._advance(frame))
+                continue
+            except ZoneOfflineError:
+                # Scheduled media death: the zone (and its data) is gone.
+                frame.add("fleet.zones_offlined")
+                self._retire_zone(zone)
+                if self.zones:
+                    self.cursor %= len(self.zones)
+                continue
+            self.live.add(key, (zone, self.epoch[zone], offset))
+            self._zone_keys[zone].append(key)
+            frame.add("fleet.host_pages_written")
+            return service + _service_us(ops)
+        frame.add("fleet.writes_refused")
+        return service
+
+    def read(self, rng, frame: MetricsFrame) -> float | None:
+        from repro.flash.errors import UncorrectableReadError
+        from repro.zns.errors import ZoneOfflineError
+
+        if not len(self.live):
+            frame.add("fleet.reads_skipped")
+            return None
+        key = self.live.sample(rng)
+        zone, epoch, offset = self.live.location(key)
+        if zone not in self.epoch or self.epoch[zone] != epoch:
+            # Aged out of the log between sampling structures; treat as a
+            # cache miss, not a device read.
+            self.live.remove(key)
+            frame.add("fleet.reads_skipped")
+            return None
+        try:
+            return self.device.read(zone, offset)[1].latency_us
+        except UncorrectableReadError as exc:
+            frame.add("fleet.reads_lost")
+            return exc.latency_us
+        except ZoneOfflineError:
+            frame.add("fleet.reads_lost")
+            self._retire_zone(zone)
+            if self.zones:
+                self.cursor %= len(self.zones)
+            return None
+
+
+def _device_spec_for(spec: FleetSpec, device_id: int) -> DeviceSpec:
+    dspec = spec.device_specs()[device_id]
+    if dspec.fault_plan is not None:
+        # Each device faces its own fault schedule, seeded by rack
+        # position so the draw never depends on which shard runs it.
+        dspec = dspec.with_faults(
+            replace(dspec.fault_plan, seed=derive_seed(spec.seed, "faults", device_id)),
+            dspec.fault_scale,
+        )
+    return dspec
+
+
+def simulate_device(spec: FleetSpec, device_id: int) -> MetricsFrame:
+    """Serve one device's tenants; returns its telemetry frame."""
+    from repro.ftl.ftl import GCStuckError
+    from repro.zns.zone import ZoneState
+
+    dspec = _device_spec_for(spec, device_id)
+    if dspec.kind not in SERVING_KINDS:
+        raise ValueError(
+            f"fleet serving supports kinds {list(SERVING_KINDS)}, "
+            f"got {dspec.kind!r}"
+        )
+    tenants = placement.assign(spec)[device_id]
+    tracer = Tracer()
+    sink = FrameSink()
+    stack = build_stack(dspec, tracer=tracer)
+    rng = make_rng(derive_seed(spec.seed, "reads", device_id))
+
+    # Faults sleep through the prefill: the filler is anonymous history,
+    # and a burned prefill batch would abort construction, not serving.
+    injector = stack.nand.faults
+    stack.nand.faults = None
+    if hasattr(stack, "faults"):
+        stack.faults = None
+
+    conventional = dspec.kind == "conventional-ftl"
+    sims: list[Any] = []
+    if conventional:
+        nand = stack.nand
+        if tenants:
+            slice_pages = max(1, int(stack.logical_pages * spec.utilization) // len(tenants))
+            for i, tid in enumerate(tenants):
+                sims.append(
+                    _ConventionalTenant(spec, tid, stack, i * slice_pages, slice_pages)
+                )
+            for sim in sims:
+                stack.write_pages(sim.prefill_lpns())
+    else:
+        nand = stack.nand
+        zone_count = stack.zone_count
+        if tenants:
+            if len(tenants) > stack.geometry.max_active_zones:
+                raise ValueError(
+                    f"{len(tenants)} tenants need {len(tenants)} active zones "
+                    f"but device {device_id} allows {stack.geometry.max_active_zones}"
+                )
+            zones_per_tenant = zone_count // len(tenants)
+            if zones_per_tenant < 2:
+                raise ValueError(
+                    f"device {device_id}: {zone_count} zones cannot give "
+                    f"{len(tenants)} tenants a 2-zone log each"
+                )
+            fill = max(1, int(zones_per_tenant * spec.utilization))
+            fill = min(fill, zones_per_tenant - 1)
+            pages_per_zone = stack.geometry.pages_per_zone
+            for i, tid in enumerate(tenants):
+                zones = list(range(i * zones_per_tenant, (i + 1) * zones_per_tenant))
+                for zone in zones[:fill]:
+                    stack.append_batch(zone, pages_per_zone)
+                sim = _ZnsTenant(spec, tid, stack, zones)
+                sim.cursor = fill
+                sims.append(sim)
+
+    # Warmup ticks churn against a throwaway frame (GC / zone-reclaim
+    # pressure must be steady before counting starts); the real sink
+    # attaches -- and the faults wake -- at the measurement boundary.
+    schedules = {tid: _intensity(spec, tid) for tid in tenants}
+    frame = MetricsFrame()
+    flash_before = nand.physical_bytes_written()
+
+    busy = 0.0
+    died = False
+    request_id = 0
+    for tick in range(spec.warmup_ticks + spec.ticks):
+        if died:
+            break
+        if tick == spec.warmup_ticks:
+            stack.nand.faults = injector
+            if hasattr(stack, "faults"):
+                stack.faults = injector
+            tracer.attach(sink)
+            frame = sink.frame
+            flash_before = nand.physical_bytes_written()
+        now = tick * spec.tick_us
+        if busy < now:
+            busy = now
+        for tid, sim in zip(tenants, sims):
+            try:
+                for _ in range(schedules[tid][tick]):
+                    service = sim.step(frame)
+                    if service > 0.0:
+                        busy += service
+                        request_id += 1
+                        tracer.publish(
+                            HostRequestEvent(
+                                "fleet.request", "write", "complete",
+                                request_id=request_id, latency_us=busy - now,
+                            )
+                        )
+            except GCStuckError:
+                # Spare blocks exhausted (fault-retired mid-life): the
+                # device bricked. Conventional only -- ZNS degrades zones.
+                died = True
+                break
+            for _ in range(spec.reads_per_tick):
+                latency = sim.read(rng, frame)
+                if latency is None:
+                    continue
+                busy += latency
+                request_id += 1
+                tracer.publish(
+                    HostRequestEvent(
+                        "fleet.request", "read", "complete",
+                        request_id=request_id, latency_us=busy - now,
+                    )
+                )
+
+    if frame is not sink.frame:
+        # Died inside warmup: report the death on a clean measured frame.
+        frame = sink.frame
+        flash_before = nand.physical_bytes_written()
+    flash_pages = (nand.physical_bytes_written() - flash_before) // nand.geometry.page_size
+    frame.add("fleet.flash_pages_written", int(flash_pages))
+    frame.add("fleet.devices")
+    if died:
+        frame.add("fleet.devices_failed")
+    if conventional:
+        frame.add("fleet.capacity_units_lost", stack.stats.blocks_retired)
+        frame.add("fleet.capacity_units", stack.geometry.total_blocks)
+    else:
+        offline = sum(
+            1 for zone in stack.report_zones() if zone.state is ZoneState.OFFLINE
+        )
+        frame.add("fleet.capacity_units_lost", offline)
+        frame.add("fleet.capacity_units", stack.zone_count)
+    host = frame.counter("fleet.host_pages_written")
+    if host:
+        frame.peak("fleet.device_wa_max", flash_pages / host)
+    p99 = frame.quantile("fleet.request.read.latency_us", 0.99)
+    if p99:
+        frame.peak("fleet.device_read_p99_us_max", p99)
+    return frame
+
+
+def simulate_shard(spec: FleetSpec, shard: int = 0, shards: int = 1) -> MetricsFrame:
+    """Simulate one shard's devices; frames merge in device order."""
+    if not 0 <= shard < shards:
+        raise ValueError(f"shard {shard} out of range [0, {shards})")
+    device_ids = shard_devices(spec.num_devices, shards)[shard]
+    return MetricsFrame.merge(simulate_device(spec, d) for d in device_ids)
+
+
+def simulate_fleet(spec: FleetSpec, shards: int = 1) -> MetricsFrame:
+    """The whole rack. Identical output for every ``shards`` value."""
+    return MetricsFrame.merge(
+        simulate_shard(spec, shard, shards) for shard in range(shards)
+    )
+
+
+def fleet_summary(frame: MetricsFrame) -> dict[str, Any]:
+    """Headline fleet metrics from a (possibly merged) frame."""
+    host = frame.counter("fleet.host_pages_written")
+    flash = frame.counter("fleet.flash_pages_written")
+    units = frame.counter("fleet.capacity_units")
+    return {
+        "fleet_wa": round(flash / host, 2) if host else 0.0,
+        "read_p99_us": round(frame.quantile("fleet.request.read.latency_us", 0.99), 1),
+        "read_p999_us": round(frame.quantile("fleet.request.read.latency_us", 0.999), 1),
+        "reads": frame.counter("fleet.request.read.requests"),
+        "writes": frame.counter("fleet.request.write.requests"),
+        "reads_lost": frame.counter("fleet.reads_lost"),
+        "capacity_lost_pct": (
+            round(100.0 * frame.counter("fleet.capacity_units_lost") / units, 2)
+            if units
+            else 0.0
+        ),
+        "devices_failed": frame.counter("fleet.devices_failed"),
+        "max_device_wa": round(frame.maximum("fleet.device_wa_max"), 2),
+        "max_device_read_p99_us": round(
+            frame.maximum("fleet.device_read_p99_us_max"), 1
+        ),
+    }
+
+
+__all__ = [
+    "SERVING_KINDS",
+    "derive_seed",
+    "fleet_summary",
+    "shard_devices",
+    "simulate_device",
+    "simulate_fleet",
+    "simulate_shard",
+]

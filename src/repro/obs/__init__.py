@@ -40,6 +40,11 @@ from repro.obs.events import (
     event_from_dict,
     event_to_dict,
 )
+from repro.obs.frame import (
+    FrameSink,
+    MetricsFrame,
+    normalize_metric_key,
+)
 from repro.obs.jsonl import JsonlSink, merge_trace_parts, read_events
 from repro.obs.runtime import (
     install_global_sink,
@@ -58,11 +63,13 @@ from repro.obs.tracer import Sink, Tracer
 __all__ = [
     "EVENT_TYPES",
     "FlashOpEvent",
+    "FrameSink",
     "GcEvent",
     "HostRequestEvent",
     "JsonlSink",
     "LatencyBreakdownSink",
     "LatencySink",
+    "MetricsFrame",
     "OpCounterSink",
     "ReclaimEvent",
     "RecordingSink",
@@ -76,6 +83,7 @@ __all__ = [
     "install_global_sink",
     "merge_trace_parts",
     "new_tracer",
+    "normalize_metric_key",
     "read_events",
     "remove_global_sink",
 ]

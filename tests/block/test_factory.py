@@ -1,0 +1,260 @@
+"""Tests for DeviceSpec + build_stack: round-trips, hashing, validation.
+
+The spec is the cache-key and process-boundary currency of device
+construction, so the contract under test is exactness: serialization
+round-trips to an equal spec, the content hash is stable across field
+ordering and across releases (pinned literals), and every kind builds
+the documented top-level type.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block.dmzoned import ZonedBlockDevice
+from repro.block.factory import (
+    FAULT_CAPABLE_KINDS,
+    KINDS,
+    TIMED_KINDS,
+    DeviceSpec,
+    build_stack,
+    legacy_spec,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.flash.geometry import FlashGeometry, ZonedGeometry
+from repro.ftl.device import ConventionalSSD, TimedConventionalSSD
+from repro.ftl.dftl import DemandPagedFTL
+from repro.ftl.ftl import ConventionalFTL, FTLConfig
+from repro.hostio.timed import TimedZonedBlockDevice
+from repro.sim.engine import Engine
+from repro.zns.device import TimedZNSDevice, ZNSDevice
+
+_PLAN = FaultPlan(seed=7, program_fail_prob=0.002, grown_bad_blocks=((1000, 3),))
+
+
+def _spec_for(kind: str) -> DeviceSpec:
+    """A small, valid spec of each kind (zoned fields only where legal)."""
+    if kind in ("zns", "zns-timed", "dmzoned", "dmzoned-timed"):
+        return DeviceSpec(
+            kind=kind, geometry="small", blocks_per_zone=2, max_active_zones=14
+        )
+    return DeviceSpec(kind=kind, geometry="small", ftl={"op_ratio": 0.11})
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown device kind"):
+            DeviceSpec(kind="quantum-ssd")
+
+    def test_unknown_geometry_rejected(self):
+        with pytest.raises(ValueError, match="geometry preset"):
+            DeviceSpec(kind="zns", geometry="huge")
+
+    def test_zoned_fields_rejected_on_conventional(self):
+        with pytest.raises(ValueError, match="zoned kinds"):
+            DeviceSpec(kind="conventional-ftl", blocks_per_zone=2)
+        with pytest.raises(ValueError, match="spare_blocks"):
+            DeviceSpec(kind="conventional-ftl", spare_blocks=1)
+
+    def test_ftl_config_rejected_on_zns(self):
+        with pytest.raises(ValueError, match="ftl config"):
+            DeviceSpec(kind="zns", ftl={"op_ratio": 0.1})
+
+    def test_zoned_block_config_rejected_off_dmzoned(self):
+        with pytest.raises(ValueError, match="zoned_block"):
+            DeviceSpec(kind="conventional-ftl", zoned_block={"op_ratio": 0.1})
+
+    def test_negative_fault_scale_rejected(self):
+        with pytest.raises(ValueError, match="fault_scale"):
+            DeviceSpec(kind="zns", fault_scale=-1.0)
+
+    def test_fault_plan_rejected_on_incapable_kind(self):
+        assert "conventional-ssd" not in FAULT_CAPABLE_KINDS
+        with pytest.raises(ValueError, match="fault injection"):
+            DeviceSpec(kind="conventional-ssd", fault_plan=_PLAN)
+
+    def test_engine_required_for_timed_kinds(self):
+        for kind in TIMED_KINDS:
+            with pytest.raises(ValueError, match="requires a simulation engine"):
+                build_stack(_spec_for(kind))
+
+    def test_engine_rejected_on_untimed_kinds(self):
+        with pytest.raises(ValueError, match="does not take an engine"):
+            build_stack(_spec_for("zns"), engine=Engine())
+
+    def test_build_stack_wants_a_spec(self):
+        with pytest.raises(TypeError, match="DeviceSpec"):
+            build_stack({"kind": "zns"})
+
+
+class TestBuildStack:
+    TOP_TYPES = {
+        "conventional-ftl": ConventionalFTL,
+        "conventional-ssd": ConventionalSSD,
+        "conventional-timed": TimedConventionalSSD,
+        "dftl": DemandPagedFTL,
+        "zns": ZNSDevice,
+        "zns-timed": TimedZNSDevice,
+        "dmzoned": ZonedBlockDevice,
+        "dmzoned-timed": TimedZonedBlockDevice,
+    }
+
+    def test_every_kind_builds_its_documented_type(self):
+        assert set(self.TOP_TYPES) == set(KINDS)
+        for kind, top in self.TOP_TYPES.items():
+            spec = _spec_for(kind)
+            stack = build_stack(spec, engine=Engine() if spec.timed else None)
+            assert isinstance(stack, top), kind
+
+    def test_dmzoned_wraps_a_zns_device(self):
+        layer = build_stack(_spec_for("dmzoned"))
+        assert isinstance(layer.device, ZNSDevice)
+
+    def test_geometry_overrides_reach_the_stack(self):
+        spec = DeviceSpec(
+            kind="conventional-ftl", geometry="small", flash={"blocks_per_plane": 8}
+        )
+        assert build_stack(spec).geometry.blocks_per_plane == 8
+
+    def test_ftl_config_reaches_the_stack(self):
+        ftl = build_stack(
+            DeviceSpec(kind="conventional-ftl", geometry="small", ftl={"op_ratio": 0.18})
+        )
+        assert ftl.config.op_ratio == 0.18
+
+    def test_fault_plan_arms_an_injector(self):
+        spec = _spec_for("conventional-ftl").with_faults(_PLAN, 2.0)
+        ftl = build_stack(spec)
+        assert isinstance(ftl.nand.faults, FaultInjector)
+        # The injector carries the *scaled* plan.
+        assert ftl.nand.faults.plan.program_fail_prob == pytest.approx(
+            2.0 * _PLAN.program_fail_prob
+        )
+
+    def test_fault_scale_zero_is_the_clean_reference_arm(self):
+        spec = _spec_for("conventional-ftl").with_faults(_PLAN, 0.0)
+        assert build_stack(spec).nand.faults is None
+
+    def test_with_faults_none_disarms(self):
+        spec = _spec_for("zns").with_faults(_PLAN).with_faults(None)
+        assert spec.fault_plan is None
+        assert build_stack(spec).nand.faults is None
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("kind", sorted(KINDS))
+    def test_round_trip_every_kind(self, kind):
+        spec = _spec_for(kind)
+        assert DeviceSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_through_json_with_fault_plan(self):
+        spec = DeviceSpec(
+            kind="zns",
+            geometry="small",
+            flash={"blocks_per_plane": 8},
+            blocks_per_zone=2,
+            max_active_zones=14,
+            fault_plan=_PLAN,
+            fault_scale=2.0,
+        )
+        wire = json.loads(json.dumps(spec.to_dict()))
+        back = DeviceSpec.from_dict(wire)
+        assert back == spec
+        assert back.fault_plan == _PLAN
+        assert back.spec_hash() == spec.spec_hash()
+
+    def test_unknown_schema_version_rejected(self):
+        payload = _spec_for("zns").to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            DeviceSpec.from_dict(payload)
+
+    @given(op_ratio=st.floats(0.01, 0.5), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_is_exact_for_any_params(self, op_ratio, seed):
+        spec = DeviceSpec(
+            kind="conventional-ftl",
+            geometry="small",
+            ftl={"op_ratio": op_ratio},
+            fault_plan=FaultPlan(seed=seed, read_error_prob=0.01),
+        )
+        back = DeviceSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back == spec
+        assert back.spec_hash() == spec.spec_hash()
+
+
+class TestSpecHash:
+    def test_hash_ignores_kwarg_dict_order(self):
+        a = DeviceSpec(kind="dftl", ftl={"op_ratio": 0.11, "gc_policy": "greedy"})
+        b = DeviceSpec(kind="dftl", ftl={"gc_policy": "greedy", "op_ratio": 0.11})
+        assert a == b
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_hash_changes_with_content(self):
+        spec = _spec_for("zns")
+        assert spec.spec_hash() != spec.derived(max_active_zones=8).spec_hash()
+        assert spec.spec_hash() != spec.with_faults(_PLAN).spec_hash()
+
+    def test_hash_is_stable_across_releases(self):
+        # Pinned literals: a change here means the spec schema changed and
+        # SPEC_VERSION must be bumped (old hashes key cached artifacts).
+        spec = DeviceSpec(
+            kind="zns",
+            geometry="small",
+            flash={"blocks_per_plane": 8},
+            blocks_per_zone=2,
+            max_active_zones=14,
+            fault_plan=_PLAN,
+            fault_scale=2.0,
+        )
+        assert spec.spec_hash() == (
+            "7fed8ec5d1f980d34b0eda322f8f9856e4d5502d13e01aaa16ec7e46ff68ce21"
+        )
+        conv = DeviceSpec(
+            kind="conventional-ftl",
+            geometry="bench",
+            ftl={"op_ratio": 0.18, "gc_policy": "greedy"},
+        )
+        assert conv.spec_hash() == (
+            "c3d4105663e954959600c6759a7e504422f2c8b49bd9d0f5bab5ac6f63d06d5d"
+        )
+
+    def test_specs_are_hashable(self):
+        assert len({_spec_for("zns"), _spec_for("zns"), _spec_for("dmzoned")}) == 2
+
+
+class TestLegacyShim:
+    def test_legacy_spec_warns(self):
+        with pytest.warns(DeprecationWarning, match="DeviceSpec"):
+            legacy_spec("conventional-ftl", FlashGeometry.small())
+
+    def test_flash_geometry_maps_to_its_preset(self):
+        with pytest.warns(DeprecationWarning):
+            spec = legacy_spec(
+                "conventional-ftl", FlashGeometry.small(), FTLConfig(op_ratio=0.123)
+            )
+        assert spec == DeviceSpec(
+            kind="conventional-ftl", geometry="small", ftl={"op_ratio": 0.123}
+        )
+
+    def test_zoned_geometry_round_trips_through_the_shim(self):
+        zoned = ZonedGeometry(
+            flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
+        )
+        with pytest.warns(DeprecationWarning):
+            spec = legacy_spec("zns", zoned)
+        assert spec.zoned_geometry() == zoned
+
+    def test_legacy_stack_equals_spec_stack(self):
+        with pytest.warns(DeprecationWarning):
+            spec = legacy_spec(
+                "conventional-ftl", FlashGeometry.small(), FTLConfig(op_ratio=0.18)
+            )
+        via_shim = build_stack(spec)
+        direct = build_stack(
+            DeviceSpec(kind="conventional-ftl", geometry="small", ftl={"op_ratio": 0.18})
+        )
+        assert via_shim.geometry == direct.geometry
+        assert via_shim.config == direct.config

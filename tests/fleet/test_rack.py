@@ -1,0 +1,176 @@
+"""Tests for the rack simulation: sharding, determinism, merge==serial.
+
+The headline invariant -- the one E16 and ``--jobs N`` byte-identity
+rest on -- is that merging per-shard MetricsFrames reproduces the
+serial fleet frame exactly, for any shard count and any seed. Hypothesis
+drives that claim; the rest pins seeding, shard partitioning, and the
+summary's bookkeeping on small racks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block.factory import DeviceSpec
+from repro.fleet import (
+    FleetSpec,
+    derive_seed,
+    fleet_summary,
+    shard_devices,
+    simulate_device,
+    simulate_fleet,
+    simulate_shard,
+)
+from repro.obs.frame import MetricsFrame
+
+# 64 blocks / 4096 pages per device: big enough to reach GC/reclaim,
+# small enough that a whole fleet simulates in well under a second.
+_FLASH = (("blocks_per_plane", 8),)
+_CONV = DeviceSpec(
+    kind="conventional-ftl", geometry="small", flash=_FLASH, ftl={"op_ratio": 0.18}
+)
+_ZNS = DeviceSpec(
+    kind="zns", geometry="small", flash=_FLASH, blocks_per_zone=2, max_active_zones=14
+)
+
+
+def _fleet(mix, seed: int = 0, **overrides) -> FleetSpec:
+    fields = dict(
+        mix=mix,
+        tenants=4,
+        ticks=12,
+        warmup_ticks=4,
+        reads_per_tick=2,
+        utilization=0.8,
+        seed=seed,
+    )
+    fields.update(overrides)
+    return FleetSpec(**fields)
+
+
+class TestShardDevices:
+    def test_round_robin_partition(self):
+        assert shard_devices(5, 2) == [[0, 2, 4], [1, 3]]
+
+    @given(n=st.integers(0, 40), shards=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_is_balanced_and_complete(self, n, shards):
+        parts = shard_devices(n, shards)
+        assert len(parts) == shards
+        assert sorted(d for part in parts for d in part) == list(range(n))
+        sizes = [len(part) for part in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            shard_devices(4, 0)
+
+
+class TestDeriveSeed:
+    def test_stable_and_distinct(self):
+        assert derive_seed(0, "reads", 1) == derive_seed(0, "reads", 1)
+        assert derive_seed(0, "reads", 1) != derive_seed(0, "reads", 2)
+        assert derive_seed(0, "reads", 1) != derive_seed(1, "reads", 1)
+
+    def test_fits_a_63_bit_generator_seed(self):
+        for parts in ((0,), ("demand", 3), (7, "faults", 12)):
+            assert 0 <= derive_seed(*parts) < 2**63
+
+
+class TestMergeEqualsSerial:
+    @given(seed=st.integers(0, 2**32 - 1), shards=st.integers(2, 4))
+    @settings(max_examples=5, deadline=None)
+    def test_mixed_rack_any_seed_any_shard_count(self, seed, shards):
+        spec = _fleet(((_CONV, 2), (_ZNS, 2)), seed=seed)
+        serial = simulate_fleet(spec, shards=1)
+        sharded = simulate_fleet(spec, shards=shards)
+        assert sharded.to_dict() == serial.to_dict()
+
+    def test_shard_frames_merge_to_the_fleet_frame(self):
+        spec = _fleet(((_CONV, 1), (_ZNS, 2)))
+        serial = simulate_fleet(spec, shards=1)
+        merged = MetricsFrame.merge(
+            simulate_shard(spec, shard, shards=3) for shard in range(3)
+        )
+        assert merged.to_dict() == serial.to_dict()
+
+    def test_device_frames_are_shard_independent(self):
+        # The per-device result must not know which shard ran it: the
+        # device frame alone, via any shard slicing, is the same frame.
+        spec = _fleet(((_ZNS, 2),), tenants=2)
+        lone = simulate_device(spec, device_id=1)
+        via_shard = simulate_shard(spec, shard=1, shards=2)
+        assert via_shard.to_dict() == lone.to_dict()
+
+    def test_simulate_shard_validates_range(self):
+        spec = _fleet(((_CONV, 2),))
+        with pytest.raises(ValueError, match="shard"):
+            simulate_shard(spec, shard=2, shards=2)
+
+
+class TestServingSemantics:
+    # Enough warmup churn to exhaust the free pool, so GC (conventional)
+    # and zone reclaim (ZNS) both run inside the measured span.
+    @pytest.fixture(scope="class")
+    def conv_frame(self):
+        return simulate_fleet(_fleet(((_CONV, 2),), ticks=160, warmup_ticks=120))
+
+    @pytest.fixture(scope="class")
+    def zns_frame(self):
+        return simulate_fleet(_fleet(((_ZNS, 2),), ticks=160, warmup_ticks=120))
+
+    def test_both_arms_serve_reads_and_writes(self, conv_frame, zns_frame):
+        for frame in (conv_frame, zns_frame):
+            assert frame.counter("fleet.devices") == 2
+            assert frame.counter("fleet.request.read.requests") > 0
+            assert frame.counter("fleet.request.write.requests") > 0
+            assert frame.counter("fleet.host_pages_written") > 0
+
+    def test_zns_reclaims_by_zone_reset(self, zns_frame):
+        assert zns_frame.counter("fleet.zone_resets") > 0
+
+    def test_summary_shapes_and_sanity(self, conv_frame, zns_frame):
+        for frame in (conv_frame, zns_frame):
+            summary = fleet_summary(frame)
+            assert summary["reads"] == frame.counter("fleet.request.read.requests")
+            assert summary["read_p999_us"] >= summary["read_p99_us"] > 0
+            assert summary["devices_failed"] == 0
+            assert summary["fleet_wa"] >= 1.0
+        # Device GC costs the conventional arm extra flash writes; the
+        # zone-log arm reclaims by reset, so its WA stays at 1.0.
+        assert fleet_summary(zns_frame)["fleet_wa"] == 1.0
+        assert fleet_summary(conv_frame)["fleet_wa"] > 1.0
+
+    def test_summary_of_empty_frame_is_all_zero(self):
+        summary = fleet_summary(MetricsFrame())
+        assert summary["fleet_wa"] == 0.0
+        assert summary["read_p99_us"] == 0.0
+        assert summary["capacity_lost_pct"] == 0.0
+
+    def test_unsupported_serving_kind_rejected(self):
+        dmz = DeviceSpec(
+            kind="dmzoned",
+            geometry="small",
+            flash=_FLASH,
+            blocks_per_zone=2,
+            max_active_zones=14,
+        )
+        with pytest.raises(ValueError, match="serving"):
+            simulate_device(_fleet(((dmz, 1),)), device_id=0)
+
+
+class TestFaultArm:
+    def test_faulted_rack_differs_but_still_merges_exactly(self):
+        from repro.experiments.e16_fleet_serving import fleet_plan
+
+        clean = _fleet(((_CONV, 2),), ticks=30, warmup_ticks=10)
+        faulted = FleetSpec(
+            **{
+                **{k: v for k, v in clean.to_dict().items() if k != "schema_version"},
+                "mix": ((_CONV.with_faults(fleet_plan(0), 4.0), 2),),
+            }
+        )
+        serial = simulate_fleet(faulted, shards=1)
+        sharded = simulate_fleet(faulted, shards=2)
+        assert sharded.to_dict() == serial.to_dict()
+        assert serial.to_dict() != simulate_fleet(clean).to_dict()

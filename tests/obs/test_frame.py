@@ -1,0 +1,210 @@
+"""Tests for MetricsFrame: exact merge algebra, quantiles, the sink.
+
+The load-bearing property is that ``merge`` is exactly associative and
+commutative -- integer sums, order-free maxima, element-wise histogram
+adds -- so sharded telemetry reassembles byte-identical to a serial run
+no matter how observations were partitioned. Hypothesis drives random
+frames and random partitions at that claim.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.events import (
+    FaultEvent,
+    FlashOpEvent,
+    HostRequestEvent,
+    RecoveryEvent,
+)
+from repro.obs.frame import (
+    LATENCY_BIN_EDGES_US,
+    FrameSink,
+    MetricsFrame,
+    normalize_metric_key,
+)
+
+
+class TestNormalizeMetricKey:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("Read P99 (µs)", "read_p99_us"),
+            ("flash.nand. Program-Ops", "flash.nand.program_ops"),
+            ("fleet.request.read.latency_us", "fleet.request.read.latency_us"),
+            ("  Weird__KEY  ", "weird_key"),
+        ],
+    )
+    def test_examples(self, raw, expected):
+        assert normalize_metric_key(raw) == expected
+
+    @given(st.text(min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent(self, raw):
+        once = normalize_metric_key(raw)
+        assert normalize_metric_key(once) == once
+
+
+# -- Random-frame strategy ---------------------------------------------------
+
+_KEYS = st.sampled_from(["a.ops", "a.bytes", "b.ops", "lat_us", "c"])
+_LATENCIES = st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def frames(draw) -> MetricsFrame:
+    frame = MetricsFrame()
+    for key, amount in draw(
+        st.lists(st.tuples(_KEYS, st.integers(1, 1000)), max_size=6)
+    ):
+        frame.add(key, amount)
+    for key, value in draw(st.lists(st.tuples(_KEYS, _LATENCIES), max_size=4)):
+        frame.peak(key, value)
+    for key, value in draw(st.lists(st.tuples(_KEYS, _LATENCIES), max_size=8)):
+        frame.observe(key, value)
+    return frame
+
+
+class TestMergeAlgebra:
+    @given(a=frames(), b=frames())
+    @settings(max_examples=30, deadline=None)
+    def test_commutative(self, a, b):
+        assert a.merged(b).to_dict() == b.merged(a).to_dict()
+
+    @given(a=frames(), b=frames(), c=frames())
+    @settings(max_examples=30, deadline=None)
+    def test_associative(self, a, b, c):
+        left = a.merged(b).merged(c)
+        right = a.merged(b.merged(c))
+        assert left.to_dict() == right.to_dict()
+
+    @given(a=frames())
+    @settings(max_examples=20, deadline=None)
+    def test_empty_frame_is_identity(self, a):
+        assert MetricsFrame().merged(a).to_dict() == a.to_dict()
+        assert a.merged(MetricsFrame()).to_dict() == a.to_dict()
+
+    @given(a=frames(), b=frames())
+    @settings(max_examples=20, deadline=None)
+    def test_merge_does_not_mutate_inputs(self, a, b):
+        before_a, before_b = a.to_dict(), b.to_dict()
+        a.merged(b)
+        assert a.to_dict() == before_a
+        assert b.to_dict() == before_b
+
+    @given(
+        values=st.lists(_LATENCIES, min_size=1, max_size=40),
+        cuts=st.lists(st.integers(0, 40), max_size=4),
+        q=st.sampled_from([0.5, 0.9, 0.99, 0.999, 1.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sharded_observation_equals_serial(self, values, cuts, q):
+        # Any partition of the observation stream merges back to the
+        # serial frame -- bins are integers, so equality is exact.
+        serial = MetricsFrame()
+        for value in values:
+            serial.observe("lat_us", value)
+
+        bounds = sorted({min(c, len(values)) for c in cuts} | {0, len(values)})
+        shards = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            shard = MetricsFrame()
+            for value in values[lo:hi]:
+                shard.observe("lat_us", value)
+            shards.append(shard)
+        merged = MetricsFrame.merge(shards)
+        assert merged.to_dict() == serial.to_dict()
+        assert merged.quantile("lat_us", q) == serial.quantile("lat_us", q)
+
+
+class TestReads:
+    def test_counter_and_maximum_defaults(self):
+        frame = MetricsFrame()
+        frame.add("x.ops", 3)
+        frame.peak("x.peak", 7.5)
+        assert frame.counter("x.ops") == 3
+        assert frame.counter("missing", default=-1) == -1
+        assert frame.maximum("x.peak") == 7.5
+        assert frame.maximum("missing") == 0.0
+
+    def test_keys_normalize_on_every_surface(self):
+        frame = MetricsFrame()
+        frame.add("Read Ops")
+        assert frame.counter("read_ops") == 1
+        assert MetricsFrame(counters={"Read Ops": 2}).counter("read_ops") == 2
+
+    def test_quantile_is_a_bin_upper_edge_covering_the_value(self):
+        frame = MetricsFrame()
+        for value in (10.0, 20.0, 30.0, 1000.0):
+            frame.observe("lat", value)
+        p50 = frame.quantile("lat", 0.5)
+        assert p50 in LATENCY_BIN_EDGES_US
+        assert p50 >= 20.0
+        assert frame.quantile("lat", 1.0) >= 1000.0
+        assert frame.observations("lat") == 4
+
+    def test_quantile_validates_q(self):
+        frame = MetricsFrame()
+        with pytest.raises(ValueError):
+            frame.quantile("lat", 0.0)
+        with pytest.raises(ValueError):
+            frame.quantile("lat", 1.5)
+
+    def test_quantile_of_missing_histogram_is_zero(self):
+        assert MetricsFrame().quantile("lat", 0.99) == 0.0
+
+    def test_overflow_lands_in_the_last_bin(self):
+        frame = MetricsFrame()
+        frame.observe("lat", 10 * LATENCY_BIN_EDGES_US[-1])
+        assert frame.quantile("lat", 1.0) == LATENCY_BIN_EDGES_US[-1]
+
+
+class TestSerializationFrame:
+    @given(a=frames())
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_through_json(self, a):
+        wire = json.loads(json.dumps(a.to_dict()))
+        assert MetricsFrame.from_dict(wire).to_dict() == a.to_dict()
+
+    def test_unknown_schema_version_rejected(self):
+        with pytest.raises(ValueError, match="schema version"):
+            MetricsFrame.from_dict({"schema_version": 99})
+
+    def test_wrong_bin_count_rejected(self):
+        with pytest.raises(ValueError, match="bins"):
+            MetricsFrame(hists={"lat": [0, 1, 2]})
+
+
+class TestFrameSink:
+    def test_event_stream_accumulates(self):
+        sink = FrameSink()
+        sink.on_event(FlashOpEvent("flash.nand", "program", 0, 0, nbytes=4096))
+        sink.on_event(FlashOpEvent("flash.nand", "program", 0, 1, nbytes=4096))
+        sink.on_event(FlashOpEvent("flash.nand", "erase", 0, count=1))
+        sink.on_event(
+            HostRequestEvent("fleet.request", "read", "complete", latency_us=120.0)
+        )
+        sink.on_event(HostRequestEvent("fleet.request", "read", "enqueue"))
+        sink.on_event(FaultEvent("flash.nand", "program-fail", block=3))
+        sink.on_event(RecoveryEvent("ftl", "page-rewrite", block=3))
+
+        frame = sink.frame
+        assert frame.counter("flash.nand.program.ops") == 2
+        assert frame.counter("flash.nand.program.bytes") == 8192
+        assert frame.counter("flash.nand.erase.ops") == 1
+        # Only the "complete" phase counts as a served request.
+        assert frame.counter("fleet.request.read.requests") == 1
+        assert frame.observations("fleet.request.read.latency_us") == 1
+        assert frame.quantile("fleet.request.read.latency_us", 1.0) >= 120.0
+        assert frame.counter("faults.program-fail") == 1
+        assert frame.counter("recovery.ftl.page-rewrite") == 1
+
+    def test_reset_starts_a_fresh_frame(self):
+        sink = FrameSink()
+        sink.on_event(FlashOpEvent("flash.nand", "program", 0, 0))
+        old = sink.frame
+        sink.reset()
+        assert sink.frame is not old
+        assert sink.frame.counter("flash.nand.program.ops") == 0
