@@ -14,7 +14,7 @@ gates the results against a committed baseline::
 Each scenario reports operations/second, wall time, and peak RSS, and
 asserts that both implementations agree on the physics (same WA, GC run
 counts, zone states) before timing is trusted. Results land in
-``BENCH_PR4.json``; the gate fails (exit 1) when a scenario's speedup
+``BENCH_PR7.json``; the gate fails (exit 1) when a scenario's speedup
 falls below ``max(speedup_floor, speedup_reference * (1 - tolerance))``
 from ``benchmarks/baseline.json`` -- i.e. a >20% throughput regression
 against the committed reference, or dropping under the absolute floor
@@ -40,6 +40,7 @@ if str(_SRC) not in sys.path:
 import numpy as np  # noqa: E402
 
 from repro.block.factory import DeviceSpec, build_stack  # noqa: E402
+from repro.faults.plan import FaultPlan  # noqa: E402
 from repro.flash.geometry import FlashGeometry  # noqa: E402
 from repro.flash.ops import FlashOp, OpKind  # noqa: E402
 from repro.fleet import FleetSpec, fleet_summary, simulate_fleet  # noqa: E402
@@ -50,7 +51,7 @@ from repro.sim.engine import Engine, Timeout  # noqa: E402
 from repro.workloads.synthetic import uniform_array  # noqa: E402
 from repro.zns.zone import ZoneState  # noqa: E402
 
-DEFAULT_OUT = "BENCH_PR4.json"
+DEFAULT_OUT = "BENCH_PR7.json"
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 TOLERANCE = 0.20  # >20% throughput regression vs the committed reference fails
 
@@ -265,28 +266,52 @@ def scenario_e14_endurance() -> dict:
     return _wa_scenario("e14_endurance", op_ratio=0.28, multiple=1.0, seed=0)
 
 
-def _append_workload(batched: bool, chunk: int, rounds: int) -> dict:
-    """Round-robin zone-append across the device, resetting full zones."""
+def _append_workload(mode: str, chunk: int, rounds: int) -> dict:
+    """Round-robin zone-append across the device, resetting full zones.
+
+    ``mode`` selects the data path: ``scalar`` (per-page append, the
+    legacy reference), ``batched`` (PR 4's per-record append_batch), or
+    ``epoch`` (one append_epoch call per zone fill, the PR 7 path).
+    """
     spec = DeviceSpec(kind="zns", geometry="bench")
     geometry = spec.zoned_geometry()
     device = build_stack(spec)
     zone_pages = geometry.pages_per_zone
+    takes = []
+    offset = 0
+    while offset < zone_pages:
+        take = min(chunk, zone_pages - offset)
+        takes.append(take)
+        offset += take
+    expected = np.cumsum(takes) - takes  # assigned offset of each record
+    take_arr = np.asarray(takes, dtype=np.int64)
+    zone_count = geometry.zone_count
+    # The whole round's burst as flat record arrays: every zone's fill,
+    # chunked. Each zone fills completely before the next opens, so the
+    # round respects the active-zone limit in every mode.
+    round_zones = np.repeat(np.arange(zone_count, dtype=np.int64), len(takes))
+    round_takes = np.tile(take_arr, zone_count)
+    round_expected = np.tile(expected, zone_count)
     pages = 0
     for round_no in range(rounds):
-        for zone_id in range(geometry.zone_count):
-            if round_no:
+        if round_no:
+            for zone_id in range(zone_count):
                 device.reset_zone(zone_id)
-            offset = 0
-            while offset < zone_pages:
-                take = min(chunk, zone_pages - offset)
-                if batched:
-                    assigned = device.append_batch(zone_id, take)
+        if mode == "epoch":
+            assigned = device.append_epoch(round_zones, round_takes)
+            if not np.array_equal(assigned, round_expected):
+                raise AssertionError("append offset mismatch")
+        else:
+            for zone_id, take, want in zip(
+                round_zones.tolist(), round_takes.tolist(), round_expected.tolist()
+            ):
+                if mode == "batched":
+                    got = device.append_batch(zone_id, take)
                 else:
-                    assigned, _ = device.append(zone_id, take)
-                if assigned != offset:
+                    got, _ = device.append(zone_id, take)
+                if got != want:
                     raise AssertionError("append offset mismatch")
-                offset += take
-                pages += take
+        pages += zone_pages * zone_count
     counters = device.counters
     return {
         "pages": pages,
@@ -299,12 +324,13 @@ def _append_workload(batched: bool, chunk: int, rounds: int) -> dict:
 
 
 def scenario_e7_append(repeats: int = 3) -> dict:
-    """E7's data path: zone append in 32-page records, full-device sweeps."""
+    """E7's data path: zone append in 256-page records, full-device sweeps."""
     chunk, rounds = 256, 2
-    legacy, legacy_s = _timed(lambda: _append_workload(False, chunk, rounds), repeats)
-    current, current_s = _timed(lambda: _append_workload(True, chunk, rounds), repeats)
-    if legacy != current:
-        raise AssertionError(f"e7_append: scalar/batched diverge: {legacy} != {current}")
+    legacy, legacy_s = _timed(lambda: _append_workload("scalar", chunk, rounds), repeats)
+    batched, _ = _timed(lambda: _append_workload("batched", chunk, rounds), 1)
+    current, current_s = _timed(lambda: _append_workload("epoch", chunk, rounds), repeats)
+    if legacy != current or batched != current:
+        raise AssertionError(f"e7_append: scalar/epoch diverge: {legacy} != {current}")
     return {
         "ops": current["pages"],
         "unit": "pages appended",
@@ -500,6 +526,117 @@ def scenario_fleet_serving(repeats: int = 2) -> dict:
     }
 
 
+def scenario_fleet_rack64(repeats: int = 1) -> dict:
+    """A rack of 64 devices (32 conventional + 32 ZNS) under serving load.
+
+    The fleet-scale stress the epoch-compiled core exists for: every
+    device runs the PR 7 hot paths, multiplied 64-wide. Like
+    fleet_serving this is throughput-tracked (no legacy fleet exists);
+    the physics check is the 8-shard merge reproducing the serial frame
+    byte-for-byte.
+    """
+    flash = (("blocks_per_plane", 8),)
+    conv = DeviceSpec(
+        kind="conventional-ftl", geometry="small", flash=flash, ftl={"op_ratio": 0.18}
+    )
+    zns = DeviceSpec(
+        kind="zns",
+        geometry="small",
+        flash=flash,
+        blocks_per_zone=2,
+        max_active_zones=14,
+    )
+    spec = FleetSpec(
+        mix=((conv, 32), (zns, 32)),
+        tenants=64,
+        ticks=120,
+        warmup_ticks=80,
+        utilization=0.9,
+        seed=0,
+    )
+    serial, serial_s = _timed(lambda: simulate_fleet(spec, shards=1), repeats)
+    sharded, sharded_s = _timed(lambda: simulate_fleet(spec, shards=8), repeats)
+    if sharded.to_dict() != serial.to_dict():
+        raise AssertionError("fleet_rack64: 8-shard merge diverges from serial frame")
+    summary = fleet_summary(serial)
+    requests = summary["reads"] + summary["writes"]
+    return {
+        "ops": requests,
+        "unit": "host requests served",
+        "wall_s": round(serial_s, 4),
+        "wall_s_sharded": round(sharded_s, 4),
+        "ops_per_sec": round(requests / serial_s, 1),
+        "devices": spec.num_devices,
+        "tenants": spec.tenants,
+        "fleet_wa": summary["fleet_wa"],
+        "read_p99_us": summary["read_p99_us"],
+        "devices_failed": summary["devices_failed"],
+    }
+
+
+def scenario_fault_endurance(repeats: int = 2) -> dict:
+    """Fault-armed endurance: the E14 workload with an armed injector.
+
+    Exercises the recovery paths (burned pages, retired blocks, batch
+    degradation) at benchmark scale, where the epoch fast paths must
+    coexist with per-page fault absorption. Throughput-tracked: the
+    physics check is determinism -- two runs of the same seeded plan
+    must land identical fault and WA accounting.
+    """
+    plan = FaultPlan(
+        seed=7,
+        program_fail_prob=2e-4,
+        erase_fail_prob=1e-3,
+        grown_bad_blocks=((30_000, 11), (90_000, 203)),
+    )
+    spec = DeviceSpec(
+        kind="conventional-ftl",
+        geometry="bench",
+        ftl={
+            "op_ratio": 0.28,
+            "gc_policy": "greedy",
+            # Wider than the clean E14 watermarks: erase failures can eat
+            # the block GC just freed, so the pool needs slack to ride
+            # out a retire streak without wedging.
+            "gc_low_watermark": 4,
+            "gc_high_watermark": 8,
+        },
+        fault_plan=plan,
+    )
+
+    def run() -> dict:
+        ftl = build_stack(spec)
+        n = ftl.logical_pages
+        ftl.write_pages(np.arange(n, dtype=np.int64))
+        ftl.write_pages(uniform_array(n, n, seed=0))
+        stats = ftl.stats
+        return {
+            "pages": 2 * n,
+            "wa": round(stats.device_write_amplification, 6),
+            "gc_runs": stats.gc_runs,
+            "program_faults": stats.program_faults,
+            "blocks_retired": stats.blocks_retired,
+            "mapped": ftl.map.mapped_pages,
+        }
+
+    first, first_s = _timed(run, repeats)
+    second, _ = _timed(run, 1)
+    if first != second:
+        raise AssertionError(
+            f"fault_endurance: seeded runs diverge: {first} != {second}"
+        )
+    return {
+        "ops": first["pages"],
+        "unit": "host pages written",
+        "wall_s": round(first_s, 4),
+        "ops_per_sec": round(first["pages"] / first_s, 1),
+        "write_amplification": first["wa"],
+        "gc_runs": first["gc_runs"],
+        "program_faults": first["program_faults"],
+        "blocks_retired": first["blocks_retired"],
+    }
+
+
 SCENARIOS = {
     "e1_wa_vs_op": scenario_e1_wa_vs_op,
     "e7_append": scenario_e7_append,
@@ -507,6 +644,8 @@ SCENARIOS = {
     "engine_timeouts": scenario_engine_timeouts,
     "tracer_overhead": scenario_tracer_overhead,
     "fleet_serving": scenario_fleet_serving,
+    "fleet_rack64": scenario_fleet_rack64,
+    "fault_endurance": scenario_fault_endurance,
 }
 
 

@@ -1,7 +1,7 @@
 """Block-interface abstractions, host-side block-on-ZNS translation, and
 the spec-driven device factory (:mod:`repro.block.factory`)."""
 
-from repro.block.factory import DeviceSpec, build_stack, legacy_spec
+from repro.block.factory import DeviceSpec, build_stack
 from repro.block.interface import BlockDevice, ZonedDevice
 from repro.block.ramdisk import RamDisk
 
@@ -11,5 +11,4 @@ __all__ = [
     "RamDisk",
     "ZonedDevice",
     "build_stack",
-    "legacy_spec",
 ]

@@ -32,10 +32,6 @@ overrides, so specs stay JSON-round-trippable; adversity arms through
 Non-serializable collaborators (a simulation engine, a reclaim
 scheduler, a tracer) are *runtime* arguments to :func:`build_stack`, not
 spec fields.
-
-The pre-factory calling convention -- passing live geometry/config
-objects -- is kept for one release behind :func:`legacy_spec`, which
-converts objects to a spec and warns.
 """
 
 from __future__ import annotations
@@ -43,7 +39,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import warnings
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any
@@ -438,85 +433,6 @@ def build_stack(spec: DeviceSpec, engine: Any = None, tracer: Any = None, **runt
     raise AssertionError(f"unhandled kind {spec.kind!r}")  # pragma: no cover
 
 
-def legacy_spec(kind: str, geometry: Any = None, config: Any = None, **kwargs: Any) -> DeviceSpec:
-    """One-release shim: convert pre-factory constructor objects to a spec.
-
-    Accepts the live :class:`~repro.flash.geometry.FlashGeometry` /
-    :class:`~repro.flash.geometry.ZonedGeometry` and config objects the
-    old hand-wired call sites passed, emits a :class:`DeprecationWarning`,
-    and returns the equivalent :class:`DeviceSpec`. New code should
-    construct the spec directly.
-    """
-    warnings.warn(
-        "hand-wired device assembly is deprecated; construct a DeviceSpec "
-        "and call repro.block.factory.build_stack instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.block.dmzoned import ZonedBlockConfig
-    from repro.flash.geometry import FlashGeometry, ZonedGeometry
-    from repro.ftl.ftl import FTLConfig
-
-    spec_kwargs: dict[str, Any] = dict(kwargs)
-
-    def flash_fields(flash: FlashGeometry) -> tuple[str, dict[str, Any]]:
-        for preset in GEOMETRY_PRESETS:
-            candidate = FlashGeometry.small() if preset == "small" else FlashGeometry.bench()
-            if flash == candidate:
-                return preset, {}
-        base = FlashGeometry.bench()
-        overrides = {
-            f.name: getattr(flash, f.name)
-            for f in dataclasses.fields(FlashGeometry)
-            if f.init and getattr(flash, f.name) != getattr(base, f.name)
-        }
-        if "cell_type" in overrides:
-            overrides["cell_type"] = overrides["cell_type"].name.lower()
-        return "bench", overrides
-
-    if isinstance(geometry, ZonedGeometry):
-        preset, overrides = flash_fields(geometry.flash)
-        spec_kwargs.setdefault("geometry", preset)
-        if overrides:
-            spec_kwargs.setdefault("flash", overrides)
-        spec_kwargs.setdefault("blocks_per_zone", geometry.blocks_per_zone)
-        spec_kwargs.setdefault("max_active_zones", geometry.max_active_zones)
-        if geometry.max_open_zones is not None:
-            spec_kwargs.setdefault("max_open_zones", geometry.max_open_zones)
-    elif isinstance(geometry, FlashGeometry):
-        preset, overrides = flash_fields(geometry)
-        spec_kwargs.setdefault("geometry", preset)
-        if overrides:
-            spec_kwargs.setdefault("flash", overrides)
-    elif geometry is not None:
-        raise TypeError(f"unsupported geometry object {type(geometry).__name__}")
-
-    if isinstance(config, FTLConfig):
-        defaults = FTLConfig()
-        spec_kwargs.setdefault(
-            "ftl",
-            {
-                f.name: getattr(config, f.name)
-                for f in dataclasses.fields(FTLConfig)
-                if getattr(config, f.name) != getattr(defaults, f.name)
-            },
-        )
-    elif isinstance(config, ZonedBlockConfig):
-        defaults = ZonedBlockConfig()
-        spec_kwargs.setdefault(
-            "zoned_block",
-            {
-                f.name: getattr(config, f.name)
-                for f in dataclasses.fields(ZonedBlockConfig)
-                if getattr(config, f.name) != getattr(defaults, f.name)
-            },
-        )
-    elif config is not None:
-        raise TypeError(f"unsupported config object {type(config).__name__}")
-
-    return DeviceSpec(kind=kind, **spec_kwargs)
-
-
 __all__ = [
     "FAULT_CAPABLE_KINDS",
     "GEOMETRY_PRESETS",
@@ -525,5 +441,4 @@ __all__ = [
     "TIMED_KINDS",
     "DeviceSpec",
     "build_stack",
-    "legacy_spec",
 ]

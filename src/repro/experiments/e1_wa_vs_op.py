@@ -16,24 +16,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.block.factory import DeviceSpec, build_stack, legacy_spec
+from repro.block.factory import DeviceSpec, build_stack
 from repro.experiments.base import ExperimentConfig, ExperimentResult, SweepSpec, experiment
-from repro.flash.geometry import FlashGeometry
-from repro.ftl.ftl import FTLConfig
 from repro.workloads.synthetic import uniform_array
 
 
 def device_spec(
     op_ratio: float,
-    geometry: FlashGeometry | str = "bench",
+    geometry: str = "bench",
     gc_policy: str = "greedy",
 ) -> DeviceSpec:
     """The FTL under test as a spec; ``geometry`` is a preset name.
 
     Tight GC watermarks: idle free blocks are spare capacity the
     collector cannot exploit, which matters enormously at low OP.
-    Passing a live :class:`FlashGeometry` still works for one release
-    via :func:`~repro.block.factory.legacy_spec` (deprecated).
     """
     ftl_cfg = {
         "op_ratio": op_ratio,
@@ -41,14 +37,12 @@ def device_spec(
         "gc_low_watermark": 1,
         "gc_high_watermark": 2,
     }
-    if isinstance(geometry, str):
-        return DeviceSpec(kind="conventional-ftl", geometry=geometry, ftl=ftl_cfg)
-    return legacy_spec("conventional-ftl", geometry, FTLConfig(**ftl_cfg))
+    return DeviceSpec(kind="conventional-ftl", geometry=geometry, ftl=ftl_cfg)
 
 
 def measure_wa(
     op_ratio: float,
-    geometry: FlashGeometry | str = "bench",
+    geometry: str = "bench",
     overwrite_multiple: float = 3.0,
     seed: int = 0,
     gc_policy: str = "greedy",

@@ -538,6 +538,105 @@ class NandArray:
             )
         return latency
 
+    def copy_run(self, src_pages: np.ndarray, dst_block: int, dst_offset: int) -> float:
+        """On-die copy of one victim block's pages onto a contiguous run.
+
+        The epoch twin of :meth:`copy_batch` for the collector's common
+        shape: ``src_pages`` ascending within a single source block, the
+        destination the next ``n`` free pages of ``dst_block``. State
+        transitions, counter totals, and the aggregate trace event are
+        identical to :meth:`copy_batch`; the generic per-batch
+        lexsort/unique validation collapses to O(1) checks.
+        """
+        n = len(src_pages)
+        if n == 0:
+            raise ValueError("empty page batch")
+        ppb = self.geometry.pages_per_block
+        first_src = int(src_pages[0])
+        last_src = int(src_pages[-1])
+        src_block = first_src // ppb
+        if first_src < 0 or last_src >= self.geometry.total_pages:
+            raise IndexError(f"page batch out of range [0, {self.geometry.total_pages})")
+        if last_src // ppb != src_block or last_src - first_src + 1 < n:
+            raise ValueError("copy_run sources must ascend within one block")
+        if self.wear.bad_mask[src_block]:
+            raise BadBlockError(f"read on retired block {src_block}")
+        if last_src - src_block * ppb >= self._write_offsets[src_block]:
+            raise ReadUnwrittenError("batch copies at least one unprogrammed page")
+        if self.wear.bad_mask[dst_block]:
+            raise BadBlockError(f"program on retired block {dst_block}")
+        if dst_offset != self._write_offsets[dst_block]:
+            raise ProgramOrderError(
+                f"copy destination offset {dst_offset} out of order in block {dst_block}"
+            )
+        if dst_offset + n > ppb:
+            raise ProgramOrderError(f"copy run of {n} pages overflows block {dst_block}")
+        self._reads_since_erase[src_block] += n
+        self._write_offsets[dst_block] = dst_offset + n
+        dst_first = dst_block * ppb + dst_offset
+        if self.store_data:
+            for i, src in enumerate(src_pages.tolist()):
+                self._data[dst_first + i] = self._data.get(src)
+        latency = n * (self.timing.read_us + self.timing.program_us)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "flash.nand", "copy", dst_block, dst_first,
+                    nbytes=n * self.geometry.page_size, count=n, latency_us=latency,
+                )
+            )
+        return latency
+
+    def program_lanes(
+        self, blocks: np.ndarray, first_offsets: np.ndarray, counts: np.ndarray
+    ) -> float:
+        """Program per-block runs resolved by an epoch layout; returns latency.
+
+        ``blocks[i]`` receives ``counts[i]`` pages starting at its
+        within-block ``first_offsets[i]`` -- the shape a striped zone
+        append decomposes into (see
+        :func:`repro.sim.compiled.stripe_layout`). Equivalent to the
+        per-page scalar programs with one aggregate trace event; all
+        validation is O(lanes), not O(pages).
+        """
+        if len(blocks) == 0:
+            raise ValueError("empty lane batch")
+        n = int(counts.sum())
+        if int(counts.min()) < 1:
+            raise ValueError("every lane must program at least one page")
+        if int(blocks.min()) < 0 or int(blocks.max()) >= self.geometry.total_blocks:
+            raise IndexError(f"block batch out of range [0, {self.geometry.total_blocks})")
+        if self.wear.bad_mask[blocks].any():
+            bad = int(blocks[self.wear.bad_mask[blocks]][0])
+            raise BadBlockError(f"program on retired block {bad}")
+        if not np.array_equal(first_offsets, self._write_offsets[blocks]):
+            raise ProgramOrderError(
+                "lane batch does not start at each block's next programmable offset"
+            )
+        ends = first_offsets + counts
+        if int(ends.max()) > self.geometry.pages_per_block:
+            raise ProgramOrderError("lane batch overflows a block")
+        latency = n * self.timing.program_total_us(self.geometry.page_size)
+        first_page = int(blocks[0]) * self.geometry.pages_per_block + int(first_offsets[0])
+        if self.faults is not None:
+            fault, extra = self.faults.on_program_batch(n, int(blocks[0]), first_page, latency)
+            if fault:
+                raise ProgramFaultError(
+                    f"program fault failed lane batch of {n} pages starting at "
+                    f"page {first_page}",
+                    latency_us=latency,
+                )
+            latency += extra
+        self._write_offsets[blocks] = ends.astype(np.int32)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "flash.nand", "program", int(blocks[0]), first_page,
+                    nbytes=n * self.geometry.page_size, count=n, latency_us=latency,
+                )
+            )
+        return latency
+
     # -- Bulk helpers -----------------------------------------------------------
 
     def erased_blocks(self) -> list[int]:

@@ -590,11 +590,10 @@ class ConventionalFTL:
                 take = min(ppb - offset, nvalid - copied)
                 chunk = valid[copied : copied + take]
                 first = block * ppb + offset
-                dst_pages = first + np.arange(take, dtype=np.int64)
-                self.nand.copy_batch(chunk, dst_pages)
-                self.map.relocate_batch(chunk, dst_pages)
-                self._oob_lpn[dst_pages] = self.map.p2l[dst_pages]
-                self._oob_serial[dst_pages] = np.arange(
+                self.nand.copy_run(chunk, block, offset)
+                self.map.relocate_run(chunk, first)
+                self._oob_lpn[first : first + take] = self.map.p2l[first : first + take]
+                self._oob_serial[first : first + take] = np.arange(
                     self._program_serial, self._program_serial + take, dtype=np.int64
                 )
                 self._program_serial += take

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.flash.geometry import FlashGeometry
+from repro.sim import compiled
 
 UNMAPPED = -1
 
@@ -149,23 +150,12 @@ class PageMap:
         block = int(ppns[0]) // ppb
         # Last occurrence of each lpn wins; earlier in-batch occurrences
         # map-then-invalidate entirely inside ``block`` (net zero on its
-        # valid count), so only survivors touch the maps.
-        rev_unique, rev_first = np.unique(lpns[::-1], return_index=True)
-        survivor_idx = n - 1 - rev_first
-        unique_lpns = rev_unique
-        final_ppns = ppns[survivor_idx]
-        prev = self.l2p[unique_lpns]
-        remapped = prev != UNMAPPED
-        prev_ppns = prev[remapped]
-        if prev_ppns.size:
-            self.p2l[prev_ppns] = UNMAPPED
-            np.subtract.at(self.valid_counts, prev_ppns // ppb, 1)
-            if self.valid_counts[prev_ppns // ppb].min() < 0:
-                raise AssertionError("valid count went negative in map_batch")
-        self.mapped_pages += int(unique_lpns.size - np.count_nonzero(remapped))
-        self.l2p[unique_lpns] = final_ppns
-        self.p2l[final_ppns] = unique_lpns
-        self.valid_counts[block] += unique_lpns.size
+        # valid count), so only survivors touch the maps. The applier is
+        # the numba epoch kernel when available, else the same numpy
+        # program as before.
+        self.mapped_pages += compiled.map_batch_apply(
+            self.l2p, self.p2l, self.valid_counts, lpns, ppns, block, ppb
+        )
 
     def relocate_batch(self, ppns_from: np.ndarray, ppns_to: np.ndarray) -> None:
         """Move valid bindings in bulk (GC copy-forward), as :meth:`relocate`.
@@ -185,6 +175,29 @@ class PageMap:
         self.l2p[lpns] = ppns_to
         self.p2l[ppns_to] = lpns
         self.valid_counts[int(ppns_to[0]) // ppb] += n
+
+    def relocate_run(self, ppns_from: np.ndarray, dst_first: int) -> None:
+        """GC compaction applier: :meth:`relocate_batch` for one victim block.
+
+        All ``ppns_from`` must be valid, distinct pages of a single
+        erasure block; destinations are the contiguous freshly-programmed
+        run starting at ``dst_first``. This is the epoch fast path the
+        collector uses -- O(run) with no per-destination address
+        arithmetic, dispatched through :mod:`repro.sim.compiled`.
+        """
+        n = len(ppns_from)
+        if n == 0:
+            return
+        ppb = self.geometry.pages_per_block
+        compiled.relocate_run_apply(
+            self.l2p,
+            self.p2l,
+            self.valid_counts,
+            ppns_from,
+            dst_first,
+            int(ppns_from[0]) // ppb,
+            dst_first // ppb,
+        )
 
     def dram_bytes(self, bytes_per_entry: int = 4) -> int:
         """On-board DRAM the forward map would occupy (paper §2.2)."""

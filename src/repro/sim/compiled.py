@@ -1,0 +1,214 @@
+"""Epoch-compiled kernels for the simulation hot loops.
+
+PR 4 vectorized the device stack's *batch* paths; what remains between a
+workload epoch and the flash arrays is per-chunk Python dispatch and the
+generic batch validators (lexsort + unique per call). This module holds
+the epoch kernels that close that gap:
+
+- pure-array layouts and appliers that :mod:`repro.flash.nand`,
+  :mod:`repro.ftl.mapping`, and :mod:`repro.zns.device` call on their
+  epoch fast paths, with O(stripe-width) or O(run-length) work and no
+  per-page Python;
+- an optional `numba <https://numba.pydata.org/>`_ fast path: when numba
+  is importable (and not disabled via ``REPRO_COMPILED=0``) the scalar
+  per-page appliers are JIT-compiled loops, which beat the numpy
+  fallbacks on short runs. When numba is absent the numpy fallbacks run
+  -- the module never requires it, and CI guards that no ``src/repro``
+  module imports numba unconditionally.
+
+Every kernel is state-identical to the interpreted scalar path it
+replaces; ``tests/sim/test_compiled_parity.py`` asserts that identity
+over random operation sequences with the fast path both enabled and
+monkeypatched absent. The headline numbers live in ``BENCH_PR7.json``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+#: Sentinel for an unmapped logical/physical page. Mirrors
+#: :data:`repro.ftl.mapping.UNMAPPED`; kernels cannot import the mapping
+#: module (they sit below it) so the value is pinned here and checked by
+#: the parity suite.
+UNMAPPED = -1
+
+
+def _load_numba() -> Any:
+    """Import numba iff present and not disabled by ``REPRO_COMPILED``.
+
+    ``REPRO_COMPILED=0`` (or ``off``/``false``) forces the numpy
+    fallbacks even when numba is installed -- the knob the docs expose
+    for debugging and for the parity suite's monkeypatched-absence leg.
+    """
+    if os.environ.get("REPRO_COMPILED", "auto").strip().lower() in {"0", "off", "false"}:
+        return None
+    try:
+        import numba
+    except ImportError:
+        return None
+    return numba
+
+
+_numba = _load_numba()
+
+#: True when the numba JIT is importable and not disabled by environment.
+NUMBA_AVAILABLE = _numba is not None
+
+#: Live switch consulted on every kernel dispatch. Tests monkeypatch this
+#: to force the numpy fallbacks; it starts equal to NUMBA_AVAILABLE.
+USE_NUMBA = NUMBA_AVAILABLE
+
+
+def enabled() -> bool:
+    """True when kernel dispatch currently selects the numba fast path."""
+    return USE_NUMBA and NUMBA_AVAILABLE
+
+
+def _jit(fn):
+    """``numba.njit`` when available, identity otherwise."""
+    if _numba is None:
+        return fn
+    return _numba.njit(cache=True)(fn)
+
+
+# -- Mapping-table appliers -----------------------------------------------------
+#
+# The appliers mutate the PageMap arrays (l2p, p2l, valid_counts) in
+# place and return the change in mapped-page count. Contracts match
+# PageMap.map_batch / relocate_batch: destinations are freshly-programmed
+# pages within ONE erasure block.
+
+
+def _map_batch_loop(l2p, p2l, valid_counts, lpns, ppns, block, ppb):
+    """Scalar-order map loop: the jittable twin of ``PageMap.map`` x n."""
+    delta = 0
+    for i in range(lpns.shape[0]):
+        lpn = lpns[i]
+        ppn = ppns[i]
+        prev = l2p[lpn]
+        if prev != UNMAPPED:
+            p2l[prev] = UNMAPPED
+            valid_counts[prev // ppb] -= 1
+            if valid_counts[prev // ppb] < 0:
+                raise ValueError("valid count went negative in map batch")
+        else:
+            delta += 1
+        l2p[lpn] = ppn
+        p2l[ppn] = lpn
+        valid_counts[block] += 1
+    return delta
+
+
+_map_batch_jit = _jit(_map_batch_loop)
+
+
+def _map_batch_numpy(l2p, p2l, valid_counts, lpns, ppns, block, ppb):
+    """Vectorized map applier: last in-batch occurrence of each lpn wins."""
+    n = lpns.shape[0]
+    rev_unique, rev_first = np.unique(lpns[::-1], return_index=True)
+    survivor_idx = n - 1 - rev_first
+    final_ppns = ppns[survivor_idx]
+    prev = l2p[rev_unique]
+    remapped = prev != UNMAPPED
+    prev_ppns = prev[remapped]
+    if prev_ppns.size:
+        p2l[prev_ppns] = UNMAPPED
+        np.subtract.at(valid_counts, prev_ppns // ppb, 1)
+        if valid_counts[prev_ppns // ppb].min() < 0:
+            raise ValueError("valid count went negative in map batch")
+    l2p[rev_unique] = final_ppns
+    p2l[final_ppns] = rev_unique
+    valid_counts[block] += rev_unique.size
+    return int(rev_unique.size - np.count_nonzero(remapped))
+
+
+def map_batch_apply(l2p, p2l, valid_counts, lpns, ppns, block, ppb):
+    """Bind ``lpns[i] -> ppns[i]`` in scalar order; returns mapped-page delta.
+
+    All ``ppns`` must be unmapped, freshly-programmed pages inside
+    erasure block ``block``. In-batch duplicate lpns resolve exactly as a
+    scalar loop would (later occurrences supersede earlier ones).
+    """
+    if enabled():
+        return int(_map_batch_jit(l2p, p2l, valid_counts, lpns, ppns, block, ppb))
+    return _map_batch_numpy(l2p, p2l, valid_counts, lpns, ppns, block, ppb)
+
+
+def _relocate_run_loop(l2p, p2l, valid_counts, src_pages, dst_first, src_block, dst_block):
+    for i in range(src_pages.shape[0]):
+        src = src_pages[i]
+        lpn = p2l[src]
+        if lpn == UNMAPPED:
+            raise ValueError("relocate of invalid physical page")
+        p2l[src] = UNMAPPED
+        valid_counts[src_block] -= 1
+        dst = dst_first + i
+        l2p[lpn] = dst
+        p2l[dst] = lpn
+        valid_counts[dst_block] += 1
+
+
+_relocate_run_jit = _jit(_relocate_run_loop)
+
+
+def _relocate_run_numpy(l2p, p2l, valid_counts, src_pages, dst_first, src_block, dst_block):
+    n = src_pages.shape[0]
+    lpns = p2l[src_pages]
+    if lpns.size and int(lpns.min()) == UNMAPPED:
+        raise ValueError("relocate of invalid physical page")
+    p2l[src_pages] = UNMAPPED
+    dst = np.arange(dst_first, dst_first + n, dtype=np.int64)
+    l2p[lpns] = dst
+    p2l[dst_first : dst_first + n] = lpns
+    valid_counts[src_block] -= n
+    valid_counts[dst_block] += n
+
+
+def relocate_run_apply(l2p, p2l, valid_counts, src_pages, dst_first, src_block, dst_block):
+    """GC copy-forward applier: move valid bindings onto a contiguous run.
+
+    ``src_pages`` must be valid, distinct pages of ``src_block``;
+    destinations are the fresh run ``dst_first .. dst_first+n`` inside
+    ``dst_block``. Mirrors ``PageMap.relocate`` x n exactly.
+    """
+    if enabled():
+        _relocate_run_jit(l2p, p2l, valid_counts, src_pages, dst_first, src_block, dst_block)
+    else:
+        _relocate_run_numpy(l2p, p2l, valid_counts, src_pages, dst_first, src_block, dst_block)
+
+
+# -- Zone-append layout ---------------------------------------------------------
+
+
+def stripe_layout(wp: int, n: int, width: int, ppb: int):
+    """Resolve a striped zone-append run into per-lane program runs.
+
+    A zone stripes page offset ``j`` onto lane ``j % width`` at
+    within-block offset ``j // width``. For the run ``[wp, wp + n)`` this
+    returns ``(lanes, first_offsets, counts)`` -- for each stripe lane
+    that receives pages, the within-block offset of its first page and
+    how many pages land on it. O(width), independent of run length.
+    """
+    if n < 1:
+        raise ValueError("stripe run must cover at least one page")
+    lanes = np.arange(width, dtype=np.int64)
+    counts = (wp + n - 1 - lanes) // width - (wp - 1 - lanes) // width
+    first_offsets = -((wp - lanes) // -width)  # ceil((wp - lane) / width)
+    hit = counts > 0
+    end = wp + n - 1
+    if (end // width) >= ppb:
+        raise IndexError(f"append run [{wp}, {wp + n}) exceeds {width} blocks of {ppb} pages")
+    return lanes[hit], first_offsets[hit], counts[hit]
+
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "UNMAPPED",
+    "enabled",
+    "map_batch_apply",
+    "relocate_run_apply",
+    "stripe_layout",
+]

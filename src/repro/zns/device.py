@@ -40,6 +40,7 @@ from repro.obs.events import (
 )
 from repro.obs.sinks import LatencySink, OpCounterSink
 from repro.obs.tracer import Tracer
+from repro.sim import compiled
 from repro.sim.engine import Engine
 from repro.sim.resources import Resource
 from repro.zns.errors import (
@@ -230,7 +231,7 @@ class ZNSDevice:
 
     def _pages_of(self, zone_id: int, offsets: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`_page_of` over an offset array."""
-        blocks = np.asarray(self.ftl.blocks_of_zone(zone_id), dtype=np.int64)
+        blocks = self.ftl.blocks_array(zone_id)
         ppb = self.geometry.flash.pages_per_block
         if self.striped:
             width = len(blocks)
@@ -582,6 +583,113 @@ class ZNSDevice:
             self.tracer.publish(
                 ZoneAppendEvent("zns.device", zone_id, assigned, npages=npages)
             )
+        return assigned
+
+    def append_epoch(self, zone_ids: np.ndarray, npages: np.ndarray) -> np.ndarray:
+        """Resolve a full append burst in one array pass; returns offsets.
+
+        Semantically ``[self.append_batch(z, k) for z, k in zip(zone_ids,
+        npages)]`` -- same zone state machine, same counter totals -- with
+        two epoch-level liberties: consecutive records addressing the same
+        zone merge into one command (trace events aggregate per merged
+        run), and a merged run is validated whole, so a run that cannot
+        fit raises before programming anything where the per-record path
+        would land the leading records. Zone selection, write-pointer
+        advance, and flash programming for each run resolve in
+        O(stripe-width) array work (:func:`repro.sim.compiled.stripe_layout`
+        + :meth:`~repro.flash.nand.NandArray.program_lanes`) instead of
+        per-page address translation, and the O(zones) open/active-limit
+        scans run once per epoch, not once per record. With an armed
+        fault injector the epoch degrades to the per-record batch path,
+        which polls scheduled faults between commands.
+        """
+        zone_ids = np.asarray(zone_ids, dtype=np.int64)
+        counts = np.asarray(npages, dtype=np.int64)
+        n = int(zone_ids.size)
+        if counts.size != n:
+            raise ValueError("zone_ids/npages length mismatch")
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if int(counts.min()) < 1:
+            raise ValueError("npages must be >= 1")
+        assigned = np.empty(n, dtype=np.int64)
+        if self.faults is not None:
+            for i in range(n):
+                assigned[i] = self.append_batch(int(zone_ids[i]), int(counts[i]))
+            return assigned
+        boundaries = np.flatnonzero(np.diff(zone_ids) != 0) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        # Epoch-local open/active tallies: scanned once here, maintained
+        # incrementally across runs (the per-command properties cost
+        # O(zones) each, and an epoch touches many zones).
+        n_open = self.open_count
+        n_active = self.active_count
+        ppb = self.geometry.flash.pages_per_block
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            zone_id = int(zone_ids[s])
+            run = counts[s:e]
+            total = int(run.sum())
+            zone = self.zone(zone_id)
+            zone.check_writable(total)
+            if zone.state.is_open:
+                self._touch_open(zone_id)
+            else:
+                if zone.state is ZoneState.EMPTY:
+                    if n_active >= self.geometry.max_active_zones:
+                        raise ActiveZoneLimitError(
+                            f"{n_active} zones active; "
+                            f"limit {self.geometry.max_active_zones}"
+                        )
+                    n_active += 1
+                if n_open >= self.geometry.open_limit:
+                    self._close_lru_implicit()
+                    n_open -= 1
+                old_state = zone.state
+                zone.transition_open(explicit=False)
+                self._open_order.append(zone_id)
+                self._publish_transition(zone, old_state, "implicit-open")
+                n_open += 1
+            wp = zone.wp
+            blocks = self.ftl.blocks_array(zone_id)
+            if self.striped:
+                width = len(blocks)
+                lanes, first_offsets, lane_counts = compiled.stripe_layout(
+                    wp, total, width, ppb
+                )
+                self.nand.program_lanes(blocks[lanes], first_offsets, lane_counts)
+                first_block = int(blocks[wp % width])
+            else:
+                lo, hi = wp // ppb, (wp + total - 1) // ppb
+                if hi >= len(blocks):
+                    raise IndexError(f"offset {wp + total - 1} beyond zone {zone_id}")
+                lane_blocks = blocks[lo : hi + 1]
+                first_offsets = np.zeros(hi - lo + 1, dtype=np.int64)
+                first_offsets[0] = wp % ppb
+                lane_ends = np.full(hi - lo + 1, ppb, dtype=np.int64)
+                lane_ends[-1] = (wp + total - 1) % ppb + 1
+                self.nand.program_lanes(
+                    lane_blocks, first_offsets, lane_ends - first_offsets
+                )
+                first_block = int(lane_blocks[0])
+            old_state = zone.state
+            zone.advance(total)
+            if self.tracer.enabled:
+                self.tracer.publish(
+                    FlashOpEvent(
+                        "zns.device", "program", block=first_block,
+                        count=total, nbytes=total * self.page_size,
+                    )
+                )
+                self.tracer.publish(
+                    ZoneAppendEvent("zns.device", zone_id, wp, npages=total)
+                )
+            if zone.state is ZoneState.FULL:
+                self._note_no_longer_open(zone_id)
+                self._publish_transition(zone, old_state, "write-full")
+                n_open -= 1
+                n_active -= 1
+            assigned[s:e] = wp + np.cumsum(run) - run
         return assigned
 
     def simple_copy_batch(

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.flash.geometry import ZonedGeometry
 from repro.flash.nand import NandArray
 from repro.obs.events import GcEvent, RecoveryEvent
@@ -75,12 +77,26 @@ class ZnsFTL:
         mapped = self.zone_count * geometry.blocks_per_zone
         self._spares: list[int] = list(range(mapped, flash.total_blocks))
         self._free_pool: list[int] = []
+        # Per-zone numpy twins of _zone_blocks, built lazily and dropped
+        # on reset (the only mutation point). The epoch append path and
+        # the batched address translation index these instead of building
+        # a fresh list per command.
+        self._block_arrays: dict[int, np.ndarray] = {}
 
     # -- Translation ---------------------------------------------------------
 
     def blocks_of_zone(self, zone_id: int) -> list[int]:
         self._check(zone_id)
         return list(self._zone_blocks[zone_id])
+
+    def blocks_array(self, zone_id: int) -> np.ndarray:
+        """Cached int64 array of :meth:`blocks_of_zone`. Do not mutate."""
+        arr = self._block_arrays.get(zone_id)
+        if arr is None:
+            self._check(zone_id)
+            arr = np.asarray(self._zone_blocks[zone_id], dtype=np.int64)
+            self._block_arrays[zone_id] = arr
+        return arr
 
     def page_of(self, zone_id: int, offset: int) -> int:
         """Physical page for (zone, page offset within zone)."""
@@ -164,6 +180,7 @@ class ZnsFTL:
             self._zone_blocks[zone_id] = take
         else:
             self._zone_blocks[zone_id] = pool[:want]
+        self._block_arrays.pop(zone_id, None)
 
         if len(self._zone_blocks[zone_id]) < want and self.tracer.enabled:
             # Spares exhausted: the zone comes back narrower (paper §2.1,

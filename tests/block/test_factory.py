@@ -20,13 +20,11 @@ from repro.block.factory import (
     TIMED_KINDS,
     DeviceSpec,
     build_stack,
-    legacy_spec,
 )
 from repro.faults import FaultInjector, FaultPlan
-from repro.flash.geometry import FlashGeometry, ZonedGeometry
 from repro.ftl.device import ConventionalSSD, TimedConventionalSSD
 from repro.ftl.dftl import DemandPagedFTL
-from repro.ftl.ftl import ConventionalFTL, FTLConfig
+from repro.ftl.ftl import ConventionalFTL
 from repro.hostio.timed import TimedZonedBlockDevice
 from repro.sim.engine import Engine
 from repro.zns.device import TimedZNSDevice, ZNSDevice
@@ -224,37 +222,8 @@ class TestSpecHash:
     def test_specs_are_hashable(self):
         assert len({_spec_for("zns"), _spec_for("zns"), _spec_for("dmzoned")}) == 2
 
+    def test_legacy_spec_shim_is_gone(self):
+        # Deprecated in PR 6 for one release, removed in PR 7.
+        import repro.block.factory as factory
 
-class TestLegacyShim:
-    def test_legacy_spec_warns(self):
-        with pytest.warns(DeprecationWarning, match="DeviceSpec"):
-            legacy_spec("conventional-ftl", FlashGeometry.small())
-
-    def test_flash_geometry_maps_to_its_preset(self):
-        with pytest.warns(DeprecationWarning):
-            spec = legacy_spec(
-                "conventional-ftl", FlashGeometry.small(), FTLConfig(op_ratio=0.123)
-            )
-        assert spec == DeviceSpec(
-            kind="conventional-ftl", geometry="small", ftl={"op_ratio": 0.123}
-        )
-
-    def test_zoned_geometry_round_trips_through_the_shim(self):
-        zoned = ZonedGeometry(
-            flash=FlashGeometry.small(), blocks_per_zone=2, max_active_zones=14
-        )
-        with pytest.warns(DeprecationWarning):
-            spec = legacy_spec("zns", zoned)
-        assert spec.zoned_geometry() == zoned
-
-    def test_legacy_stack_equals_spec_stack(self):
-        with pytest.warns(DeprecationWarning):
-            spec = legacy_spec(
-                "conventional-ftl", FlashGeometry.small(), FTLConfig(op_ratio=0.18)
-            )
-        via_shim = build_stack(spec)
-        direct = build_stack(
-            DeviceSpec(kind="conventional-ftl", geometry="small", ftl={"op_ratio": 0.18})
-        )
-        assert via_shim.geometry == direct.geometry
-        assert via_shim.config == direct.config
+        assert not hasattr(factory, "legacy_spec")

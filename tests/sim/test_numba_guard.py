@@ -1,0 +1,77 @@
+"""Guard: no module under ``src/repro`` may import numba unconditionally.
+
+numba is an *optional* accelerator. The repo must import and run
+everywhere numba is absent (CI runners, minimal installs), so the only
+sanctioned import site is inside a ``try``/``except ImportError`` (or a
+function body that handles the failure, as ``repro.sim.compiled`` does).
+This test walks every source file's AST and fails on any ``import
+numba`` / ``from numba import ...`` statement that executes
+unconditionally at module scope.
+"""
+
+import ast
+from pathlib import Path
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def _module_scope_numba_imports(tree: ast.Module) -> list[int]:
+    """Line numbers of numba imports reachable at plain module scope.
+
+    Imports nested inside ``try`` blocks or function bodies are allowed:
+    a ``try`` implies a handler, and a function defers the import until
+    call time where the caller can catch it (``_load_numba`` pattern).
+    """
+    offenders = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            names = [node.module or ""]
+        else:
+            continue
+        if not any(name == "numba" or name.startswith("numba.") for name in names):
+            continue
+        offenders.append(node.lineno)
+    # Now subtract imports that sit under a Try or inside a function.
+    guarded = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if isinstance(inner, (ast.Import, ast.ImportFrom)):
+                    guarded.add(inner.lineno)
+    return [line for line in offenders if line not in guarded]
+
+
+def test_no_unconditional_numba_import_in_src():
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for line in _module_scope_numba_imports(tree):
+            offenders.append(f"{path.relative_to(SRC_ROOT.parent)}:{line}")
+    assert not offenders, (
+        "unconditional numba import(s) found (must be wrapped in "
+        f"try/except or deferred into a function): {offenders}"
+    )
+
+
+def test_guard_catches_a_bare_import():
+    """Self-test: the scanner actually flags the pattern it exists for."""
+    bad = ast.parse("import numpy\nimport numba\n")
+    assert _module_scope_numba_imports(bad) == [2]
+    bad_from = ast.parse("from numba import njit\n")
+    assert _module_scope_numba_imports(bad_from) == [1]
+
+
+def test_guard_allows_guarded_imports():
+    ok = ast.parse(
+        "def _load():\n"
+        "    try:\n"
+        "        import numba\n"
+        "    except ImportError:\n"
+        "        return None\n"
+        "    return numba\n"
+    )
+    assert _module_scope_numba_imports(ok) == []
