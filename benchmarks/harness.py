@@ -48,7 +48,11 @@ from repro.ftl.ftl import ConventionalFTL, FTLConfig, GCStuckError  # noqa: E402
 from repro.obs.events import GcEvent  # noqa: E402
 from repro.obs.tracer import Tracer  # noqa: E402
 from repro.sim.engine import Engine, Timeout  # noqa: E402
-from repro.workloads.synthetic import uniform_array  # noqa: E402
+from repro.workloads.synthetic import (  # noqa: E402
+    sequential_stream,
+    uniform_array,
+    zipfian_stream,
+)
 from repro.zns.zone import ZoneState  # noqa: E402
 
 DEFAULT_OUT = "BENCH_PR7.json"
@@ -637,6 +641,68 @@ def scenario_fault_endurance(repeats: int = 2) -> dict:
     }
 
 
+def scenario_dftl_locality(repeats: int = 2) -> dict:
+    """Demand-paged FTL at the CMT's hit-rate extremes.
+
+    A sequential sweep is the CMT's best case: each cached translation
+    page covers epp consecutive lpns, so only one miss per epp writes.
+    A zipfian stream is the hard case for a tiny CMT: the hot head helps
+    but the skewed tail strides across translation pages and thrashes
+    the cache. Throughput-tracked (the demand-paged layer is new; no
+    legacy reference exists): the physics check is the hit-rate spread
+    itself -- sequential must beat zipfian by a wide margin, and both
+    must pay real translation flash traffic at this CMT budget.
+    """
+    spec = DeviceSpec(
+        kind="dftl",
+        geometry="small",
+        flash=(("page_size", 512),),
+        ftl={"op_ratio": 0.11},
+        cmt_bytes=4 * 512,
+    )
+
+    def run(stream_name: str) -> dict:
+        device = build_stack(spec)
+        n = device.logical_pages
+        for lpn in range(n):
+            device.write(lpn)
+        ops = 2 * n
+        if stream_name == "zipfian":
+            stream = zipfian_stream(n, ops, theta=0.99, seed=11)
+        else:
+            stream = sequential_stream(n, ops)
+        for lpn in stream:
+            device.write(lpn)
+        store = device.store
+        return {
+            "pages": n + ops,
+            "hit_rate": round(store.stats.hit_rate, 4),
+            "translation_writes": store.stats.translation_writes,
+            "translation_gc_runs": store.stats.gc_runs,
+        }
+
+    zipf, zipf_s = _timed(lambda: run("zipfian"), repeats)
+    seq, seq_s = _timed(lambda: run("sequential"), repeats)
+    if not seq["hit_rate"] > zipf["hit_rate"] + 0.2:
+        raise AssertionError(
+            f"dftl_locality: sequential hit rate {seq['hit_rate']} must beat "
+            f"zipfian {zipf['hit_rate']} by a wide margin"
+        )
+    if zipf["translation_writes"] == 0 or seq["translation_writes"] == 0:
+        raise AssertionError("dftl_locality: expected real translation traffic")
+    return {
+        "ops": zipf["pages"] + seq["pages"],
+        "unit": "host pages written",
+        "wall_s": round(zipf_s + seq_s, 4),
+        "ops_per_sec": round((zipf["pages"] + seq["pages"]) / (zipf_s + seq_s), 1),
+        "zipfian_hit_rate": zipf["hit_rate"],
+        "sequential_hit_rate": seq["hit_rate"],
+        "zipfian_translation_writes": zipf["translation_writes"],
+        "sequential_translation_writes": seq["translation_writes"],
+        "translation_gc_runs": zipf["translation_gc_runs"] + seq["translation_gc_runs"],
+    }
+
+
 SCENARIOS = {
     "e1_wa_vs_op": scenario_e1_wa_vs_op,
     "e7_append": scenario_e7_append,
@@ -646,6 +712,7 @@ SCENARIOS = {
     "fleet_serving": scenario_fleet_serving,
     "fleet_rack64": scenario_fleet_rack64,
     "fault_endurance": scenario_fault_endurance,
+    "dftl_locality": scenario_dftl_locality,
 }
 
 

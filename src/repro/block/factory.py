@@ -129,6 +129,13 @@ class DeviceSpec:
         an injector when ``fault_scale > 0`` and the kind supports it.
     fault_scale:
         Rate multiplier applied to the plan (0 = clean reference arm).
+    cmt_bytes:
+        DRAM budget for the ``dftl`` kind's Cached Mapping Table.
+        ``None`` keeps the constructor default (8 translation pages).
+    wl_policy:
+        Wear-leveling policy ('none' / 'dynamic' / 'static') for FTL
+        kinds; ``None`` keeps the default ('dynamic'). Spec-level sugar
+        for the same key in ``ftl``.
     """
 
     kind: str
@@ -145,6 +152,8 @@ class DeviceSpec:
     spare_blocks: int = 0
     fault_plan: FaultPlan | None = field(default=None)
     fault_scale: float = 1.0
+    cmt_bytes: int | None = None
+    wl_policy: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -182,6 +191,25 @@ class DeviceSpec:
                 f"kind {self.kind!r} does not support fault injection "
                 f"(supported: {sorted(FAULT_CAPABLE_KINDS)})"
             )
+        if self.cmt_bytes is not None:
+            if self.kind != "dftl":
+                raise ValueError("cmt_bytes only applies to the 'dftl' kind")
+            if self.cmt_bytes < 1:
+                raise ValueError("cmt_bytes must be >= 1")
+        if self.wl_policy is not None:
+            if self.kind not in (
+                "conventional-ftl", "conventional-ssd", "conventional-timed", "dftl"
+            ):
+                raise ValueError(
+                    f"wl_policy does not apply to kind {self.kind!r}"
+                )
+            from repro.ftl.wearlevel import WL_POLICIES
+
+            if self.wl_policy not in WL_POLICIES:
+                raise ValueError(
+                    f"unknown wl_policy {self.wl_policy!r}; "
+                    f"choose from {list(WL_POLICIES)}"
+                )
 
     # -- Convenience views -----------------------------------------------------
 
@@ -225,6 +253,12 @@ class DeviceSpec:
                 }
             ),
         }
+        # New optional fields are omitted when unset so pre-existing
+        # specs keep their canonical JSON (and hence spec hashes).
+        if self.cmt_bytes is not None:
+            payload["cmt_bytes"] = self.cmt_bytes
+        if self.wl_policy is not None:
+            payload["wl_policy"] = self.wl_policy
         return payload
 
     @classmethod
@@ -251,6 +285,8 @@ class DeviceSpec:
             spare_blocks=payload.get("spare_blocks", 0),
             fault_plan=None if plan_payload is None else FaultPlan(**plan_payload),
             fault_scale=payload.get("fault_scale", 1.0),
+            cmt_bytes=payload.get("cmt_bytes"),
+            wl_policy=payload.get("wl_policy"),
         )
 
     def canonical_json(self) -> str:
@@ -308,6 +344,16 @@ class DeviceSpec:
         )
 
 
+def _ftl_config(spec: DeviceSpec):
+    """The spec's FTLConfig (or None), with wl_policy folded in."""
+    from repro.ftl.ftl import FTLConfig
+
+    kwargs = _as_kwargs(spec.ftl)
+    if spec.wl_policy is not None:
+        kwargs.setdefault("wl_policy", spec.wl_policy)
+    return FTLConfig(**kwargs) if kwargs else None
+
+
 def _injector(spec: DeviceSpec):
     """The armed fault injector a spec calls for, or None."""
     if spec.fault_plan is None or spec.fault_scale <= 0:
@@ -340,44 +386,43 @@ def build_stack(spec: DeviceSpec, engine: Any = None, tracer: Any = None, **runt
     faults = _injector(spec)
 
     if spec.kind == "conventional-ftl":
-        from repro.ftl.ftl import ConventionalFTL, FTLConfig
+        from repro.ftl.ftl import ConventionalFTL
 
         return ConventionalFTL(
             spec.flash_geometry(),
-            FTLConfig(**_as_kwargs(spec.ftl)) if spec.ftl else None,
+            _ftl_config(spec),
             tracer=tracer,
             faults=faults,
             **extra,
         )
     if spec.kind == "conventional-ssd":
         from repro.ftl.device import ConventionalSSD
-        from repro.ftl.ftl import FTLConfig
 
         return ConventionalSSD(
             spec.flash_geometry(),
-            FTLConfig(**_as_kwargs(spec.ftl)) if spec.ftl else None,
+            _ftl_config(spec),
             store_data=spec.store_data,
             tracer=tracer,
             **extra,
         )
     if spec.kind == "conventional-timed":
         from repro.ftl.device import TimedConventionalSSD
-        from repro.ftl.ftl import FTLConfig
 
         return TimedConventionalSSD(
             engine,
             spec.flash_geometry(),
-            FTLConfig(**_as_kwargs(spec.ftl)) if spec.ftl else None,
+            _ftl_config(spec),
             tracer=tracer,
             **extra,
         )
     if spec.kind == "dftl":
         from repro.ftl.dftl import DemandPagedFTL
-        from repro.ftl.ftl import FTLConfig
 
         return DemandPagedFTL(
             spec.flash_geometry(),
-            FTLConfig(**_as_kwargs(spec.ftl)) if spec.ftl else None,
+            _ftl_config(spec),
+            cmt_bytes=spec.cmt_bytes,
+            tracer=tracer,
             **extra,
         )
     if spec.kind == "zns":

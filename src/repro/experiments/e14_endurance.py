@@ -9,13 +9,52 @@ We *measure* the write amplification each interface imposes on the same
 random-overwrite workload (rather than assuming one), then run the
 endurance arithmetic across cell technologies at 1 DWPD. The claim's
 shape: QLC (and PLC) clear a 5-year deployment bar only at ZNS-level WA.
+
+Endurance is not only mean cycles -- it is also how evenly they are
+spent. A second sweep drives the same FTL under skewed (hot/cold)
+traffic with each wear-leveling policy and measures the erase-count
+spread: ``none`` and ``dynamic`` leave cold blocks pinned at zero wear
+while the hot region cycles, ``static`` pays migration copies to cap
+the spread. The spare-pool report ties both to the grown-bad-block
+margin the same spare capacity must also cover.
 """
 
 from __future__ import annotations
 
+from repro.block.factory import DeviceSpec, build_stack
 from repro.cost.lifetime import qlc_enablement_table
 from repro.experiments.base import ExperimentConfig, ExperimentResult, experiment
 from repro.experiments.e1_wa_vs_op import measure_wa
+from repro.ftl.wearlevel import WL_POLICIES, spare_report
+from repro.workloads.synthetic import hot_cold_stream
+
+
+def measure_wearlevel(wl_policy: str, quick: bool, seed: int) -> dict:
+    """Erase-spread and WA for one policy under hot/cold traffic."""
+    ftl = build_stack(
+        DeviceSpec(
+            kind="conventional-ftl",
+            geometry="small" if quick else "bench",
+            ftl={"op_ratio": 0.11},
+            wl_policy=wl_policy,
+        )
+    )
+    n = ftl.logical_pages
+    for lpn in range(n):
+        ftl.write(lpn)
+    # 10% of pages take 90% of writes: the cold 90% pins its blocks at
+    # zero erases unless the policy forcibly migrates them.
+    for lpn, _ in hot_cold_stream(n, (4 if quick else 6) * n, seed=seed):
+        ftl.write(lpn)
+    report = spare_report(ftl)
+    host = ftl.stats.host_pages_written
+    copied = ftl.stats.gc_pages_copied
+    return {
+        "measurement": "wear-leveling",
+        **report,
+        "write_amplification": round((host + copied) / host, 3),
+        "gc_runs": ftl.stats.gc_runs,
+    }
 
 
 @experiment("E14")
@@ -34,6 +73,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     )
     qlc = next(r for r in rows if r["cell"] == "QLC")
     tlc = next(r for r in rows if r["cell"] == "TLC")
+    wl_rows = [measure_wearlevel(p, quick, seed) for p in WL_POLICIES]
+    spreads = {r["wl_policy"]: r["erase_spread"] for r in wl_rows}
+    rows = rows + wl_rows
     return ExperimentResult(
         experiment_id="E14",
         title="Device lifetime at 0.5 DWPD: measured WA x cell endurance",
@@ -51,12 +93,20 @@ def run(config: ExperimentConfig) -> ExperimentResult:
                 not qlc["conventional_5y_viable"] and qlc["zns_5y_viable"]
             ),
             "tlc_years_conventional": tlc["conventional_years"],
+            "erase_spread_by_policy": spreads,
+            "wl_policy_changes_spread": len(set(spreads.values())) > 1,
+            "static_caps_spread": spreads["static"] <= min(
+                spreads["none"], spreads["dynamic"]
+            ),
         },
         notes=(
             "0.5 DWPD (the read-heavy capacity-tier profile QLC targets); "
             "conventional WA measured on the FTL at 28% OP, its most "
             "endurance-friendly config, with the OP lifetime credit "
-            "granted. Lifetime = endurance / (DWPD x WA / (1+OP)) / 365."
+            "granted. Lifetime = endurance / (DWPD x WA / (1+OP)) / 365. "
+            "Wear-leveling rows: hot/cold (10%/90%) overwrites; the "
+            "erase-count spread is the lifetime-relevant tail, since the "
+            "device fails on its most-worn block."
         ),
     )
 

@@ -37,7 +37,9 @@ def chart_e9(result: ExperimentResult) -> str:
 def chart_e14(result: ExperimentResult) -> str:
     """Lifetime per cell type, conventional vs ZNS."""
     labels, values = [], []
-    for row in result.rows:
+    # E14 also carries wear-leveling rows; the lifetime chart plots only
+    # the cell-endurance table.
+    for row in (r for r in result.rows if "cell" in r):
         labels.append(f"{row['cell']}/conv")
         values.append(row["conventional_years"])
         labels.append(f"{row['cell']}/zns")

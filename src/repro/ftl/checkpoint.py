@@ -31,11 +31,16 @@ class MappingSnapshot:
     with serial below ``serial`` is reflected in ``l2p``; crash recovery
     replays the out-of-band metadata of pages programmed at or past it
     (see :meth:`~repro.ftl.ftl.ConventionalFTL.recover`).
+
+    ``gtd`` is the demand-paged FTL's Global Translation Directory at
+    snapshot time (``None`` for full-map FTLs); its recovery seeds the
+    GTD from it and replays only translation programs past the horizon.
     """
 
     serial: int
     clock: int
     l2p: np.ndarray
+    gtd: np.ndarray | None = None
 
 
 @dataclass

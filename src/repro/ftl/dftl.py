@@ -1,30 +1,75 @@
-"""Demand-paged FTL mapping (DFTL) -- the DRAM-less compromise.
+"""Demand-paged FTL (DFTL) -- the mapping lives on flash, not in DRAM.
 
 The paper's footnote 1: "A few DRAM-less conventional SSDs exist, which
 store the mapping data in host DRAM or on-board flash. However, they have
 not gained momentum in datacenters, as they lack the performance and
 functionality of ZNS SSDs."
 
-This module models why. A DFTL-style controller keeps the full page map
-on flash (as *translation pages*, each covering ``page_size / 4`` logical
-pages) and caches only a sliver in SRAM/DRAM. Every host I/O whose
-translation misses the cache costs an extra flash read; evicting a dirty
-cached translation page costs an extra flash write. The overhead factors
-fall straight out of cache hit rates -- and are exactly the
-"performance" footnote 1 says is missing.
+This module models why, with real physics rather than bolted-on
+accounting. :class:`DemandPagedFTL` extends
+:class:`~repro.ftl.ftl.ConventionalFTL` with a
+:class:`~repro.ftl.mapping.TranslationStore`: the authoritative page map
+lives in *translation pages* programmed to flash (each covering
+``page_size / 4`` logical pages), a Global Translation Directory tracks
+where each translation page currently sits, and only a DRAM-budgeted
+Cached Mapping Table is resident. Consequences, all observable in the
+shared flash counters:
 
-:class:`MappingCache` is the accounting layer; it composes with
-:class:`~repro.ftl.ftl.ConventionalFTL` in
-:class:`DemandPagedFTL` rather than modifying it.
+- a host I/O whose translation misses the CMT costs a real flash read;
+- evicting a dirty CMT entry costs a real flash program, into dedicated
+  translation blocks drawn from the same free pool as data blocks;
+- translation blocks fill with stale translation pages and must be
+  garbage collected -- copies and erases that compete with data GC and
+  show up as the third term of the device-WA decomposition
+  (:class:`~repro.metrics.wa.DeviceWriteAmpDecomposition`);
+- data-GC relocations rewrite mapping entries, dirtying the owning
+  translation pages (the write-amplification-of-write-amplification
+  real DFTLs pay);
+- crash recovery must rebuild the GTD from translation pages' OOB
+  metadata before it can trust any mapping state.
+
+With a CMT budget at or above the full map size nothing ever misses or
+evicts, no translation page is ever programmed, and the device is
+physics-identical to a :class:`ConventionalFTL` with the same config --
+the property the parity test suite pins.
+
+:class:`MappingCache` / :class:`MappingCacheStats` remain as the old
+accounting-only model (used by legacy tests and kept one release for
+back-compat); new code should read :attr:`DemandPagedFTL.store`.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+import numpy as np
 
 from repro.flash.geometry import FlashGeometry
-from repro.ftl.ftl import ConventionalFTL, FTLConfig
+from repro.flash.nand import NandArray
+from repro.flash.ops import FlashOp, OpKind
+from repro.flash.timing import TimingModel
+from repro.flash.wear import WearTracker
+from repro.ftl.ftl import CapacityError, ConventionalFTL, FTLConfig
+from repro.ftl.mapping import UNMAPPED, TranslationStore
+from repro.metrics.wa import DeviceWriteAmpDecomposition
+from repro.obs.events import GcEvent, TranslationEvent
+from repro.obs.tracer import Tracer
+
+#: OOB tag for a translation page holding tvpn: ``-(2 + tvpn)``.
+#: Data pages carry their lpn (>= 0); UNMAPPED (-1) marks no record;
+#: everything at or below -2 is a translation page. Recovery decodes
+#: with :func:`tvpn_from_oob`.
+_TRANS_OOB_BASE = -2
+
+
+def oob_tag_for_tvpn(tvpn: int) -> int:
+    return _TRANS_OOB_BASE - tvpn
+
+
+def tvpn_from_oob(tag: int) -> int:
+    return _TRANS_OOB_BASE - tag
 
 
 @dataclass
@@ -36,20 +81,18 @@ class MappingCacheStats:
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 1.0
+        """Hit fraction; 0.0 before any lookup (no traffic means no hits,
+        and callers averaging hit rates must not credit idle caches)."""
+        return self.hits / self.lookups if self.lookups else 0.0
 
 
 class MappingCache:
     """LRU cache of translation pages with dirty-writeback accounting.
 
-    Parameters
-    ----------
-    entries_per_translation_page:
-        Logical pages covered by one cached translation page (a 4 KiB
-        page of 4-byte entries covers 1024).
-    capacity_pages:
-        Translation pages the on-controller memory can hold. The full map
-        of an N-page device needs ``N / entries_per_translation_page``.
+    The legacy accounting-only model: it *counts* the flash ops a DFTL
+    would issue without issuing them. Superseded by
+    :class:`~repro.ftl.mapping.TranslationStore`, which this class
+    mirrors in structure; kept for callers that only need the counts.
     """
 
     def __init__(self, entries_per_translation_page: int = 1024, capacity_pages: int = 8):
@@ -95,55 +138,137 @@ class MappingCache:
         return self.capacity_pages * self.entries_per_page * 4
 
 
-class DemandPagedFTL:
-    """A conventional FTL whose mapping is demand-paged from flash.
+class DemandPagedFTL(ConventionalFTL):
+    """A conventional FTL whose page map is demand-paged from flash.
 
-    Wraps :class:`ConventionalFTL`; data-path behaviour (GC, allocation,
-    WA) is identical. On top, every host op pays the mapping cache's
-    verdict in extra flash operations, tracked in :attr:`cache.stats` and
-    in the convenience overhead properties below.
+    Parameters
+    ----------
+    cmt_bytes:
+        DRAM budget for the Cached Mapping Table. Defaults to 8
+        translation pages' worth (32 KiB on 4 KiB pages), matching the
+        old accounting model's default. A budget covering the full map
+        makes the device physics-identical to :class:`ConventionalFTL`.
+    cache_capacity_pages:
+        Deprecated spelling of the budget in translation pages;
+        converted to ``cmt_bytes = n * page_size`` with a
+        ``DeprecationWarning`` (one release, like ``legacy_spec()``).
+
+    Translation pages are programmed into dedicated *translation
+    blocks* allocated from the shared free pool; their footprint is
+    pre-reserved (``translation_reserve_blocks``) so exported capacity
+    shrinks accordingly -- the same bookkeeping as any metadata the
+    firmware keeps on flash.
     """
+
+    #: Reserve headroom beyond the steady-state translation footprint:
+    #: the open translation block plus GC slack for translation blocks.
+    _TRANS_RESERVE_SLACK = 2
 
     def __init__(
         self,
         geometry: FlashGeometry,
         config: FTLConfig | None = None,
-        cache_capacity_pages: int = 8,
+        cmt_bytes: int | None = None,
+        *,
+        cache_capacity_pages: int | None = None,
+        nand: NandArray | None = None,
+        timing: TimingModel | None = None,
+        wear: WearTracker | None = None,
+        tracer: Tracer | None = None,
+        faults=None,
     ):
-        self.ftl = ConventionalFTL(geometry, config=config)
-        self.cache = MappingCache(
-            entries_per_translation_page=geometry.page_size // 4,
-            capacity_pages=cache_capacity_pages,
+        if cache_capacity_pages is not None:
+            warnings.warn(
+                "cache_capacity_pages is deprecated; pass cmt_bytes="
+                "pages * page_size instead (will be removed next release)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if cmt_bytes is None:
+                cmt_bytes = cache_capacity_pages * geometry.page_size
+        if cmt_bytes is None:
+            cmt_bytes = 8 * geometry.page_size
+        cfg = config or FTLConfig()
+
+        # The translation pages' flash footprint comes out of exported
+        # capacity, but shrinking exported capacity shrinks the map and
+        # with it the footprint -- a (quickly converging) fixed point.
+        epp = geometry.page_size // TranslationStore.BYTES_PER_ENTRY
+        ppb = geometry.pages_per_block
+        base_reserve = (
+            cfg.streams
+            + cfg.gc_streams
+            + self._INTERNAL_RESERVE_SLACK
+            + cfg.reserved_blocks
         )
-        self.extra_flash_reads = 0
-        self.extra_flash_writes = 0
+        extra = 0
+        while True:
+            avail = geometry.total_blocks - base_reserve - extra
+            if avail < 1:
+                raise CapacityError(
+                    "no capacity left after translation-page reserve"
+                )
+            by_op = int(geometry.total_pages / (1.0 + cfg.op_ratio))
+            logical = min(by_op, avail * ppb)
+            tpages = -(-logical // epp)
+            need = -(-tpages // ppb) + self._TRANS_RESERVE_SLACK
+            if need <= extra:
+                break
+            extra = need
+        self.translation_reserve_blocks = extra
+
+        super().__init__(
+            geometry,
+            replace(cfg, reserved_blocks=cfg.reserved_blocks + extra),
+            nand=nand,
+            timing=timing,
+            wear=wear,
+            tracer=tracer,
+            faults=faults,
+        )
+
+        self._trans_active: int | None = None
+        self._trans_sealed: set[int] = set()
+        #: Valid (current per the GTD) translation pages per block.
+        self._trans_valid = np.zeros(geometry.total_blocks, dtype=np.int32)
+        #: tvpns dirtied by GC relocations while uncached; faulted in
+        #: dirty at the next host-op boundary (a real DFTL batches these
+        #: read-modify-writes the same way).
+        self._pending_trans_dirty: set[int] = set()
+        self._recovered_trans_blocks: set[int] = set()
+        self.store = TranslationStore(
+            geometry,
+            self.logical_pages,
+            self.nand,
+            cmt_bytes,
+            self._trans_program_page,
+            tracer=self.tracer,
+        )
+
+    # -- Back-compat / reporting surface -------------------------------------
+
+    @property
+    def ftl(self) -> "DemandPagedFTL":
+        """The old wrapper exposed ``.ftl``; the FTL is no longer wrapped."""
+        return self
+
+    @property
+    def cache(self) -> TranslationStore:
+        """The old wrapper's ``.cache``; now the real translation store."""
+        return self.store
 
     @property
     def full_map_translation_pages(self) -> int:
         """Translation pages a full map of this device needs."""
-        pages = self.ftl.logical_pages
-        per = self.cache.entries_per_page
-        return (pages + per - 1) // per
+        return self.store.translation_pages
 
-    def write(self, lpn: int, stream: int = 0):
-        reads, writes = self.cache.access(lpn, dirty=True)
-        self.extra_flash_reads += reads
-        self.extra_flash_writes += writes
-        return self.ftl.write(lpn, stream=stream)
+    @property
+    def extra_flash_reads(self) -> int:
+        return self.store.stats.miss_reads
 
-    def read(self, lpn: int):
-        reads, writes = self.cache.access(lpn, dirty=False)
-        self.extra_flash_reads += reads
-        self.extra_flash_writes += writes
-        return self.ftl.read(lpn)
-
-    def trim(self, lpn: int) -> None:
-        reads, writes = self.cache.access(lpn, dirty=True)
-        self.extra_flash_reads += reads
-        self.extra_flash_writes += writes
-        self.ftl.trim(lpn)
-
-    # -- Overhead reporting ----------------------------------------------------
+    @property
+    def extra_flash_writes(self) -> int:
+        return self.store.stats.translation_writes
 
     @property
     def read_overhead_factor(self) -> float:
@@ -152,19 +277,361 @@ class DemandPagedFTL:
         Translation fetches triggered by writes/trims also appear in the
         numerator: they are reads the flash must serve either way.
         """
-        host_reads = self.ftl.stats.host_pages_read
+        host_reads = self.stats.host_pages_read
         if host_reads == 0:
             return 1.0
-        return (host_reads + self.extra_flash_reads) / host_reads
+        return (host_reads + self.store.stats.miss_reads) / host_reads
 
     @property
     def write_overhead_factor(self) -> float:
-        """Flash writes per host write added by dirty translation evicts
+        """Flash writes per host write added by translation programs
         (on top of the data path's GC write amplification)."""
-        host_writes = self.ftl.stats.host_pages_written
+        host_writes = self.stats.host_pages_written
         if host_writes == 0:
             return 1.0
-        return (host_writes + self.extra_flash_writes) / host_writes
+        return (host_writes + self.store.stats.translation_writes) / host_writes
+
+    def wa_decomposition(self) -> DeviceWriteAmpDecomposition:
+        """Device WA split into host / data-GC / translation programs."""
+        return DeviceWriteAmpDecomposition(
+            host_pages=self.stats.host_pages_written,
+            data_gc_pages=self.stats.gc_pages_copied,
+            translation_pages=self.store.stats.translation_writes,
+        )
+
+    # -- Host operations ------------------------------------------------------
+
+    def write(self, lpn: int, stream: int = 0, auto_gc: bool = True) -> list[FlashOp]:
+        self.map.check_lpn(lpn)
+        self._flush_pending()
+        self.store.access(lpn, dirty=True)
+        return super().write(lpn, stream=stream, auto_gc=auto_gc)
+
+    def write_pages(
+        self, lpns: np.ndarray, stream: int = 0, auto_gc: bool = True
+    ) -> int:
+        """Batched writes degrade to the scalar path: every page's
+        translation must be consulted, so there is no epoch shortcut."""
+        lpns = np.asarray(lpns, dtype=np.int64)
+        for lpn in lpns.tolist():
+            self.write(int(lpn), stream=stream, auto_gc=auto_gc)
+        return int(lpns.size)
+
+    def read(self, lpn: int) -> FlashOp:
+        self.map.check_lpn(lpn)
+        self._flush_pending()
+        self.store.access(lpn, dirty=False)
+        return super().read(lpn)
+
+    def trim(self, lpn: int) -> None:
+        self.map.check_lpn(lpn)
+        self._flush_pending()
+        self.store.access(lpn, dirty=True)
+        super().trim(lpn)
+
+    # -- Translation-page plumbing --------------------------------------------
+
+    def _flush_pending(self) -> None:
+        """Fault in (dirty) the translation pages GC relocations touched.
+
+        Runs at host-op boundaries, never inside GC: faulting a page in
+        can evict another, whose writeback can trigger GC, whose
+        relocations can dirty further pages -- the loop drains the set
+        in deterministic (ascending tvpn) order until quiescent.
+        """
+        while self._pending_trans_dirty:
+            tvpn = min(self._pending_trans_dirty)
+            self._pending_trans_dirty.discard(tvpn)
+            self.store.access_tvpn(tvpn, dirty=True)
+
+    def _note_relocated(self, lpns: np.ndarray) -> None:
+        """GC moved these lpns: their translation entries changed."""
+        epp = self.store.entries_per_page
+        tvpns = np.unique(np.asarray(lpns, dtype=np.int64) // epp)
+        for tvpn in tvpns.tolist():
+            if not self.store.mark_dirty(tvpn):
+                self._pending_trans_dirty.add(tvpn)
+
+    def _trans_seal(self, block: int) -> None:
+        self._trans_sealed.add(block)
+
+    def _trans_destination(self, allow_gc: bool = False) -> int:
+        """The open translation block, allocating a fresh one as needed.
+
+        ``allow_gc`` lets the host-path writeback replenish the free
+        pool first (mirroring the data path's foreground GC); the
+        GC-internal path must not recurse into collection.
+        """
+        block = self._trans_active
+        while block is None or self.nand.is_block_full(block):
+            if block is not None:
+                self._trans_seal(block)
+                self._trans_active = None
+            if allow_gc and self.gc_needed():
+                allow_gc = False
+                self.collect(self.gc_high_watermark, build_ops=False)
+                block = self._trans_active  # GC may have opened one
+                continue
+            block = self._take_free_block()
+            self._trans_active = block
+        return block
+
+    def _trans_program_page(self, tvpn: int) -> None:
+        """Program one translation page (CMT writeback / flush path)."""
+        block = self._trans_destination(allow_gc=True)
+        page, _ = self.nand.program_next(block)
+        old = int(self.store.gtd[tvpn])
+        if old != UNMAPPED:
+            self._trans_valid[self.geometry.block_of_page(old)] -= 1
+        self.store.gtd[tvpn] = page
+        self._trans_valid[block] += 1
+        self._oob_lpn[page] = oob_tag_for_tvpn(tvpn)
+        self._oob_serial[page] = self._program_serial
+        self._program_serial += 1
+
+    # -- Garbage collection ----------------------------------------------------
+
+    def _select_trans_victim(self) -> int | None:
+        """Sealed translation block with the fewest valid pages, or None.
+
+        Fully-valid blocks reclaim nothing and are skipped; ties break
+        to the lowest block id for determinism.
+        """
+        ppb = self.geometry.pages_per_block
+        best: int | None = None
+        best_valid = 0
+        for block in sorted(self._trans_sealed):
+            valid = int(self._trans_valid[block])
+            if valid >= ppb:
+                continue
+            if best is None or valid < best_valid:
+                best, best_valid = block, valid
+        return best
+
+    def collect_once(self, build_ops: bool = True) -> list[FlashOp]:
+        """Reclaim one block, arbitrating data vs translation victims.
+
+        The translation victim wins only when it is strictly cheaper
+        (fewer valid pages to copy) than the best data candidate, or
+        when no data block is reclaimable; ties go to data, keeping
+        the data path's victim sequence stable.
+        """
+        victim = self._select_trans_victim()
+        if victim is not None:
+            tvalid = int(self._trans_valid[victim])
+            data_best: int | None = None
+            if self._sealed:
+                cand = np.fromiter(
+                    self._sealed, dtype=np.int64, count=len(self._sealed)
+                )
+                data_best = int(self.map.valid_counts[cand].min())
+            if (
+                data_best is None
+                or data_best >= self.geometry.pages_per_block
+                or tvalid < data_best
+            ):
+                return self._collect_translation(victim, build_ops)
+        return super().collect_once(build_ops)
+
+    def _collect_translation(self, victim: int, build_ops: bool = True) -> list[FlashOp]:
+        """Copy a translation block's live pages forward and erase it."""
+        g = self.geometry
+        ppb = g.pages_per_block
+        gtd = self.store.gtd
+        in_victim = (gtd != UNMAPPED) & (gtd // ppb == victim)
+        tvpns = np.flatnonzero(in_victim)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                GcEvent(
+                    "ftl.gc", "victim-selected", victim=victim,
+                    valid_pages=int(tvpns.size), free_blocks=len(self._free),
+                )
+            )
+        ops: list[FlashOp] = []
+        uses_channel = not self.config.copyback
+        for tvpn in tvpns.tolist():
+            src = int(gtd[tvpn])
+            dst_block = self._trans_destination(allow_gc=False)
+            offset = self.nand.write_offset(dst_block)
+            dst = g.first_page_of_block(dst_block) + offset
+            latency = self.nand.copy_page(src, dst)
+            gtd[tvpn] = dst
+            self._trans_valid[victim] -= 1
+            self._trans_valid[dst_block] += 1
+            self._oob_lpn[dst] = oob_tag_for_tvpn(tvpn)
+            self._oob_serial[dst] = self._program_serial
+            self._program_serial += 1
+            self.store.stats.gc_copies += 1
+            if build_ops:
+                ops.append(
+                    FlashOp(OpKind.COPY, dst_block, dst, latency, uses_channel=uses_channel)
+                )
+        erase_latency, survived = self._erase_reclaimed(victim)
+        self._trans_sealed.discard(victim)
+        if survived:
+            self._free.append(victim)
+            self.stats.blocks_erased += 1
+        if build_ops:
+            ops.append(FlashOp(OpKind.ERASE, victim, None, erase_latency))
+        self.store.stats.gc_runs += 1
+        if self.tracer.enabled:
+            self.tracer.publish(
+                TranslationEvent(
+                    "ftl.dftl", "gc", block=victim, pages=int(tvpns.size)
+                )
+            )
+            self.tracer.publish(
+                GcEvent(
+                    "ftl.gc", "collected", victim=victim,
+                    pages_copied=int(tvpns.size), free_blocks=len(self._free),
+                )
+            )
+        return ops
+
+    # -- Power loss and recovery ------------------------------------------------
+
+    def snapshot_mapping(self):
+        """Durable snapshot: flush the CMT, then capture map + GTD.
+
+        The flush makes every cached mapping mutation durable first, so
+        the snapshot's GTD is authoritative and recovery only replays
+        translation programs past the serial horizon.
+        """
+        from repro.ftl.checkpoint import MappingSnapshot
+
+        self._flush_pending()
+        self.store.flush()
+        base = super().snapshot_mapping()
+        return MappingSnapshot(
+            serial=base.serial,
+            clock=base.clock,
+            l2p=base.l2p,
+            gtd=self.store.gtd.copy(),
+        )
+
+    def crash(self) -> None:
+        super().crash()
+        # The CMT and the in-DRAM GTD are volatile; translation pages on
+        # flash (and their OOB tags) survive and seed recovery.
+        self.store.drop_cache()
+        self.store.gtd = np.full(
+            self.store.translation_pages, UNMAPPED, dtype=np.int64
+        )
+        self._trans_active = None
+        self._trans_sealed = set()
+        self._trans_valid = np.zeros(self.geometry.total_blocks, dtype=np.int32)
+        self._pending_trans_dirty = set()
+        self._recovered_trans_blocks = set()
+
+    def _recovery_excluded_blocks(self) -> set[int]:
+        return self._recovered_trans_blocks
+
+    def recover(self, snapshot=None) -> int:
+        """Rebuild GTD + mapping after :meth:`crash`; returns data pages replayed.
+
+        The GTD comes back the same way the data map does: start from
+        the snapshot's GTD (dropping entries the flash disagrees with),
+        then replay translation pages' OOB tags at or past the serial
+        horizon in program order so the newest copy of each translation
+        page wins. Translation blocks are claimed before the base
+        recovery classifies pools, so they never reopen as data blocks.
+        """
+        g = self.geometry
+        ppb = g.pages_per_block
+        offsets = self.nand.write_offsets
+        bad = self.nand.wear.bad_mask
+        page_offsets = np.arange(g.total_pages, dtype=np.int64) % ppb
+        programmed = ~np.repeat(bad, ppb) & (page_offsets < np.repeat(offsets, ppb))
+        trans_pages = programmed & (self._oob_lpn <= _TRANS_OOB_BASE)
+
+        horizon = 0
+        gtd = np.full(self.store.translation_pages, UNMAPPED, dtype=np.int64)
+        if snapshot is not None and getattr(snapshot, "gtd", None) is not None:
+            if len(snapshot.gtd) != self.store.translation_pages:
+                raise ValueError("snapshot GTD does not match this FTL")
+            horizon = snapshot.serial
+            gtd = snapshot.gtd.copy()
+            mapped = np.flatnonzero(gtd != UNMAPPED)
+            if mapped.size:
+                ppns = gtd[mapped]
+                stale = ~trans_pages[ppns] | (
+                    self._oob_lpn[ppns] != _TRANS_OOB_BASE - mapped
+                )
+                gtd[mapped[stale]] = UNMAPPED
+
+        replay = np.flatnonzero(trans_pages & (self._oob_serial >= horizon))
+        if replay.size:
+            order = np.argsort(self._oob_serial[replay], kind="stable")
+            replay_sorted = replay[order]
+            gtd[_TRANS_OOB_BASE - self._oob_lpn[replay_sorted]] = replay_sorted
+
+        # Claim translation blocks before base recovery runs so its pool
+        # classification skips them.
+        trans_blocks = np.unique(np.flatnonzero(trans_pages) // ppb)
+        self._recovered_trans_blocks = set(int(b) for b in trans_blocks)
+
+        replayed = super().recover(snapshot)
+
+        self.store.gtd = gtd
+        self.store.drop_cache()
+        self._pending_trans_dirty = set()
+        live = gtd[gtd != UNMAPPED]
+        self._trans_valid = np.bincount(
+            live // ppb, minlength=g.total_blocks
+        ).astype(np.int32)
+        self._trans_active = None
+        self._trans_sealed = set()
+        for block in self._recovered_trans_blocks:
+            if offsets[block] == ppb:
+                self._trans_seal(block)
+            elif self._trans_active is None:
+                self._trans_active = block
+            else:
+                self._trans_pad_and_seal(block)
+        return replayed
+
+    def _trans_pad_and_seal(self, block: int) -> None:
+        """Pad a partial translation block shut (recovery only)."""
+        free = self.geometry.pages_per_block - self.nand.write_offset(block)
+        saved = self.nand.faults
+        self.nand.faults = None
+        try:
+            first, _ = self.nand.program_run(block, free)
+        finally:
+            self.nand.faults = saved
+        self._oob_lpn[first : first + free] = UNMAPPED
+        self._trans_seal(block)
+
+    # -- Consistency checking ----------------------------------------------------
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        data_active = {b for b in self._active.values() if b is not None}
+        data_active |= {b for b in self._gc_active.values() if b is not None}
+        trans = set(self._trans_sealed)
+        if self._trans_active is not None:
+            trans.add(self._trans_active)
+        assert not (trans & set(self._free)), "translation block in free pool"
+        assert not (trans & self._sealed), "translation block in data sealed pool"
+        assert not (trans & data_active), "translation block also a data active"
+        for block in self._trans_sealed:
+            assert self.nand.is_block_full(block), f"trans sealed {block} not full"
+        gtd = self.store.gtd
+        live = gtd[gtd != UNMAPPED]
+        if live.size:
+            blocks = np.unique(live // self.geometry.pages_per_block)
+            assert set(blocks.tolist()) <= trans, "GTD points outside translation blocks"
+        counted = np.bincount(
+            live // self.geometry.pages_per_block,
+            minlength=self.geometry.total_blocks,
+        ).astype(np.int32)
+        assert np.array_equal(counted, self._trans_valid), "trans valid counts drifted"
 
 
-__all__ = ["DemandPagedFTL", "MappingCache", "MappingCacheStats"]
+__all__ = [
+    "DemandPagedFTL",
+    "MappingCache",
+    "MappingCacheStats",
+    "oob_tag_for_tvpn",
+    "tvpn_from_oob",
+]

@@ -24,7 +24,8 @@ from repro.flash.ops import FlashOp, OpKind
 from repro.flash.timing import TimingModel
 from repro.flash.wear import WearTracker
 from repro.ftl.gc import VictimPolicy, make_policy
-from repro.ftl.mapping import UNMAPPED, PageMap
+from repro.ftl.mapping import UNMAPPED, FullPageMap
+from repro.ftl.wearlevel import make_wearlevel
 from repro.obs.events import GcEvent, RecoveryEvent
 from repro.obs.tracer import Tracer
 
@@ -66,6 +67,15 @@ class FTLConfig:
     copyback:
         If True, GC copies stay on-die (no channel occupancy in timed
         runs); if False every copy crosses the channel.
+    reserved_blocks:
+        Extra blocks withheld from exported capacity on top of the
+        internal reserve. Subsystems that store their own metadata on
+        flash (the demand-paged FTL's translation pages) reserve their
+        footprint here so the logical space shrinks accordingly.
+    wl_policy:
+        Wear-leveling policy: 'none', 'dynamic' (default), or 'static'
+        (see :mod:`repro.ftl.wearlevel`). ``None`` means 'dynamic', the
+        allocation math the FTL has always used.
     """
 
     op_ratio: float = 0.07
@@ -75,6 +85,8 @@ class FTLConfig:
     gc_high_watermark: int | None = None
     copyback: bool = True
     gc_streams: int = 1
+    reserved_blocks: int = 0
+    wl_policy: str | None = None
 
     def __post_init__(self) -> None:
         if self.op_ratio < 0:
@@ -83,6 +95,10 @@ class FTLConfig:
             raise ValueError("streams must be >= 1")
         if self.gc_streams < 1:
             raise ValueError("gc_streams must be >= 1")
+        if self.reserved_blocks < 0:
+            raise ValueError("reserved_blocks must be >= 0")
+        # Fail at config time, not first allocation.
+        make_wearlevel(self.wl_policy)
 
 
 @dataclass
@@ -149,10 +165,14 @@ class ConventionalFTL:
         # ops they cause, so a single sink sees cause and effect.
         self.tracer = tracer if tracer is not None else self.nand.tracer
         self.policy: VictimPolicy = make_policy(self.config.gc_policy)
+        self.wearlevel = make_wearlevel(self.config.wl_policy)
         self.stats = FTLStats()
 
         reserve_blocks = (
-            self.config.streams + self.config.gc_streams + self._INTERNAL_RESERVE_SLACK
+            self.config.streams
+            + self.config.gc_streams
+            + self._INTERNAL_RESERVE_SLACK
+            + self.config.reserved_blocks
         )
         if reserve_blocks >= geometry.total_blocks:
             raise CapacityError(
@@ -164,7 +184,7 @@ class ConventionalFTL:
         self.logical_pages = min(by_op, max_exported)
         if self.logical_pages < 1:
             raise CapacityError("configuration exports zero logical pages")
-        self.map = PageMap(geometry, self.logical_pages)
+        self.map = FullPageMap(geometry, self.logical_pages)
 
         self._free: list[int] = list(range(geometry.total_blocks))
         self._sealed: set[int] = set()
@@ -233,11 +253,12 @@ class ConventionalFTL:
     # -- Block allocation -----------------------------------------------------
 
     def _take_free_block(self) -> int:
-        """Least-worn free block, tie-broken by rotating plane preference.
+        """Allocate the next free block per the wear-level policy.
 
-        Choosing the least-worn block is dynamic wear leveling; rotating
-        the preferred plane spreads consecutive allocations across planes
-        so sequential fills exploit parallelism.
+        The default 'dynamic' policy picks the least-worn free block,
+        tie-broken by rotating plane preference, so consecutive
+        allocations spread across planes and sequential fills exploit
+        parallelism.
         """
         if not self._free:
             raise GCStuckError("free block pool is empty")
@@ -246,11 +267,7 @@ class ConventionalFTL:
         preferred = self._plane_cursor % planes
         self._plane_cursor += 1
         free = np.fromiter(self._free, dtype=np.int64, count=len(self._free))
-        # Lexicographic (wear, plane_distance) collapses to a single integer
-        # key because plane_distance < planes; argmin's first-occurrence
-        # tie-break matches min() over the list.
-        key = wear[free] * planes + (free - preferred) % planes
-        idx = int(np.argmin(key))
+        idx = self.wearlevel.select(free, wear, planes, preferred)
         best = int(free[idx])
         del self._free[idx]
         return best
@@ -296,6 +313,7 @@ class ConventionalFTL:
                             free_blocks=len(self._free),
                         )
                     )
+            ops.extend(self._maybe_wear_level())
             self._active[stream] = self._take_free_block()
             active = self._active[stream]
 
@@ -361,6 +379,7 @@ class ConventionalFTL:
                                 free_blocks=len(self._free),
                             )
                         )
+                self._maybe_wear_level()
                 active = self._take_free_block()
                 self._active[stream] = active
             else:
@@ -408,6 +427,15 @@ class ConventionalFTL:
         self._oob_lpn[page] = lpn
         self._oob_serial[page] = self._program_serial
         self._program_serial += 1
+
+    def _note_relocated(self, lpns: np.ndarray) -> None:
+        """Hook: these logical pages just moved (GC/WL/scrub/retire).
+
+        No-op here -- the full page map is volatile DRAM, so relocation
+        is free. The demand-paged subclass overrides this to mark the
+        owning translation pages dirty so the moves eventually reach
+        flash.
+        """
 
     def _program_host_page(self, stream: int) -> tuple[int, float]:
         """Program the next page of ``stream``'s active block, absorbing faults.
@@ -471,6 +499,7 @@ class ConventionalFTL:
         circulation -- it was active, so it sits in no other pool.
         """
         moved = 0
+        moved_lpns: list[int] = []
         for src in self.map.valid_pages_in_block(block):
             dst_block = self._gc_destination()
             offset = self.nand.write_offset(dst_block)
@@ -478,8 +507,11 @@ class ConventionalFTL:
             self.nand.copy_page(src, dst_page)
             lpn = self.map.relocate(src, dst_page)
             self._oob_note(dst_page, lpn)
+            moved_lpns.append(lpn)
             self.stats.gc_pages_copied += 1
             moved += 1
+        if moved_lpns:
+            self._note_relocated(np.asarray(moved_lpns, dtype=np.int64))
         self.nand.wear.mark_bad(block)
         self._active[stream] = None
         self._fault_counts.pop(block, None)
@@ -597,6 +629,7 @@ class ConventionalFTL:
                     self._program_serial, self._program_serial + take, dtype=np.int64
                 )
                 self._program_serial += take
+                self._note_relocated(self._oob_lpn[first : first + take])
                 if build_ops:
                     ops.extend(
                         FlashOp(
@@ -609,6 +642,7 @@ class ConventionalFTL:
             self._gc_cursor += nvalid
             self.stats.gc_pages_copied += nvalid
         else:
+            moved_lpns: list[int] = []
             for src in valid.tolist():
                 dst_block = self._gc_destination()
                 offset = self.nand.write_offset(dst_block)
@@ -616,6 +650,7 @@ class ConventionalFTL:
                 latency = self.nand.copy_page(src, dst_page)
                 lpn = self.map.relocate(src, dst_page)
                 self._oob_note(dst_page, lpn)
+                moved_lpns.append(lpn)
                 self.stats.gc_pages_copied += 1
                 if build_ops:
                     ops.append(
@@ -627,6 +662,8 @@ class ConventionalFTL:
                             uses_channel=not self.config.copyback,
                         )
                     )
+            if moved_lpns:
+                self._note_relocated(np.asarray(moved_lpns, dtype=np.int64))
         erase_latency, survived = self._erase_reclaimed(victim)
         self._sealed.discard(victim)
         self._seal_times.pop(victim, None)
@@ -676,6 +713,20 @@ class ConventionalFTL:
 
     # -- Wear leveling -----------------------------------------------------------
 
+    def _maybe_wear_level(self) -> list[FlashOp]:
+        """Static-policy migration check at block-allocation boundaries.
+
+        Policies with ``migrates=False`` (the default) never pay more
+        than the flag check, so the hot paths stay byte-identical.
+        """
+        if (
+            self.wearlevel.migrates
+            and self._sealed
+            and self.wearlevel.wants_migration(self.wear_spread())
+        ):
+            return self.wear_level_once()
+        return []
+
     def wear_spread(self) -> int:
         """Max minus min erase count across live blocks."""
         stats = self.nand.wear.stats()
@@ -700,6 +751,7 @@ class ConventionalFTL:
                 )
             )
         ops: list[FlashOp] = []
+        moved_lpns: list[int] = []
         for src in self.map.valid_pages_in_block(coldest):
             dst_block = self._gc_destination()
             offset = self.nand.write_offset(dst_block)
@@ -707,8 +759,11 @@ class ConventionalFTL:
             latency = self.nand.copy_page(src, dst_page)
             lpn = self.map.relocate(src, dst_page)
             self._oob_note(dst_page, lpn)
+            moved_lpns.append(lpn)
             self.stats.gc_pages_copied += 1
             ops.append(FlashOp(OpKind.COPY, dst_block, dst_page, latency, uses_channel=False))
+        if moved_lpns:
+            self._note_relocated(np.asarray(moved_lpns, dtype=np.int64))
         erase_latency, survived = self._erase_reclaimed(coldest)
         self._sealed.discard(coldest)
         self._seal_times.pop(coldest, None)
@@ -742,6 +797,7 @@ class ConventionalFTL:
                         free_blocks=len(self._free),
                     )
                 )
+            moved_lpns: list[int] = []
             for src in self.map.valid_pages_in_block(block):
                 dst_block = self._gc_destination()
                 offset = self.nand.write_offset(dst_block)
@@ -749,10 +805,13 @@ class ConventionalFTL:
                 latency = self.nand.copy_page(src, dst_page)
                 lpn = self.map.relocate(src, dst_page)
                 self._oob_note(dst_page, lpn)
+                moved_lpns.append(lpn)
                 self.stats.gc_pages_copied += 1
                 ops.append(
                     FlashOp(OpKind.COPY, dst_block, dst_page, latency, uses_channel=False)
                 )
+            if moved_lpns:
+                self._note_relocated(np.asarray(moved_lpns, dtype=np.int64))
             erase_latency, survived = self._erase_reclaimed(block)
             self._sealed.discard(block)
             self._seal_times.pop(block, None)
@@ -782,6 +841,15 @@ class ConventionalFTL:
             l2p=self.map.l2p.copy(),
         )
 
+    def _recovery_excluded_blocks(self) -> set[int]:
+        """Blocks :meth:`recover` must keep out of the data pools.
+
+        Empty here; the demand-paged subclass claims its translation
+        blocks first and returns them so the base classification never
+        frees, seals, or reopens them as data blocks.
+        """
+        return set()
+
     def crash(self) -> None:
         """Power loss: drop every volatile structure.
 
@@ -793,7 +861,7 @@ class ConventionalFTL:
         host-side observability and are kept for experiment continuity.
         """
         g = self.geometry
-        self.map = PageMap(g, self.logical_pages)
+        self.map = FullPageMap(g, self.logical_pages)
         self.policy = make_policy(self.config.gc_policy)
         self._free = []
         self._sealed = set()
@@ -840,7 +908,13 @@ class ConventionalFTL:
         page_offsets = np.arange(g.total_pages, dtype=np.int64) % ppb
         live_pages = ~np.repeat(bad, ppb)
         programmed = live_pages & (page_offsets < np.repeat(offsets, ppb))
-        usable = programmed & (self._oob_lpn != UNMAPPED)
+        # Data pages carry their lpn (>= 0) in OOB; translation pages are
+        # tagged with negative sentinels below UNMAPPED and are replayed
+        # by the demand-paged subclass, not here. ``tagged`` is every page
+        # with *any* OOB record -- the program-serial horizon must cover
+        # translation programs too or recovery would reissue serials.
+        usable = programmed & (self._oob_lpn >= 0)
+        tagged = programmed & (self._oob_lpn != UNMAPPED)
 
         horizon = 0
         l2p = np.full(self.logical_pages, UNMAPPED, dtype=np.int64)
@@ -861,7 +935,7 @@ class ConventionalFTL:
             replay_sorted = replay[order]
             l2p[self._oob_lpn[replay_sorted]] = replay_sorted
 
-        self.map = PageMap(g, self.logical_pages)
+        self.map = FullPageMap(g, self.logical_pages)
         self.map.l2p = l2p
         mapped = np.flatnonzero(l2p != UNMAPPED)
         if mapped.size:
@@ -876,7 +950,7 @@ class ConventionalFTL:
         # the host writes whose ticks were lost (an upper bound -- GC
         # copies replay too -- which only ages cost-benefit decisions).
         self._clock = (snapshot.clock if snapshot is not None else 0) + int(replay.size)
-        max_serial = int(self._oob_serial[usable].max()) + 1 if usable.any() else 0
+        max_serial = int(self._oob_serial[tagged].max()) + 1 if tagged.any() else 0
         self._program_serial = max(horizon, max_serial)
         self._fault_counts = {}
 
@@ -885,6 +959,9 @@ class ConventionalFTL:
         self._seal_time_arr = np.zeros(g.total_blocks, dtype=np.int64)
         self._sealed = set()
         live = ~bad
+        excluded = self._recovery_excluded_blocks()
+        if excluded:
+            live[np.fromiter(excluded, dtype=np.int64, count=len(excluded))] = False
         self._free = np.flatnonzero(live & (offsets == 0)).tolist()
         for block in np.flatnonzero(live & (offsets == ppb)).tolist():
             self._seal(block)

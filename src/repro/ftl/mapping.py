@@ -2,22 +2,38 @@
 
 The mapping table is the conventional FTL's largest DRAM consumer: one
 entry per logical page (~4 bytes in optimized implementations, paper
-§2.2). :class:`PageMap` maintains the forward map, the reverse map needed
-by garbage collection (to find which logical page a physical page holds),
-and per-block valid-page counts that victim-selection policies consume.
+§2.2). Two residency models live here:
+
+- :class:`FullPageMap` keeps the whole forward map in DRAM -- the
+  mapping the paper's §2.2 DRAM-cost argument is about, and what
+  :class:`~repro.ftl.ftl.ConventionalFTL` uses.
+- :class:`TranslationStore` is the DFTL alternative (footnote 1): the
+  authoritative map lives in *translation pages on flash*, a Global
+  Translation Directory (GTD) tracks where each translation page
+  currently sits, and a small DRAM-budgeted Cached Mapping Table (CMT)
+  holds the hot translation pages. Misses cost real flash reads; dirty
+  evictions cost real flash programs.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.flash.geometry import FlashGeometry
 from repro.sim import compiled
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.flash.nand import NandArray
+    from repro.obs.tracer import Tracer
+
 UNMAPPED = -1
 
 
-class PageMap:
+class FullPageMap:
     """Forward (L2P) and reverse (P2L) page maps with validity tracking.
 
     Invariants (checked by the test suite, relied on by GC):
@@ -204,4 +220,195 @@ class PageMap:
         return self.logical_pages * bytes_per_entry
 
 
-__all__ = ["PageMap", "UNMAPPED"]
+#: Back-compat alias: the class was named ``PageMap`` before the
+#: demand-paged model split mapping into full-map and translation-store
+#: residency. Existing imports keep working.
+PageMap = FullPageMap
+
+
+@dataclass
+class TranslationStats:
+    """CMT/GTD accounting; DFTL's extra flash traffic derives from these."""
+
+    lookups: int = 0
+    hits: int = 0
+    #: CMT misses served by reading a materialized translation page.
+    miss_reads: int = 0
+    #: CMT misses for translation pages never yet written to flash --
+    #: no read needed, the cached copy starts empty.
+    compulsory_misses: int = 0
+    #: Translation-page programs forced by evicting a dirty CMT entry
+    #: (or by an explicit flush).
+    dirty_evict_writes: int = 0
+    #: Translation pages copied forward by translation-block GC.
+    gc_copies: int = 0
+    gc_runs: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """CMT hit fraction; 0.0 before any lookup (no traffic, no hits)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    @property
+    def translation_reads(self) -> int:
+        return self.miss_reads
+
+    @property
+    def translation_writes(self) -> int:
+        return self.dirty_evict_writes + self.gc_copies
+
+
+class TranslationStore:
+    """DFTL's on-flash mapping: GTD + DRAM-budgeted LRU CMT.
+
+    The logical space is carved into *translation virtual pages* (tvpns)
+    of ``entries_per_page`` consecutive lpn->ppn entries (4 bytes each,
+    so one flash page holds ``page_size / 4`` entries). The GTD maps
+    each tvpn to the flash page holding its current on-flash copy
+    (:data:`UNMAPPED` until first writeback). The CMT caches up to
+    ``capacity_pages`` translation pages; a miss on a materialized tvpn
+    costs one flash read, and evicting a dirty entry costs one flash
+    program, issued through the ``program_page`` callable the owning FTL
+    injects (the FTL owns translation-block allocation, OOB tagging, and
+    GTD updates so translation programs obey the same physics as data).
+    """
+
+    BYTES_PER_ENTRY = 4
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        logical_pages: int,
+        nand: "NandArray",
+        cmt_bytes: int,
+        program_page: Callable[[int], None],
+        tracer: "Tracer | None" = None,
+    ):
+        if cmt_bytes < 1:
+            raise ValueError("cmt_bytes must be >= 1")
+        self.geometry = geometry
+        self.logical_pages = logical_pages
+        self.nand = nand
+        self.cmt_bytes = cmt_bytes
+        self._program_page = program_page
+        self.tracer = tracer
+        self.entries_per_page = geometry.page_size // self.BYTES_PER_ENTRY
+        if self.entries_per_page < 1:
+            raise ValueError("page_size too small to hold a translation entry")
+        self.translation_pages = -(-logical_pages // self.entries_per_page)
+        #: CMT budget in cached translation pages; a budget below one
+        #: page still caches one (the working set of the current access).
+        self.capacity_pages = max(1, cmt_bytes // geometry.page_size)
+        #: GTD: tvpn -> flash ppn of the authoritative translation page.
+        self.gtd = np.full(self.translation_pages, UNMAPPED, dtype=np.int64)
+        #: CMT: tvpn -> dirty flag, LRU order (oldest first).
+        self._cached: OrderedDict[int, bool] = OrderedDict()
+        self.stats = TranslationStats()
+
+    # -- Introspection ------------------------------------------------------
+
+    def tvpn_of(self, lpn: int) -> int:
+        return lpn // self.entries_per_page
+
+    @property
+    def cached_pages(self) -> int:
+        return len(self._cached)
+
+    def is_cached(self, tvpn: int) -> bool:
+        return tvpn in self._cached
+
+    def dram_bytes(self) -> int:
+        """DRAM the CMT budget occupies (the GTD rides along, tiny)."""
+        return self.capacity_pages * self.geometry.page_size
+
+    # -- The access path ----------------------------------------------------
+
+    def access(self, lpn: int, dirty: bool) -> None:
+        """Touch the translation entry for ``lpn`` (read: clean, write: dirty).
+
+        Hit: LRU bump. Miss: evict the LRU entry if the CMT is full
+        (writing it back first when dirty), then fault the translation
+        page in -- one flash read if it has ever been written back,
+        free if it is compulsory (never materialized).
+        """
+        self.access_tvpn(self.tvpn_of(lpn), dirty)
+
+    def access_tvpn(self, tvpn: int, dirty: bool) -> None:
+        self.stats.lookups += 1
+        cached = self._cached
+        if tvpn in cached:
+            self.stats.hits += 1
+            cached[tvpn] = cached[tvpn] or dirty
+            cached.move_to_end(tvpn)
+            return
+        if len(cached) >= self.capacity_pages:
+            victim, victim_dirty = cached.popitem(last=False)
+            if victim_dirty:
+                self._writeback(victim)
+        ppn = int(self.gtd[tvpn])
+        if ppn != UNMAPPED:
+            self.nand.read(ppn)
+            self.stats.miss_reads += 1
+            if self.tracer is not None and self.tracer.enabled:
+                from repro.obs.events import TranslationEvent
+
+                self.tracer.publish(
+                    TranslationEvent("ftl.dftl", "miss-fetch", tvpn=tvpn)
+                )
+        else:
+            self.stats.compulsory_misses += 1
+        cached[tvpn] = dirty
+
+    def mark_dirty(self, tvpn: int) -> bool:
+        """Dirty ``tvpn`` if cached (no LRU bump); True when it was cached.
+
+        GC relocations use this: moving a data page rewrites its mapping
+        entry, but the relocation is device-internal and must not perturb
+        the host-driven LRU order.
+        """
+        if tvpn in self._cached:
+            self._cached[tvpn] = True
+            return True
+        return False
+
+    def _writeback(self, tvpn: int) -> None:
+        self.stats.dirty_evict_writes += 1
+        self._program_page(tvpn)
+        if self.tracer is not None and self.tracer.enabled:
+            from repro.obs.events import TranslationEvent
+
+            self.tracer.publish(TranslationEvent("ftl.dftl", "writeback", tvpn=tvpn))
+
+    def flush(self) -> int:
+        """Write back every dirty CMT entry (checkpoint); returns the count.
+
+        Entries stay cached but clean, in unchanged LRU order, so a
+        flush is observable only through the flash programs it issues.
+        """
+        dirty = [tvpn for tvpn, d in self._cached.items() if d]
+        for tvpn in dirty:
+            self.stats.dirty_evict_writes += 1
+            self._program_page(tvpn)
+            self._cached[tvpn] = False
+        if dirty and self.tracer is not None and self.tracer.enabled:
+            from repro.obs.events import TranslationEvent
+
+            self.tracer.publish(
+                TranslationEvent("ftl.dftl", "flush", pages=len(dirty))
+            )
+        return len(dirty)
+
+    def drop_cache(self) -> None:
+        """Forget the CMT (power loss); the GTD survives via recovery."""
+        self._cached.clear()
+
+
+__all__ = [
+    "FullPageMap",
+    "PageMap",
+    "TranslationStats",
+    "TranslationStore",
+    "UNMAPPED",
+]

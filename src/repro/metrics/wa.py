@@ -104,4 +104,65 @@ class WriteAmpAccounting:
         return self.breakdown().total
 
 
-__all__ = ["WriteAmpAccounting", "WriteAmpBreakdown"]
+@dataclass(frozen=True)
+class DeviceWriteAmpDecomposition:
+    """Device-internal WA split by *why* each flash program happened.
+
+    On a demand-paged FTL the device factor has three sources: the host
+    programs themselves, data-GC copy-forwards, and translation traffic
+    (dirty CMT writebacks plus translation-block GC copies). On a
+    full-map FTL ``translation_pages`` is zero and this degenerates to
+    the classic host + GC accounting.
+    """
+
+    host_pages: int
+    data_gc_pages: int
+    translation_pages: int
+
+    @property
+    def total_pages(self) -> int:
+        return self.host_pages + self.data_gc_pages + self.translation_pages
+
+    @property
+    def device_wa(self) -> float:
+        """Programs per host program; 1.0 when nothing was written."""
+        if self.host_pages == 0:
+            return 1.0
+        return self.total_pages / self.host_pages
+
+    @property
+    def data_gc_factor(self) -> float:
+        if self.host_pages == 0:
+            return 0.0
+        return self.data_gc_pages / self.host_pages
+
+    @property
+    def translation_factor(self) -> float:
+        """Translation programs per host program (miss amplification's write half)."""
+        if self.host_pages == 0:
+            return 0.0
+        return self.translation_pages / self.host_pages
+
+    def to_dict(self) -> dict:
+        return {
+            "host_pages": self.host_pages,
+            "data_gc_pages": self.data_gc_pages,
+            "translation_pages": self.translation_pages,
+            "device_wa": round(self.device_wa, 6),
+            "data_gc_factor": round(self.data_gc_factor, 6),
+            "translation_factor": round(self.translation_factor, 6),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"device WA={self.device_wa:.3f} "
+            f"(host={self.host_pages} + data-gc={self.data_gc_pages} "
+            f"+ translation={self.translation_pages} pages)"
+        )
+
+
+__all__ = [
+    "DeviceWriteAmpDecomposition",
+    "WriteAmpAccounting",
+    "WriteAmpBreakdown",
+]

@@ -188,6 +188,27 @@ class RecoveryEvent:
     t: float | None = None
 
 
+@dataclass(slots=True)
+class TranslationEvent:
+    """DFTL translation-page traffic (layer ``ftl.dftl``).
+
+    The demand-paged FTL's mapping lives on flash, so mapping activity
+    costs real ops: ``miss-fetch`` (CMT miss read a translation page),
+    ``writeback`` (dirty CMT eviction programmed one), ``gc``
+    (translation-block GC copied ``pages`` forward), ``flush``
+    (checkpoint wrote back ``pages`` dirty entries).
+    """
+
+    kind: ClassVar[str] = "translation"
+
+    layer: str
+    action: str  # "miss-fetch" | "writeback" | "gc" | "flush"
+    tvpn: int | None = None
+    block: int | None = None
+    pages: int = 1
+    t: float | None = None
+
+
 #: Every concrete event type, for (de)serialization and docs.
 EVENT_TYPES: tuple[type, ...] = (
     FlashOpEvent,
@@ -198,6 +219,7 @@ EVENT_TYPES: tuple[type, ...] = (
     HostRequestEvent,
     FaultEvent,
     RecoveryEvent,
+    TranslationEvent,
 )
 
 _KIND_TO_TYPE: dict[str, type] = {cls.kind: cls for cls in EVENT_TYPES}
@@ -229,6 +251,7 @@ __all__ = [
     "HostRequestEvent",
     "ReclaimEvent",
     "RecoveryEvent",
+    "TranslationEvent",
     "ZoneAppendEvent",
     "ZoneTransitionEvent",
     "event_from_dict",

@@ -240,6 +240,8 @@ class FrameSink:
             self.frame.add(f"faults.{event.fault}")
         elif kind == "recovery":
             self.frame.add(f"recovery.{event.layer}.{event.action}")
+        elif kind == "translation":
+            self.frame.add(f"translation.{event.action}", event.pages)
 
     def reset(self) -> None:
         self.frame = MetricsFrame()

@@ -227,3 +227,55 @@ class TestSpecHash:
         import repro.block.factory as factory
 
         assert not hasattr(factory, "legacy_spec")
+
+
+class TestMappingAndWearLevelFields:
+    def test_cmt_bytes_reaches_the_stack(self):
+        spec = DeviceSpec(
+            kind="dftl", geometry="small", ftl={"op_ratio": 0.11},
+            cmt_bytes=2 * 4096,
+        )
+        device = build_stack(spec)
+        assert device.store.capacity_pages == 2
+
+    def test_wl_policy_reaches_the_stack(self):
+        for kind in ("conventional-ftl", "dftl"):
+            spec = DeviceSpec(
+                kind=kind, geometry="small", ftl={"op_ratio": 0.11},
+                wl_policy="static",
+            )
+            device = build_stack(spec)
+            ftl = device if isinstance(device, ConventionalFTL) else device.ftl
+            assert ftl.wearlevel.name == "static"
+
+    def test_cmt_bytes_rejected_off_dftl(self):
+        with pytest.raises(ValueError, match="cmt_bytes"):
+            DeviceSpec(kind="conventional-ftl", cmt_bytes=4096)
+        with pytest.raises(ValueError, match="cmt_bytes"):
+            DeviceSpec(kind="dftl", cmt_bytes=0)
+
+    def test_wl_policy_validated(self):
+        with pytest.raises(ValueError, match="wl_policy"):
+            DeviceSpec(kind="zns", blocks_per_zone=2, wl_policy="dynamic")
+        with pytest.raises(ValueError, match="wl_policy"):
+            DeviceSpec(kind="conventional-ftl", wl_policy="bogus")
+
+    def test_round_trip_with_new_fields(self):
+        spec = DeviceSpec(
+            kind="dftl", geometry="small", ftl={"op_ratio": 0.11},
+            cmt_bytes=8192, wl_policy="none",
+        )
+        back = DeviceSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back == spec
+        assert back.spec_hash() == spec.spec_hash()
+
+    def test_none_defaults_leave_wire_format_and_hash_unchanged(self):
+        # Spec-hash stability: specs that don't opt in must serialize
+        # exactly as before these fields existed, so cached results and
+        # the pinned release hashes stay valid.
+        spec = _spec_for("dftl")
+        payload = spec.to_dict()
+        assert "cmt_bytes" not in payload
+        assert "wl_policy" not in payload
+        assert spec.spec_hash() != spec.derived(cmt_bytes=4096).spec_hash()
+        assert spec.spec_hash() != spec.derived(wl_policy="none").spec_hash()

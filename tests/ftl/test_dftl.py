@@ -1,14 +1,45 @@
-"""Tests for the demand-paged FTL mapping model."""
+"""Tests for the demand-paged FTL: real translation pages on flash."""
 
+import numpy as np
 import pytest
 
 from repro.flash.geometry import FlashGeometry
-from repro.ftl.dftl import DemandPagedFTL, MappingCache
+from repro.ftl.dftl import (
+    DemandPagedFTL,
+    MappingCache,
+    oob_tag_for_tvpn,
+    tvpn_from_oob,
+)
 from repro.ftl.ftl import FTLConfig
 from repro.sim.rng import make_rng
 
 
+def small_dftl(cmt_pages=8, op_ratio=0.11, **kwargs):
+    geometry = FlashGeometry.small()
+    return DemandPagedFTL(
+        geometry,
+        FTLConfig(op_ratio=op_ratio),
+        cmt_bytes=cmt_pages * geometry.page_size,
+        **kwargs,
+    )
+
+
+def drive(device, ops=4000, seed=0):
+    n = device.logical_pages
+    for lpn in range(n):
+        device.write(lpn)
+    rng = make_rng(seed)
+    for _ in range(ops):
+        lpn = int(rng.integers(0, n))
+        if rng.random() < 0.5:
+            device.read(lpn)
+        else:
+            device.write(lpn)
+
+
 class TestMappingCache:
+    """The legacy accounting model is still exported (and still correct)."""
+
     def test_first_access_misses(self):
         cache = MappingCache(entries_per_translation_page=4, capacity_pages=2)
         reads, writes = cache.access(0, dirty=False)
@@ -56,6 +87,11 @@ class TestMappingCache:
         cache = MappingCache(entries_per_translation_page=1024, capacity_pages=8)
         assert cache.dram_bytes == 8 * 1024 * 4
 
+    def test_hit_rate_zero_before_any_lookup(self):
+        # The edge fix: no lookups is "no hits", not a vacuous 1.0.
+        cache = MappingCache(entries_per_translation_page=4, capacity_pages=2)
+        assert cache.stats.hit_rate == 0.0
+
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):
             MappingCache(entries_per_translation_page=0)
@@ -63,60 +99,129 @@ class TestMappingCache:
             MappingCache(capacity_pages=0)
 
 
-class TestDemandPagedFTL:
-    def _drive(self, device, ops=4000, seed=0):
-        n = device.ftl.logical_pages
-        for lpn in range(n):
-            device.write(lpn)
-        rng = make_rng(seed)
-        for _ in range(ops):
-            lpn = int(rng.integers(0, n))
-            if rng.random() < 0.5:
-                device.read(lpn)
-            else:
-                device.write(lpn)
+class TestOobTags:
+    def test_round_trip(self):
+        for tvpn in (0, 1, 7, 1023):
+            tag = oob_tag_for_tvpn(tvpn)
+            assert tag <= -2
+            assert tvpn_from_oob(tag) == tvpn
 
-    def test_full_cache_has_no_overhead(self):
-        device = DemandPagedFTL(FlashGeometry.small(), FTLConfig(op_ratio=0.11),
-                                cache_capacity_pages=64)
-        self._drive(device)
-        # Only compulsory misses (first touch of each translation page).
-        assert device.read_overhead_factor < 1.05
+    def test_disjoint_from_data_lpns_and_unmapped(self):
+        tags = {oob_tag_for_tvpn(t) for t in range(64)}
+        assert all(tag < -1 for tag in tags)  # -1 is UNMAPPED, >=0 is data
+
+
+class TestDeprecatedCtor:
+    def test_cache_capacity_pages_warns_and_maps(self):
+        geometry = FlashGeometry.small()
+        with pytest.warns(DeprecationWarning, match="cache_capacity_pages"):
+            device = DemandPagedFTL(
+                geometry, FTLConfig(op_ratio=0.11), cache_capacity_pages=2
+            )
+        assert device.store.capacity_pages == 2
+        assert device.store.dram_bytes() == 2 * geometry.page_size
+
+
+class TestDemandPagedFTL:
+    def test_full_cache_has_no_flash_overhead(self):
+        device = small_dftl(cmt_pages=64)
+        drive(device)
+        # Misses are compulsory only, and a never-written translation
+        # page has nothing to fetch from flash: zero translation I/O.
+        assert device.store.stats.miss_reads == 0
+        assert device.read_overhead_factor == pytest.approx(1.0)
         assert device.write_overhead_factor == pytest.approx(1.0)
 
     def test_starved_cache_pays_flash_reads(self):
-        device = DemandPagedFTL(FlashGeometry.small(), FTLConfig(op_ratio=0.11),
-                                cache_capacity_pages=1)
-        self._drive(device)
+        device = small_dftl(cmt_pages=1)
+        drive(device)
+        assert device.store.stats.miss_reads > 0
         assert device.read_overhead_factor > 1.5
-        assert device.cache.stats.hit_rate < 0.8
+        assert device.store.stats.hit_rate < 0.8
 
     def test_overhead_monotone_in_cache_size(self):
         overheads = []
         for pages in (1, 2, 4):
-            device = DemandPagedFTL(FlashGeometry.small(), FTLConfig(op_ratio=0.11),
-                                    cache_capacity_pages=pages)
-            self._drive(device, seed=1)
+            device = small_dftl(cmt_pages=pages)
+            drive(device, seed=1)
             overheads.append(device.read_overhead_factor)
         assert overheads == sorted(overheads, reverse=True)
 
+    def test_translation_pages_live_on_flash(self):
+        device = small_dftl(cmt_pages=1)
+        drive(device, ops=2000)
+        gtd = device.store.gtd
+        materialized = gtd[gtd >= 0]
+        assert materialized.size > 0
+        for ppn in materialized.tolist():
+            assert device._oob_lpn[ppn] <= -2  # OOB-tagged as translation
+
+    def test_wa_decomposition_separates_translation_traffic(self):
+        device = small_dftl(cmt_pages=1)
+        drive(device, ops=4000)
+        decomp = device.wa_decomposition()
+        assert decomp.host_pages == device.stats.host_pages_written
+        assert decomp.data_gc_pages == device.stats.gc_pages_copied
+        assert decomp.translation_pages == device.store.stats.translation_writes
+        assert decomp.translation_pages > 0
+        assert decomp.device_wa > 1.0
+        assert decomp.translation_factor > 0.0
+
     def test_data_path_unaffected(self):
         """The data path (mapping correctness, GC) is the plain FTL's."""
-        device = DemandPagedFTL(FlashGeometry.small(), FTLConfig(op_ratio=0.25),
-                                cache_capacity_pages=1)
-        self._drive(device, ops=2000)
-        device.ftl.check_invariants()
-        for lpn in range(0, device.ftl.logical_pages, 97):
+        device = small_dftl(cmt_pages=1, op_ratio=0.25)
+        drive(device, ops=2000)
+        device.check_invariants()
+        for lpn in range(0, device.logical_pages, 97):
             device.read(lpn)
 
     def test_trim_counts_as_dirty_access(self):
-        device = DemandPagedFTL(FlashGeometry.small(), cache_capacity_pages=1)
+        device = small_dftl(cmt_pages=1)
         device.write(0)
         device.trim(0)
-        assert device.cache.stats.lookups == 2
+        assert device.store.stats.lookups == 2
 
     def test_full_map_size_reported(self):
-        device = DemandPagedFTL(FlashGeometry.small())
-        per_page = device.cache.entries_per_page
-        expected = (device.ftl.logical_pages + per_page - 1) // per_page
+        device = small_dftl()
+        per_page = device.store.entries_per_page
+        expected = (device.logical_pages + per_page - 1) // per_page
         assert device.full_map_translation_pages == expected
+
+    def test_invariants_hold_under_translation_gc(self):
+        device = small_dftl(cmt_pages=1)
+        drive(device, ops=6000, seed=3)
+        assert device.store.stats.gc_runs > 0
+        device.check_invariants()
+
+
+class TestCrashRecovery:
+    def test_snapshot_recovery_restores_map_and_gtd(self):
+        device = small_dftl(cmt_pages=1)
+        drive(device, ops=3000, seed=5)
+        snapshot = device.snapshot_mapping()
+        l2p = device.map.l2p.copy()
+        gtd = device.store.gtd.copy()
+        device.crash()
+        device.recover(snapshot)
+        assert np.array_equal(device.map.l2p, l2p)
+        assert np.array_equal(device.store.gtd, gtd)
+        device.check_invariants()
+
+    def test_full_replay_rebuilds_gtd_from_oob(self):
+        device = small_dftl(cmt_pages=1)
+        drive(device, ops=3000, seed=6)
+        device.store.flush()
+        gtd = device.store.gtd.copy()
+        device.crash()
+        device.recover(None)
+        assert np.array_equal(device.store.gtd, gtd)
+        device.check_invariants()
+
+    def test_device_operates_after_recovery(self):
+        device = small_dftl(cmt_pages=1)
+        drive(device, ops=2000, seed=7)
+        snapshot = device.snapshot_mapping()
+        device.crash()
+        device.recover(snapshot)
+        drive(device, ops=1000, seed=8)
+        device.check_invariants()

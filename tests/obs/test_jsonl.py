@@ -12,6 +12,7 @@ from repro.obs.events import (
     HostRequestEvent,
     ReclaimEvent,
     RecoveryEvent,
+    TranslationEvent,
     ZoneAppendEvent,
     ZoneTransitionEvent,
     event_from_dict,
@@ -36,6 +37,7 @@ SAMPLES = [
                latency_us=90.0, op_index=1500),
     RecoveryEvent("ftl.ftl", "block-retired", block=3, pages_moved=12,
                   detail="program faults"),
+    TranslationEvent("ftl.dftl", "gc", block=17, pages=9),
 ]
 
 
