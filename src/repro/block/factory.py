@@ -121,7 +121,7 @@ class DeviceSpec:
     extra:
         Remaining constructor kwargs of the top-level facade
         (``prioritize_reads``, ``erase_suspend_slices``,
-        ``cache_capacity_pages``, ...), spec-carried when JSON-safe.
+        ...), spec-carried when JSON-safe.
     store_data / striped / spare_blocks:
         Substrate switches, matching the underlying constructors.
     fault_plan:

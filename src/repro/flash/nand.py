@@ -433,35 +433,68 @@ class NandArray:
             )
         return first_page, latency
 
-    def sense_batch(self, pages: np.ndarray) -> float:
+    def sense_batch(self, pages: np.ndarray | list) -> float:
         """Read many programmed pages; returns total latency.
 
         Equivalent to ``for p in pages: self.read(p)`` for counting
         purposes (payloads are not returned; use scalar reads when the
-        array stores data you need back).
+        array stores data you need back). Batches of a few pages -- the
+        fleet serving loop's per-tick reads -- stay in scalar Python;
+        array construction alone would dominate them.
         """
-        pages = np.asarray(pages, dtype=np.int64)
-        if pages.size == 0:
+        n = len(pages)
+        if n == 0:
             raise ValueError("empty page batch")
+        ppb = self.geometry.pages_per_block
+        if n <= 16:
+            page_list = [int(p) for p in pages]
+            total = self.geometry.total_pages
+            bad_mask = self.wear.bad_mask
+            write_offsets = self._write_offsets
+            block_list = []
+            for page in page_list:
+                if page < 0 or page >= total:
+                    raise IndexError(f"page batch out of range [0, {total})")
+                block = page // ppb
+                if bad_mask[block]:
+                    raise BadBlockError(f"read on retired block {block}")
+                if page - block * ppb >= write_offsets[block]:
+                    raise ReadUnwrittenError(
+                        "batch reads at least one unprogrammed page"
+                    )
+                block_list.append(block)
+            latency = n * self.timing.read_total_us(self.geometry.page_size)
+            if self.faults is not None:
+                latency += self.faults.on_read_batch(n, block_list[0], page_list[0])
+            reads = self._reads_since_erase
+            for block in block_list:
+                reads[block] += 1
+            if self.tracer.enabled:
+                self.tracer.publish(
+                    FlashOpEvent(
+                        "flash.nand", "read", block_list[0], page_list[0],
+                        nbytes=n * self.geometry.page_size, count=n,
+                        latency_us=latency,
+                    )
+                )
+            return latency
+        pages = np.asarray(pages, dtype=np.int64)
         lo, hi = int(pages.min()), int(pages.max())
         if lo < 0 or hi >= self.geometry.total_pages:
             raise IndexError(f"page batch out of range [0, {self.geometry.total_pages})")
-        ppb = self.geometry.pages_per_block
         blocks = pages // ppb
-        ublocks, counts = np.unique(blocks, return_counts=True)
-        if self.wear.bad_mask[ublocks].any():
-            bad = int(ublocks[self.wear.bad_mask[ublocks]][0])
-            raise BadBlockError(f"read on retired block {bad}")
+        bad = self.wear.bad_mask[blocks]
+        if bad.any():
+            raise BadBlockError(f"read on retired block {int(blocks[bad][0])}")
         offsets = pages - blocks * ppb
         if np.any(offsets >= self._write_offsets[blocks]):
             raise ReadUnwrittenError("batch reads at least one unprogrammed page")
-        n = len(pages)
         latency = n * self.timing.read_total_us(self.geometry.page_size)
         if self.faults is not None:
             # Pre-mutation like the program batches; an uncorrectable
             # page fails the batch before any disturb accounting.
             latency += self.faults.on_read_batch(n, int(blocks[0]), int(pages[0]))
-        np.add.at(self._reads_since_erase, ublocks, counts)
+        np.add.at(self._reads_since_erase, blocks, 1)
         if self.tracer.enabled:
             self.tracer.publish(
                 FlashOpEvent(
@@ -486,14 +519,13 @@ class NandArray:
             raise IndexError(f"page batch out of range [0, {self.geometry.total_pages})")
         ppb = self.geometry.pages_per_block
         blocks = pages // ppb
-        ublocks, counts = np.unique(blocks, return_counts=True)
-        if self.wear.bad_mask[ublocks].any():
-            bad = int(ublocks[self.wear.bad_mask[ublocks]][0])
-            raise BadBlockError(f"read on retired block {bad}")
+        bad = self.wear.bad_mask[blocks]
+        if bad.any():
+            raise BadBlockError(f"read on retired block {int(blocks[bad][0])}")
         offsets = pages - blocks * ppb
         if np.any(offsets >= self._write_offsets[blocks]):
             raise ReadUnwrittenError("batch senses at least one unprogrammed page")
-        np.add.at(self._reads_since_erase, ublocks, counts)
+        np.add.at(self._reads_since_erase, blocks, 1)
 
     def copy_batch(self, src_pages: np.ndarray, dst_pages: np.ndarray) -> float:
         """On-die copy of many pages; returns total latency.

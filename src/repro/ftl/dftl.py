@@ -40,7 +40,6 @@ back-compat); new code should read :attr:`DemandPagedFTL.store`.
 
 from __future__ import annotations
 
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
@@ -148,10 +147,6 @@ class DemandPagedFTL(ConventionalFTL):
         translation pages' worth (32 KiB on 4 KiB pages), matching the
         old accounting model's default. A budget covering the full map
         makes the device physics-identical to :class:`ConventionalFTL`.
-    cache_capacity_pages:
-        Deprecated spelling of the budget in translation pages;
-        converted to ``cmt_bytes = n * page_size`` with a
-        ``DeprecationWarning`` (one release, like ``legacy_spec()``).
 
     Translation pages are programmed into dedicated *translation
     blocks* allocated from the shared free pool; their footprint is
@@ -170,22 +165,12 @@ class DemandPagedFTL(ConventionalFTL):
         config: FTLConfig | None = None,
         cmt_bytes: int | None = None,
         *,
-        cache_capacity_pages: int | None = None,
         nand: NandArray | None = None,
         timing: TimingModel | None = None,
         wear: WearTracker | None = None,
         tracer: Tracer | None = None,
         faults=None,
     ):
-        if cache_capacity_pages is not None:
-            warnings.warn(
-                "cache_capacity_pages is deprecated; pass cmt_bytes="
-                "pages * page_size instead (will be removed next release)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if cmt_bytes is None:
-                cmt_bytes = cache_capacity_pages * geometry.page_size
         if cmt_bytes is None:
             cmt_bytes = 8 * geometry.page_size
         cfg = config or FTLConfig()
@@ -310,12 +295,67 @@ class DemandPagedFTL(ConventionalFTL):
     def write_pages(
         self, lpns: np.ndarray, stream: int = 0, auto_gc: bool = True
     ) -> int:
-        """Batched writes degrade to the scalar path: every page's
-        translation must be consulted, so there is no epoch shortcut."""
+        """Batched writes: the epoch path -- one fetch per translation page.
+
+        Where per-lpn :meth:`write` demand-faults every page's
+        translation entry as it goes (thrashing a small CMT on skewed
+        streams), the epoch path batches all of an epoch's updates to
+        the same translation page into a single read-modify-write, the
+        way real DFTLs coalesce mapping updates: the epoch's lpns are
+        partitioned by distinct translation page (one ``np.unique``
+        pass), each distinct page is accessed once (at most one demand
+        fault, then the group's remaining accesses are guaranteed hits
+        applied as bookkeeping), and the data pages are then programmed
+        through :meth:`ConventionalFTL.write_pages`. Runs of hit groups
+        are applied by the compiled probe
+        (:func:`repro.sim.compiled.cmt_probe_batch`); only miss groups
+        pay the scalar fault path with its real flash I/O and GC.
+
+        Aggregate physics is the per-lpn path's wherever they can agree
+        -- same final mapping, host pages, clock ticks, lookup count,
+        and LRU-stamp discipline -- but translation flash traffic is
+        genuinely lower: at most one miss fetch and one writeback per
+        distinct translation page per epoch, which is the optimization.
+        The compiled and interpreted legs of this path are bit-for-bit
+        identical (the parity suite pins it). Falls back to the scalar
+        per-lpn loop when a fault injector is armed: fault absorption is
+        inherently per-page.
+        """
         lpns = np.asarray(lpns, dtype=np.int64)
-        for lpn in lpns.tolist():
-            self.write(int(lpn), stream=stream, auto_gc=auto_gc)
-        return int(lpns.size)
+        n = int(lpns.size)
+        if n == 0:
+            return 0
+        if self.nand.faults is not None:
+            for lpn in lpns.tolist():
+                self.write(int(lpn), stream=stream, auto_gc=auto_gc)
+            return n
+        if int(lpns.min()) < 0 or int(lpns.max()) >= self.logical_pages:
+            raise IndexError(f"lpn batch out of range [0, {self.logical_pages})")
+        store = self.store
+        # Partition the epoch by distinct translation page, groups in
+        # first-appearance order so the LRU sequence matches a scalar
+        # walk of the grouped accesses.
+        tvpns = lpns // store.entries_per_page
+        uniq, first_idx, counts = np.unique(
+            tvpns, return_index=True, return_counts=True
+        )
+        order = np.argsort(first_idx)
+        group_tvpns = uniq[order]
+        group_counts = counts[order]
+        total = int(group_tvpns.size)
+        gi = 0
+        while gi < total:
+            # Pending GC-dirtied translation pages drain at group
+            # boundaries (the scalar path's host-op boundaries); hit
+            # groups cannot create pending entries, so one drain per
+            # probe re-entry is the scalar order.
+            self._flush_pending()
+            gi += store.probe_groups(group_tvpns, group_counts, gi)
+            if gi < total:
+                store.access_group(int(group_tvpns[gi]), int(group_counts[gi]))
+                gi += 1
+        self._flush_pending()
+        return super().write_pages(lpns, stream=stream, auto_gc=auto_gc)
 
     def read(self, lpn: int) -> FlashOp:
         self.map.check_lpn(lpn)

@@ -420,6 +420,155 @@ class ConventionalFTL:
         self.stats.host_pages_written += n
         return n
 
+    def write_pages_timed(
+        self, lpns: np.ndarray, stream: int = 0, auto_gc: bool = True
+    ) -> np.ndarray:
+        """Batched writes returning each page's queue occupancy in us.
+
+        The epoch serving loop's twin of timing ``self.write(lpn)`` per
+        page: identical physics to :meth:`write_pages` (same mapping
+        table, GC victim sequence, seal times, counters, clock), plus a
+        per-page service-time array. Each page pays the host program
+        (channel time); a page that opens a new active block additionally
+        carries that boundary's GC and wear-leveling work, folded the way
+        a single-server queue occupies -- channel ops summed,
+        device-internal ops by their longest member. Requires no armed
+        fault injector (fault absorption and its latency adders are
+        inherently per-page); callers with faults armed must take the
+        scalar path. Only the conventional data path is timed here -- the
+        demand-paged subclass's translation pre-pass does not route
+        through this entry point.
+        """
+        if self.nand.faults is not None:
+            raise ValueError("write_pages_timed requires no armed fault injector")
+        lpns = np.asarray(lpns, dtype=np.int64)
+        n = int(lpns.size)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        if n <= 16:
+            for lpn in lpns.tolist():
+                if lpn < 0 or lpn >= self.logical_pages:
+                    raise IndexError(
+                        f"lpn batch out of range [0, {self.logical_pages})"
+                    )
+        elif int(lpns.min()) < 0 or int(lpns.max()) >= self.logical_pages:
+            raise IndexError(f"lpn batch out of range [0, {self.logical_pages})")
+        if stream not in self._active:
+            raise ValueError(f"stream {stream} out of range [0, {self.config.streams})")
+        timing = self.nand.timing
+        program_us = timing.program_total_us(self.geometry.page_size)
+        copy_us = timing.read_us + timing.program_us
+        service = np.full(n, program_us, dtype=np.float64)
+        ppb = self.geometry.pages_per_block
+        done = 0
+        while done < n:
+            active = self._active[stream]
+            if active is None or self.nand.is_block_full(active):
+                self._clock += 1
+                pending_tick = 1
+                if active is not None:
+                    self._seal(active)
+                    self._active[stream] = None
+                channel_extra = 0.0
+                internal_max = 0.0
+                if auto_gc and self.gc_needed():
+                    self.stats.foreground_gc_stalls += 1
+                    if self.tracer.enabled:
+                        self.tracer.publish(
+                            GcEvent(
+                                "ftl.gc", "watermark-low", free_blocks=len(self._free)
+                            )
+                        )
+                    copied0 = self.stats.gc_pages_copied
+                    runs0 = self.stats.gc_runs
+                    self.collect(self.gc_high_watermark, build_ops=False)
+                    # GC latencies are constants (no faults): copies cost
+                    # read+program each, every pass erases its victim.
+                    copies = self.stats.gc_pages_copied - copied0
+                    if self.config.copyback:
+                        if copies:
+                            internal_max = copy_us
+                    else:
+                        channel_extra += copies * copy_us
+                    if self.stats.gc_runs > runs0:
+                        internal_max = max(internal_max, timing.erase_us)
+                    if self.tracer.enabled:
+                        self.tracer.publish(
+                            GcEvent(
+                                "ftl.gc", "watermark-recovered",
+                                free_blocks=len(self._free),
+                            )
+                        )
+                for op in self._maybe_wear_level():
+                    if op.uses_channel:
+                        channel_extra += op.latency_us
+                    elif op.latency_us > internal_max:
+                        internal_max = op.latency_us
+                service[done] += channel_extra + internal_max
+                active = self._take_free_block()
+                self._active[stream] = active
+            else:
+                pending_tick = 0
+            offset = self.nand.write_offset(active)
+            take = min(ppb - offset, n - done)
+            first, _ = self.nand.program_run(active, take)
+            self.map.map_batch(
+                lpns[done : done + take], first + np.arange(take, dtype=np.int64)
+            )
+            self._oob_lpn[first : first + take] = lpns[done : done + take]
+            self._oob_serial[first : first + take] = np.arange(
+                self._program_serial, self._program_serial + take, dtype=np.int64
+            )
+            self._program_serial += take
+            self._clock += take - pending_tick
+            done += take
+        self.stats.host_pages_written += n
+        return service
+
+    def read_pages(self, lpns: np.ndarray) -> np.ndarray:
+        """Batched reads returning each page's latency in us.
+
+        Equivalent to ``[self.read(lpn).latency_us for lpn in lpns]`` --
+        same disturb accounting, counters, and aggregate trace totals
+        (one count=n flash event) -- via :meth:`NandArray.sense_batch`.
+        Requires no armed fault injector: the ECC retry ladder's latency
+        adders are per-page.
+        """
+        if self.nand.faults is not None:
+            raise ValueError("read_pages requires no armed fault injector")
+        n = len(lpns)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        if n <= 16:
+            # Scalar path for serving-sized batches: array construction
+            # and fancy indexing cost more than the loop below.
+            l2p = self.map.l2p
+            logical = self.logical_pages
+            ppns = []
+            for lpn in lpns:
+                lpn = int(lpn)
+                if lpn < 0 or lpn >= logical:
+                    raise IndexError(f"lpn batch out of range [0, {logical})")
+                ppn = int(l2p[lpn])
+                if ppn == UNMAPPED:
+                    raise UnmappedReadError(f"lpn {lpn} is unmapped")
+                ppns.append(ppn)
+            self.nand.sense_batch(ppns)
+        else:
+            lpns = np.asarray(lpns, dtype=np.int64)
+            if int(lpns.min()) < 0 or int(lpns.max()) >= self.logical_pages:
+                raise IndexError(f"lpn batch out of range [0, {self.logical_pages})")
+            ppns = self.map.l2p[lpns]
+            if np.any(ppns == UNMAPPED):
+                bad = int(lpns[ppns == UNMAPPED][0])
+                raise UnmappedReadError(f"lpn {bad} is unmapped")
+            self.nand.sense_batch(ppns)
+        self.stats.host_pages_read += n
+        return np.full(
+            n, self.nand.timing.read_total_us(self.geometry.page_size),
+            dtype=np.float64,
+        )
+
     # -- Program-fault recovery ---------------------------------------------------
 
     def _oob_note(self, page: int, lpn: int) -> None:

@@ -17,7 +17,6 @@ entry per logical page (~4 bytes in optimized implementations, paper
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
@@ -115,7 +114,9 @@ class FullPageMap:
         block = self.geometry.block_of_page(ppn)
         self.valid_counts[block] -= 1
         if self.valid_counts[block] < 0:
-            raise AssertionError(f"valid count of block {block} went negative")
+            # ValueError, matching the batch kernel's negative-count
+            # contract -- scalar and batched paths fail identically.
+            raise ValueError(f"valid count of block {block} went negative")
 
     def valid_pages_in_block(self, block: int) -> list[int]:
         """Physical pages in ``block`` that currently hold valid data."""
@@ -159,8 +160,11 @@ class FullPageMap:
         n = len(lpns)
         if n == 0:
             return
-        if n == 1:
-            self.map(int(lpns[0]), int(ppns[0]))
+        if n <= 16:
+            # Serving-sized batches: the scalar loop beats the kernel's
+            # array setup, and :meth:`map` is the semantics by definition.
+            for lpn, ppn in zip(lpns.tolist(), ppns.tolist()):
+                self.map(lpn, ppn)
             return
         ppb = self.geometry.pages_per_block
         block = int(ppns[0]) // ppb
@@ -273,6 +277,15 @@ class TranslationStore:
     program, issued through the ``program_page`` callable the owning FTL
     injects (the FTL owns translation-block allocation, OOB tagging, and
     GTD updates so translation programs obey the same physics as data).
+
+    The CMT is array-backed: ``tvpn_slot`` maps a tvpn to its cache slot
+    (or :data:`UNMAPPED`), and per-slot arrays hold the resident tvpn,
+    its dirty flag, and an LRU stamp. One monotonic counter stamps every
+    insert and every hit, so the least-recently-used entry is exactly
+    the minimum-stamp slot -- semantically identical to the OrderedDict
+    (hit = ``move_to_end``, evict = ``popitem(last=False)``) it
+    replaced, but probeable in bulk by the epoch kernels in
+    :mod:`repro.sim.compiled` (``cmt_probe_batch`` / ``cmt_evict_batch``).
     """
 
     BYTES_PER_ENTRY = 4
@@ -303,8 +316,15 @@ class TranslationStore:
         self.capacity_pages = max(1, cmt_bytes // geometry.page_size)
         #: GTD: tvpn -> flash ppn of the authoritative translation page.
         self.gtd = np.full(self.translation_pages, UNMAPPED, dtype=np.int64)
-        #: CMT: tvpn -> dirty flag, LRU order (oldest first).
-        self._cached: OrderedDict[int, bool] = OrderedDict()
+        #: CMT slot arrays. ``tvpn_slot[tvpn]`` is the slot caching that
+        #: tvpn or UNMAPPED; slots below ``_used`` are occupied.
+        self.tvpn_slot = np.full(self.translation_pages, UNMAPPED, dtype=np.int64)
+        self.slot_tvpn = np.full(self.capacity_pages, UNMAPPED, dtype=np.int64)
+        self.slot_dirty = np.zeros(self.capacity_pages, dtype=np.uint8)
+        self.slot_stamp = np.zeros(self.capacity_pages, dtype=np.int64)
+        self._stamp = 0
+        self._used = 0
+        self._peak_used = 0
         self.stats = TranslationStats()
 
     # -- Introspection ------------------------------------------------------
@@ -314,14 +334,26 @@ class TranslationStore:
 
     @property
     def cached_pages(self) -> int:
-        return len(self._cached)
+        return self._used
 
     def is_cached(self, tvpn: int) -> bool:
-        return tvpn in self._cached
+        return self.tvpn_slot[tvpn] != UNMAPPED
 
     def dram_bytes(self) -> int:
         """DRAM the CMT budget occupies (the GTD rides along, tiny)."""
         return self.capacity_pages * self.geometry.page_size
+
+    @property
+    def resident_bytes(self) -> int:
+        """DRAM the currently cached translation pages occupy."""
+        return self._used * self.geometry.page_size
+
+    @property
+    def peak_resident_bytes(self) -> int:
+        """High-water mark of :attr:`resident_bytes` over the run --
+        the number the DRAM-budget assertion checks against ``cmt_bytes``
+        (rounded up to whole pages, the cache's allocation grain)."""
+        return self._peak_used * self.geometry.page_size
 
     # -- The access path ----------------------------------------------------
 
@@ -337,16 +369,31 @@ class TranslationStore:
 
     def access_tvpn(self, tvpn: int, dirty: bool) -> None:
         self.stats.lookups += 1
-        cached = self._cached
-        if tvpn in cached:
+        slot = int(self.tvpn_slot[tvpn])
+        if slot != UNMAPPED:
             self.stats.hits += 1
-            cached[tvpn] = cached[tvpn] or dirty
-            cached.move_to_end(tvpn)
+            if dirty:
+                self.slot_dirty[slot] = 1
+            self.slot_stamp[slot] = self._stamp
+            self._stamp += 1
             return
-        if len(cached) >= self.capacity_pages:
-            victim, victim_dirty = cached.popitem(last=False)
+        if self._used >= self.capacity_pages:
+            # All slots occupied; the LRU victim is the minimum stamp.
+            # Remove it from the index *before* the writeback: a
+            # writeback-triggered GC that touches the victim's tvpn must
+            # see it uncached (pending-dirty path), exactly as the dict
+            # version's popitem-then-writeback order guaranteed.
+            slot = int(np.argmin(self.slot_stamp))
+            victim = int(self.slot_tvpn[slot])
+            victim_dirty = self.slot_dirty[slot] != 0
+            self.tvpn_slot[victim] = UNMAPPED
+            self.slot_tvpn[slot] = UNMAPPED
+            self.slot_dirty[slot] = 0
+            self._used -= 1
             if victim_dirty:
                 self._writeback(victim)
+        else:
+            slot = self._used
         ppn = int(self.gtd[tvpn])
         if ppn != UNMAPPED:
             self.nand.read(ppn)
@@ -359,7 +406,57 @@ class TranslationStore:
                 )
         else:
             self.stats.compulsory_misses += 1
-        cached[tvpn] = dirty
+        self.tvpn_slot[tvpn] = slot
+        self.slot_tvpn[slot] = tvpn
+        self.slot_dirty[slot] = 1 if dirty else 0
+        self.slot_stamp[slot] = self._stamp
+        self._stamp += 1
+        self._used += 1
+        if self._used > self._peak_used:
+            self._peak_used = self._used
+
+    def access_group(self, tvpn: int, count: int) -> None:
+        """One epoch group: an access plus ``count - 1`` same-page hits.
+
+        The epoch write path batches all of an epoch's updates to one
+        translation page into a single read-modify-write: at most one
+        demand fault (the leading access, which may evict and write
+        back), then ``count - 1`` guaranteed hits applied as pure
+        bookkeeping -- the stamp counter advances once per access so
+        LRU order is exactly the per-access sequence's.
+        """
+        self.access_tvpn(tvpn, dirty=True)
+        if count > 1:
+            slot = int(self.tvpn_slot[tvpn])
+            self.stats.lookups += count - 1
+            self.stats.hits += count - 1
+            self.slot_stamp[slot] = self._stamp + count - 2
+            self._stamp += count - 1
+
+    def probe_groups(self, tvpns: np.ndarray, counts: np.ndarray, start: int) -> int:
+        """Epoch fast path: apply the leading run of all-hit groups.
+
+        ``tvpns``/``counts`` are an epoch's accesses grouped by distinct
+        translation page in first-appearance order. Applies the dirty
+        mark, LRU stamps, and stats for every leading group that hits
+        the CMT and returns how many groups were consumed; the first
+        missing group (if any) is left for :meth:`access_group`.
+        Dispatched through :func:`repro.sim.compiled.cmt_probe_batch`.
+        """
+        consumed, self._stamp = compiled.cmt_probe_batch(
+            self.tvpn_slot,
+            self.slot_dirty,
+            self.slot_stamp,
+            tvpns,
+            counts,
+            start,
+            self._stamp,
+        )
+        if consumed:
+            accesses = int(np.sum(counts[start : start + consumed]))
+            self.stats.lookups += accesses
+            self.stats.hits += accesses
+        return consumed
 
     def mark_dirty(self, tvpn: int) -> bool:
         """Dirty ``tvpn`` if cached (no LRU bump); True when it was cached.
@@ -368,8 +465,9 @@ class TranslationStore:
         entry, but the relocation is device-internal and must not perturb
         the host-driven LRU order.
         """
-        if tvpn in self._cached:
-            self._cached[tvpn] = True
+        slot = int(self.tvpn_slot[tvpn])
+        if slot != UNMAPPED:
+            self.slot_dirty[slot] = 1
             return True
         return False
 
@@ -386,23 +484,34 @@ class TranslationStore:
 
         Entries stay cached but clean, in unchanged LRU order, so a
         flush is observable only through the flash programs it issues.
+        The dirty set is selected in one batched pass
+        (:func:`repro.sim.compiled.cmt_evict_batch`, LRU-ascending --
+        the order the dict version walked).
         """
-        dirty = [tvpn for tvpn, d in self._cached.items() if d]
-        for tvpn in dirty:
+        dirty = compiled.cmt_evict_batch(self.slot_tvpn, self.slot_dirty, self.slot_stamp)
+        for tvpn in dirty.tolist():
             self.stats.dirty_evict_writes += 1
             self._program_page(tvpn)
-            self._cached[tvpn] = False
-        if dirty and self.tracer is not None and self.tracer.enabled:
+            # A translation program can recurse into GC, which may
+            # re-dirty this very entry mid-flush; the scalar loop
+            # cleared each flag *after* its program, so re-clear here
+            # to keep that exact semantics.
+            self.slot_dirty[self.tvpn_slot[tvpn]] = 0
+        if dirty.size and self.tracer is not None and self.tracer.enabled:
             from repro.obs.events import TranslationEvent
 
             self.tracer.publish(
-                TranslationEvent("ftl.dftl", "flush", pages=len(dirty))
+                TranslationEvent("ftl.dftl", "flush", pages=int(dirty.size))
             )
-        return len(dirty)
+        return int(dirty.size)
 
     def drop_cache(self) -> None:
         """Forget the CMT (power loss); the GTD survives via recovery."""
-        self._cached.clear()
+        self.tvpn_slot.fill(UNMAPPED)
+        self.slot_tvpn.fill(UNMAPPED)
+        self.slot_dirty.fill(0)
+        self.slot_stamp.fill(0)
+        self._used = 0
 
 
 __all__ = [

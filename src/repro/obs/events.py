@@ -139,6 +139,29 @@ class HostRequestEvent:
 
 
 @dataclass(slots=True)
+class HostRequestBatchEvent:
+    """One epoch of completed host requests (layer ``fleet.request``).
+
+    The batched twin of ``count`` individual ``complete``-phase
+    :class:`HostRequestEvent` publishes: ``latencies_us`` carries each
+    request's end-to-end latency in completion order (a float sequence;
+    the fleet's epoch loop passes a numpy array). Sinks that aggregate
+    (FrameSink) bin the whole epoch in one vectorized pass; per-request
+    consumers should keep using the scalar event, which the per-request
+    serving loop still publishes.
+    """
+
+    kind: ClassVar[str] = "host-request-batch"
+
+    layer: str
+    op: str  # "read" | "write" | "append"
+    latencies_us: Any = ()
+    count: int = 0
+    first_request_id: int = 0
+    t: float | None = None
+
+
+@dataclass(slots=True)
 class FaultEvent:
     """An injected fault fired (layer ``faults.injector``).
 
@@ -217,6 +240,7 @@ EVENT_TYPES: tuple[type, ...] = (
     ZoneAppendEvent,
     ReclaimEvent,
     HostRequestEvent,
+    HostRequestBatchEvent,
     FaultEvent,
     RecoveryEvent,
     TranslationEvent,
@@ -229,7 +253,10 @@ def event_to_dict(event: Any) -> dict[str, Any]:
     """A JSON-safe dict for ``event``; inverse of :func:`event_from_dict`."""
     payload: dict[str, Any] = {"event": event.kind}
     for spec in fields(event):
-        payload[spec.name] = getattr(event, spec.name)
+        value = getattr(event, spec.name)
+        if hasattr(value, "tolist"):  # numpy array payloads (batch events)
+            value = value.tolist()
+        payload[spec.name] = value
     return payload
 
 
@@ -248,6 +275,7 @@ __all__ = [
     "FaultEvent",
     "FlashOpEvent",
     "GcEvent",
+    "HostRequestBatchEvent",
     "HostRequestEvent",
     "ReclaimEvent",
     "RecoveryEvent",

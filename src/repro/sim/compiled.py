@@ -180,6 +180,120 @@ def relocate_run_apply(l2p, p2l, valid_counts, src_pages, dst_first, src_block, 
         _relocate_run_numpy(l2p, p2l, valid_counts, src_pages, dst_first, src_block, dst_block)
 
 
+# -- CMT (cached mapping table) kernels -----------------------------------------
+#
+# The DFTL's CMT is slot arrays (tvpn -> slot, slot -> tvpn/dirty/stamp)
+# with a monotonically-stamped LRU: every insert and every hit assigns
+# the next stamp, so "least recently used" is exactly "minimum stamp" --
+# the array twin of an OrderedDict with move_to_end on hit. The kernels
+# below are the epoch paths over those arrays; the scalar miss/evict
+# machinery stays in :class:`repro.ftl.mapping.TranslationStore` (it
+# issues real flash I/O and can recurse into GC, which no kernel can).
+
+
+def _cmt_probe_loop(tvpn_slot, slot_dirty, slot_stamp, tvpns, counts, start, stamp):
+    """Consume the maximal all-hit prefix of the tvpn groups from ``start``.
+
+    ``tvpns``/``counts`` describe an epoch's accesses grouped by
+    distinct translation page (first-appearance order). Each consumed
+    hit group applies the write-path bookkeeping in scalar order: dirty
+    the slot, advance the LRU stamp by the group's access count (one
+    access plus count-1 immediate same-page hits), landing the slot on
+    the group's last stamp. Stops at the first group whose translation
+    page is not cached. Returns ``(groups_consumed, next_stamp)``.
+    """
+    consumed = 0
+    while start + consumed < tvpns.shape[0]:
+        slot = tvpn_slot[tvpns[start + consumed]]
+        if slot < 0:
+            break
+        k = counts[start + consumed]
+        slot_dirty[slot] = 1
+        slot_stamp[slot] = stamp + k - 1
+        stamp += k
+        consumed += 1
+    return consumed, stamp
+
+
+_cmt_probe_jit = _jit(_cmt_probe_loop)
+
+
+def _cmt_probe_numpy(tvpn_slot, slot_dirty, slot_stamp, tvpns, counts, start, stamp):
+    slots = tvpn_slot[tvpns[start:]]
+    miss = slots < 0
+    consumed = int(miss.argmax()) if miss.any() else int(slots.shape[0])
+    if consumed:
+        # Groups are distinct tvpns, hence distinct slots: fancy
+        # assignment is alias-free and exact.
+        run = slots[:consumed]
+        kk = counts[start : start + consumed]
+        ends = stamp + np.cumsum(kk) - 1
+        slot_dirty[run] = 1
+        slot_stamp[run] = ends
+        stamp = int(ends[-1]) + 1
+    return consumed, stamp
+
+
+def cmt_probe_batch(tvpn_slot, slot_dirty, slot_stamp, tvpns, counts, start, stamp):
+    """Epoch CMT probe: apply the leading run of hit groups.
+
+    Partitioning an epoch's lpns by distinct translation page is the
+    caller's one ``np.unique`` pass; this kernel walks the resulting
+    groups from ``start`` and applies every leading group that hits the
+    CMT (hits are pure bookkeeping -- no flash I/O, no GC, so they
+    cannot invalidate the probe's view). The first missing group is NOT
+    consumed: the caller routes it through the scalar demand-fault path
+    (which may read flash, write back, and GC) and then re-enters the
+    probe. Returns ``(groups_consumed, next_stamp)``; the caller owns
+    the lookups/hits counters.
+    """
+    if start >= tvpns.shape[0]:
+        return 0, stamp
+    if enabled():
+        consumed, stamp = _cmt_probe_jit(
+            tvpn_slot, slot_dirty, slot_stamp, tvpns, counts, start, stamp
+        )
+        return int(consumed), int(stamp)
+    return _cmt_probe_numpy(tvpn_slot, slot_dirty, slot_stamp, tvpns, counts, start, stamp)
+
+
+def _cmt_evict_loop(slot_tvpn, slot_dirty, slot_stamp):
+    order = np.argsort(slot_stamp)
+    out = np.empty(slot_tvpn.shape[0], dtype=np.int64)
+    count = 0
+    for j in range(order.shape[0]):
+        s = order[j]
+        if slot_tvpn[s] >= 0 and slot_dirty[s] != 0:
+            out[count] = slot_tvpn[s]
+            slot_dirty[s] = 0
+            count += 1
+    return out[:count]
+
+
+_cmt_evict_jit = _jit(_cmt_evict_loop)
+
+
+def _cmt_evict_numpy(slot_tvpn, slot_dirty, slot_stamp):
+    idx = np.flatnonzero((slot_tvpn >= 0) & (slot_dirty != 0))
+    idx = idx[np.argsort(slot_stamp[idx])]
+    out = slot_tvpn[idx].copy()
+    slot_dirty[idx] = 0
+    return out
+
+
+def cmt_evict_batch(slot_tvpn, slot_dirty, slot_stamp):
+    """Batched dirty write-back selection: dirty tvpns in LRU order.
+
+    Clears the selected slots' dirty flags and returns their tvpns
+    oldest-stamp first -- the order a scalar flush walks the cache.
+    Stamps are unique (one monotonic counter), so the order is total.
+    The caller issues the actual translation programs.
+    """
+    if enabled():
+        return _cmt_evict_jit(slot_tvpn, slot_dirty, slot_stamp)
+    return _cmt_evict_numpy(slot_tvpn, slot_dirty, slot_stamp)
+
+
 # -- Zone-append layout ---------------------------------------------------------
 
 
@@ -207,6 +321,8 @@ def stripe_layout(wp: int, n: int, width: int, ppb: int):
 __all__ = [
     "NUMBA_AVAILABLE",
     "UNMAPPED",
+    "cmt_evict_batch",
+    "cmt_probe_batch",
     "enabled",
     "map_batch_apply",
     "relocate_run_apply",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import heapq
 from collections.abc import Iterator
-from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -33,13 +33,16 @@ class LifetimeClass(enum.Enum):
     LONG = 20_000.0
 
 
-@dataclass(frozen=True)
-class ObjectEvent:
+class ObjectEvent(NamedTuple):
     """One event in an object stream.
 
     ``kind`` is 'create' or 'delete'. Creates carry the object's metadata:
     size in pages, owning application id, creation-batch id, and the true
     lifetime class (which only oracle placement may peek at).
+
+    A ``NamedTuple`` rather than a frozen dataclass: fleet workloads
+    construct millions of these and the tuple constructor skips the
+    per-field ``object.__setattr__`` that ``frozen=True`` pays.
     """
 
     time: int
@@ -122,48 +125,75 @@ class ObjectLifetimeWorkload:
         return LifetimeClass.LONG
 
     def events(self) -> Iterator[ObjectEvent]:
-        """Yield the merged create/delete stream in time order."""
+        """Yield the merged create/delete stream in time order.
+
+        Hot inner loop of the fleet serving benchmarks: rng methods,
+        heapq functions and instance attributes are hoisted to locals and
+        the class draw is inlined, but the draw *order* (one ``random``
+        then one ``exponential`` per object, one ``integers`` per batch)
+        is untouched -- the event stream is bit-identical to the naive
+        form for any seed.
+        """
         pending_deletes: list[tuple[int, int, ObjectEvent]] = []
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        rng_random = self.rng.random
+        rng_exponential = self.rng.exponential
+        rng_integers = self.rng.integers
+        mixes = self._OWNER_MIXES
+        num_mixes = len(mixes)
+        num_objects = self.num_objects
+        owners = self.owners
+        batch_size = self.batch_size
+        size_pages = self.size_pages
+        lifetime_scale = self.lifetime_scale
+        short, medium, long_ = LifetimeClass
+        scaled_means = {cls: cls.value * lifetime_scale for cls in LifetimeClass}
         tiebreak = 0
         now = 0
         obj_id = 0
         batch = 0
-        while obj_id < self.num_objects or pending_deletes:
+        while obj_id < num_objects or pending_deletes:
             # Emit any deletions due before the next creation batch.
             while pending_deletes and (
-                obj_id >= self.num_objects or pending_deletes[0][0] <= now
+                obj_id >= num_objects or pending_deletes[0][0] <= now
             ):
-                _t, _tb, event = heapq.heappop(pending_deletes)
+                _t, _tb, event = heappop(pending_deletes)
                 yield event
-            if obj_id >= self.num_objects:
+            if obj_id >= num_objects:
                 continue
-            owner = int(self.rng.integers(0, self.owners))
-            for _ in range(min(self.batch_size, self.num_objects - obj_id)):
-                cls = self._draw_class(owner)
+            owner = int(rng_integers(0, owners))
+            mix = mixes[owner % num_mixes]
+            for _ in range(min(batch_size, num_objects - obj_id)):
+                r = rng_random()
+                if r < mix[0]:
+                    cls = short
+                elif r < mix[0] + mix[1]:
+                    cls = medium
+                else:
+                    cls = long_
                 create = ObjectEvent(
                     time=now,
                     kind="create",
                     obj_id=obj_id,
-                    size_pages=self.size_pages,
+                    size_pages=size_pages,
                     owner=owner,
                     batch=batch,
                     lifetime_class=cls,
                 )
                 yield create
-                lifetime = max(
-                    int(self.rng.exponential(cls.value * self.lifetime_scale)), 1
-                )
+                lifetime = max(int(rng_exponential(scaled_means[cls])), 1)
                 delete = ObjectEvent(
                     time=now + lifetime,
                     kind="delete",
                     obj_id=obj_id,
-                    size_pages=self.size_pages,
+                    size_pages=size_pages,
                     owner=owner,
                     batch=batch,
                     lifetime_class=cls,
                 )
                 tiebreak += 1
-                heapq.heappush(pending_deletes, (delete.time, tiebreak, delete))
+                heappush(pending_deletes, (delete.time, tiebreak, delete))
                 obj_id += 1
             batch += 1
             now += 1

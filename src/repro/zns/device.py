@@ -461,6 +461,38 @@ class ZNSDevice:
             OpKind.READ, self.geometry.flash.block_of_page(page), page, latency
         )
 
+    def read_batch(self, reads: list[tuple[int, int]]) -> np.ndarray:
+        """Batched :meth:`read` over ``(zone, offset)`` pairs; returns latencies.
+
+        Equivalent to ``[self.read(z, o)[1].latency_us for z, o in reads]``
+        -- same readability checks, disturb accounting, and counter totals
+        (one count=n command event over one aggregate NAND sense) -- for
+        epoch serving loops that neither need payloads back nor replay
+        per-page ops. Requires no armed fault injector: the ECC retry
+        ladder's latency adders are per-page.
+        """
+        if self.faults is not None:
+            raise ValueError("read_batch requires no armed fault injector")
+        n = len(reads)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        pages = []
+        for zone_id, offset in reads:
+            self.zone(zone_id).check_readable(offset)
+            pages.append(self._page_of(zone_id, offset))
+        self.nand.sense_batch(pages)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                FlashOpEvent(
+                    "zns.device", "read",
+                    block=self.geometry.flash.block_of_page(pages[0]),
+                    page=pages[0], count=n, nbytes=n * self.page_size,
+                )
+            )
+        return np.full(
+            n, self.nand.timing.read_total_us(self.page_size), dtype=np.float64
+        )
+
     def simple_copy(
         self, sources: list[tuple[int, int]], dst_zone_id: int
     ) -> tuple[int, list[FlashOp]]:
@@ -547,25 +579,57 @@ class ZNSDevice:
         pre_open_state = zone.state
         self._ensure_open_for_write(zone)
         start_wp = zone.wp
-        pages = self._pages_of(
-            zone_id, np.arange(start_wp, start_wp + npages, dtype=np.int64)
-        )
-        try:
-            self.nand.program_batch(pages)
-        except ProgramFaultError:
-            # The fault was decided pre-mutation (batch atomicity), so the
-            # flash and the write pointer are untouched: the command is
-            # transient and the host may simply retry it. Undo the
-            # implicit open so zone state is untouched too.
-            self._revert_implicit_open(zone, pre_open_state)
-            raise
+        ppb = self.geometry.flash.pages_per_block
+        if self.faults is None and self.nand.faults is None:
+            # Fault-free fast path: the run decomposes into at most
+            # stripe-width per-block runs (each block's pages are already
+            # sequential from its write offset by the zone invariant), so
+            # the flash work is O(lanes) ``program_run`` calls with no
+            # per-page address array. Counter totals match
+            # ``program_batch`` exactly (events carry ``count``); with no
+            # injector armed nothing can fail between lanes, so batch
+            # atomicity is preserved too.
+            blocks = self.ftl.blocks_array(zone_id)
+            if self.striped:
+                width = len(blocks)
+                first_block = int(blocks[start_wp % width])
+                for j in range(min(width, npages)):
+                    lane = (start_wp + j) % width
+                    self.nand.program_run(
+                        int(blocks[lane]), (npages - j + width - 1) // width
+                    )
+            else:
+                block_index = start_wp // ppb
+                first_block = int(blocks[block_index])
+                within = start_wp % ppb
+                left = npages
+                while left:
+                    take = min(ppb - within, left)
+                    self.nand.program_run(int(blocks[block_index]), take)
+                    left -= take
+                    block_index += 1
+                    within = 0
+        else:
+            pages = self._pages_of(
+                zone_id, np.arange(start_wp, start_wp + npages, dtype=np.int64)
+            )
+            first_block = int(pages[0]) // ppb
+            try:
+                self.nand.program_batch(pages)
+            except ProgramFaultError:
+                # The fault was decided pre-mutation (batch atomicity), so
+                # the flash and the write pointer are untouched: the
+                # command is transient and the host may simply retry it.
+                # Undo the implicit open so zone state is untouched too.
+                self._revert_implicit_open(zone, pre_open_state)
+                raise
         old_state = zone.state
         zone.advance(npages)
         if self.tracer.enabled:
             self.tracer.publish(
                 FlashOpEvent(
                     "zns.device", "program",
-                    block=int(pages[0]) // self.geometry.flash.pages_per_block,
+                    block=first_block,
                     count=npages, nbytes=npages * self.page_size,
                 )
             )

@@ -87,6 +87,28 @@ class TestSenseBatch:
         with pytest.raises(ReadUnwrittenError):
             nand.sense_batch(np.array([0, 1], dtype=np.int64))
 
+    @pytest.mark.parametrize("n", [10, 16, 17, 24])
+    def test_scalar_and_vector_tiers_match_across_threshold(self, n):
+        """Batches on both sides of the n<=16 fast-path split agree."""
+        scalar, batched = make_nand(), make_nand()
+        for nand in (scalar, batched):
+            nand.program_batch(np.arange(32, dtype=np.int64))
+        pages = [(7 * i) % 32 for i in range(n)]
+        total = sum(scalar.read(page)[1] for page in pages)
+        assert batched.sense_batch(np.asarray(pages, dtype=np.int64)) == total
+        assert nand_state(scalar) == nand_state(batched)
+
+    @pytest.mark.parametrize("n", [4, 24])
+    def test_failed_batch_mutates_nothing(self, n):
+        """Both tiers validate every page before any disturb accounting."""
+        nand = make_nand()
+        nand.program_batch(np.arange(n, dtype=np.int64))
+        before = nand_state(nand)
+        pages = list(range(n - 1)) + [nand.geometry.total_pages - 1]  # last unwritten
+        with pytest.raises(ReadUnwrittenError):
+            nand.sense_batch(np.asarray(pages, dtype=np.int64))
+        assert nand_state(nand) == before
+
     def test_sense_for_copy_batch_is_silent_but_disturbs(self):
         """Copy senses publish no events but still count toward read disturb."""
         scalar, batched = make_nand(), make_nand()
@@ -116,7 +138,8 @@ class TestCopyBatch:
         for src, dst in zip(sources, destinations):
             scalar.copy_page(src, dst)
         batched.copy_batch(
-            np.asarray(sources, dtype=np.int64), np.asarray(destinations, dtype=np.int64)
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(destinations, dtype=np.int64),
         )
         assert nand_state(scalar) == nand_state(batched)
 

@@ -111,15 +111,31 @@ class TestOobTags:
         assert all(tag < -1 for tag in tags)  # -1 is UNMAPPED, >=0 is data
 
 
-class TestDeprecatedCtor:
-    def test_cache_capacity_pages_warns_and_maps(self):
-        geometry = FlashGeometry.small()
-        with pytest.warns(DeprecationWarning, match="cache_capacity_pages"):
-            device = DemandPagedFTL(
-                geometry, FTLConfig(op_ratio=0.11), cache_capacity_pages=2
-            )
-        assert device.store.capacity_pages == 2
-        assert device.store.dram_bytes() == 2 * geometry.page_size
+class TestDramBudget:
+    """Resident CMT bytes must honor cmt_bytes throughout a run, not
+    just the capacity computed at construction."""
+
+    def test_resident_bytes_never_exceed_budget(self):
+        device = small_dftl(cmt_pages=2)
+        budget_pages = device.store.capacity_pages
+        page_size = device.geometry.page_size
+        n = device.logical_pages
+        for lpn in range(n):
+            device.write(lpn)
+            assert device.store.resident_bytes <= budget_pages * page_size
+        rng = make_rng(9)
+        for _ in range(2000):
+            device.write(int(rng.integers(0, n)))
+            assert device.store.resident_bytes <= budget_pages * page_size
+        assert device.store.peak_resident_bytes <= budget_pages * page_size
+        assert device.store.peak_resident_bytes == budget_pages * page_size
+
+    def test_peak_tracks_high_water_mark(self):
+        device = small_dftl(cmt_pages=4)
+        assert device.store.resident_bytes == 0
+        device.write(0)
+        assert device.store.resident_bytes == device.geometry.page_size
+        assert device.store.peak_resident_bytes == device.geometry.page_size
 
 
 class TestDemandPagedFTL:

@@ -12,6 +12,7 @@ CMT budget alone, not to an accidentally different data path.
 import dataclasses
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -179,3 +180,104 @@ class TestSeededDeterminism:
         assert np.array_equal(a.nand.wear.erase_counts, b.nand.wear.erase_counts)
         assert dataclasses.asdict(a.stats) == dataclasses.asdict(b.stats)
         a.check_invariants()
+
+
+class TestEpochKernelModes:
+    """The epoch write path's physics must not depend on the kernel tier.
+
+    ``write_pages`` dispatches through :mod:`repro.sim.compiled`
+    (``cmt_probe_batch`` / ``cmt_evict_batch`` / the map kernels); with
+    numba monkeypatched off, the same epochs must land bit-identical
+    physics counters, TranslationEvent totals, and WA decomposition.
+    """
+
+    @staticmethod
+    def _run_epochs(seed: int) -> dict:
+        from repro.obs.frame import FrameSink
+        from repro.obs.tracer import Tracer
+
+        cfg = FTLConfig(
+            op_ratio=0.2, gc_policy="greedy", gc_low_watermark=1, gc_high_watermark=2
+        )
+        # One translation page holds page_size/4 = 128 entries, so the
+        # tiny 16-block geometry fits its whole map in one page and
+        # never misses; quadruple the blocks so the map spans ~4
+        # translation pages and a 2-page CMT really faults and evicts.
+        geometry = dataclasses.replace(tiny_geometry(), blocks_per_plane=16)
+        tracer = Tracer()
+        sink = tracer.attach(FrameSink())
+        dftl = DemandPagedFTL(
+            geometry, cfg, cmt_bytes=2 * geometry.page_size, tracer=tracer
+        )
+        rng = make_rng(seed)
+        n = dftl.logical_pages
+        dftl.write_pages(np.arange(n, dtype=np.int64))
+        for _ in range(6):
+            epoch = rng.integers(0, n, size=int(rng.integers(1, 64)))
+            dftl.write_pages(epoch.astype(np.int64))
+        decomp = dftl.wa_decomposition()
+        return {
+            "physics": physics_state(dftl),
+            "store": dataclasses.asdict(dftl.store.stats),
+            "peak_resident_bytes": dftl.store.peak_resident_bytes,
+            "translation_counters": {
+                k: v
+                for k, v in sink.frame.counters.items()
+                if k.startswith("translation.")
+            },
+            "wa_decomposition": dataclasses.asdict(decomp),
+        }
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_dispatch_matches_forced_fallback(self, seed):
+        from repro.sim import compiled
+
+        dispatched = self._run_epochs(seed)
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(compiled, "USE_NUMBA", False)
+            fallback = self._run_epochs(seed)
+        assert dispatched == fallback
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_translation_events_match_store_stats(self, seed):
+        result = self._run_epochs(seed)
+        counters = result["translation_counters"]
+        store = result["store"]
+        assert counters.get("translation.miss_fetch", 0) == store["miss_reads"]
+        assert counters.get("translation.writeback", 0) == store["dirty_evict_writes"]
+        # The run must actually exercise the demand-fault machinery.
+        assert store["miss_reads"] > 0
+        assert store["dirty_evict_writes"] > 0
+
+    @given(
+        tvpn=st.integers(0, 3),
+        count=st.integers(1, 12),
+        warm=st.lists(st.integers(0, 3), max_size=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_access_group_is_count_scalar_accesses(self, tvpn, count, warm):
+        cfg = FTLConfig(
+            op_ratio=0.2, gc_policy="greedy", gc_low_watermark=1, gc_high_watermark=2
+        )
+        geometry = dataclasses.replace(tiny_geometry(), blocks_per_plane=16)
+        # 2-page CMT over a ~4-page translation map: group accesses can
+        # hit, miss, and evict.
+        grouped = DemandPagedFTL(geometry, cfg, cmt_bytes=2 * geometry.page_size)
+        scalar = DemandPagedFTL(geometry, cfg, cmt_bytes=2 * geometry.page_size)
+        npages = grouped.store.translation_pages
+        tvpn %= npages
+        for store in (grouped.store, scalar.store):
+            for w in warm:
+                store.access_tvpn(w % npages, dirty=True)
+        grouped.store.access_group(tvpn, count)
+        for _ in range(count):
+            scalar.store.access_tvpn(tvpn, dirty=True)
+        a, b = grouped.store, scalar.store
+        assert np.array_equal(a.tvpn_slot, b.tvpn_slot)
+        assert np.array_equal(a.slot_tvpn, b.slot_tvpn)
+        assert np.array_equal(a.slot_dirty, b.slot_dirty)
+        assert np.array_equal(a.slot_stamp, b.slot_stamp)
+        assert a._stamp == b._stamp
+        assert dataclasses.asdict(a.stats) == dataclasses.asdict(b.stats)

@@ -208,3 +208,34 @@ class TestFrameSink:
         sink.reset()
         assert sink.frame is not old
         assert sink.frame.counter("flash.nand.program.ops") == 0
+
+
+class TestObserveMany:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_LATENCIES, max_size=80))
+    def test_equals_scalar_observe_loop(self, values):
+        # Sizes straddle the 32-observation threshold where observe_many
+        # switches from the bisect loop to searchsorted+bincount; both
+        # sides must bin exactly like per-value observe().
+        batched = MetricsFrame()
+        batched.observe_many("lat_us", values)
+        scalar = MetricsFrame()
+        for value in values:
+            scalar.observe("lat_us", value)
+        assert batched.to_dict() == scalar.to_dict()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(_LATENCIES, min_size=1, max_size=80))
+    def test_accepts_lists_and_arrays_identically(self, values):
+        import numpy as np
+
+        from_list = MetricsFrame()
+        from_list.observe_many("lat_us", values)
+        from_array = MetricsFrame()
+        from_array.observe_many("lat_us", np.asarray(values, dtype=np.float64))
+        assert from_list.to_dict() == from_array.to_dict()
+
+    def test_empty_batch_creates_no_histogram(self):
+        frame = MetricsFrame()
+        frame.observe_many("lat_us", [])
+        assert frame.hists == {}

@@ -311,3 +311,95 @@ class TestZnsEpochParity:
         )
         assert out.size == 0
         assert device.counters.writes == 0
+
+
+def _random_cmt(rng, capacity: int, ntvpns: int):
+    """Random CMT slot-array state with unique stamps, like a live cache."""
+    tvpn_slot = np.full(ntvpns, UNMAPPED, dtype=np.int64)
+    slot_tvpn = np.full(capacity, UNMAPPED, dtype=np.int64)
+    slot_dirty = np.zeros(capacity, dtype=np.int8)
+    used = int(rng.integers(0, capacity + 1))
+    resident = rng.choice(ntvpns, size=used, replace=False)
+    for slot, tvpn in enumerate(resident.tolist()):
+        tvpn_slot[tvpn] = slot
+        slot_tvpn[slot] = tvpn
+        slot_dirty[slot] = int(rng.integers(0, 2))
+    # One monotonic counter stamps every insert/hit, so live stamps are
+    # unique; empty slots keep stale stamps, which the kernels ignore.
+    slot_stamp = rng.permutation(capacity).astype(np.int64)
+    return tvpn_slot, slot_tvpn, slot_dirty, slot_stamp
+
+
+class TestCmtProbeParity:
+    @given(
+        capacity=st.integers(1, 12),
+        ntvpns=st.integers(12, 48),
+        ngroups=st.integers(1, 16),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_matches_scalar_probe_loop(
+        self, kernel_mode, capacity, ntvpns, ngroups, seed
+    ):
+        rng = np.random.default_rng(seed)
+        tvpn_slot, _slot_tvpn, slot_dirty, slot_stamp = _random_cmt(
+            rng, capacity, ntvpns
+        )
+        tvpns = rng.choice(ntvpns, size=min(ngroups, ntvpns), replace=False).astype(
+            np.int64
+        )
+        counts = rng.integers(1, 9, size=tvpns.size).astype(np.int64)
+        start = int(rng.integers(0, tvpns.size))
+        stamp = int(slot_stamp.max()) + 1
+
+        ref_slot_dirty = slot_dirty.copy()
+        ref_slot_stamp = slot_stamp.copy()
+        ref_consumed, ref_stamp = compiled._cmt_probe_loop(
+            tvpn_slot.copy(), ref_slot_dirty, ref_slot_stamp,
+            tvpns, counts, start, stamp,
+        )
+        consumed, next_stamp = compiled.cmt_probe_batch(
+            tvpn_slot, slot_dirty, slot_stamp, tvpns, counts, start, stamp
+        )
+        assert consumed == ref_consumed
+        assert next_stamp == ref_stamp
+        assert np.array_equal(slot_dirty, ref_slot_dirty), "dirty bits diverged"
+        assert np.array_equal(slot_stamp, ref_slot_stamp), "LRU stamps diverged"
+        # The first unconsumed group (if any) really is a miss.
+        if start + consumed < tvpns.size:
+            assert tvpn_slot[tvpns[start + consumed]] == UNMAPPED
+
+    def test_start_past_end_is_a_no_op(self, kernel_mode):
+        tvpn_slot = np.full(4, UNMAPPED, dtype=np.int64)
+        consumed, stamp = compiled.cmt_probe_batch(
+            tvpn_slot, np.zeros(2, dtype=np.int8), np.zeros(2, dtype=np.int64),
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64), 0, 7,
+        )
+        assert (consumed, stamp) == (0, 7)
+
+
+class TestCmtEvictParity:
+    @given(
+        capacity=st.integers(1, 16),
+        ntvpns=st.integers(16, 64),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_matches_scalar_evict_loop(self, kernel_mode, capacity, ntvpns, seed):
+        rng = np.random.default_rng(seed)
+        _tvpn_slot, slot_tvpn, slot_dirty, slot_stamp = _random_cmt(
+            rng, capacity, ntvpns
+        )
+        ref_dirty = slot_dirty.copy()
+        ref = compiled._cmt_evict_loop(slot_tvpn.copy(), ref_dirty, slot_stamp.copy())
+        got = compiled.cmt_evict_batch(slot_tvpn, slot_dirty, slot_stamp)
+        assert got.tolist() == ref.tolist()
+        assert np.array_equal(slot_dirty, ref_dirty), "dirty bits diverged"
+        # Selected tvpns come back LRU-ascending and all dirty bits clear.
+        if got.size:
+            stamps = slot_stamp[[int(np.flatnonzero(slot_tvpn == t)[0]) for t in got]]
+            assert np.all(np.diff(stamps) > 0)
+        occupied = slot_tvpn >= 0
+        assert not slot_dirty[occupied].any()
