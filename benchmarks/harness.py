@@ -14,7 +14,7 @@ gates the results against a committed baseline::
 Each scenario reports operations/second, wall time, and peak RSS, and
 asserts that both implementations agree on the physics (same WA, GC run
 counts, zone states) before timing is trusted. Results land in
-``BENCH_PR9.json``; the gate fails (exit 1) when a scenario's speedup
+``BENCH_PR10.json``; the gate fails (exit 1) when a scenario's speedup
 falls below ``max(speedup_floor, speedup_reference * (1 - tolerance))``
 from ``benchmarks/baseline.json`` -- i.e. a >20% throughput regression
 against the committed reference, or dropping under the absolute floor
@@ -56,7 +56,7 @@ from repro.workloads.synthetic import (  # noqa: E402
 )
 from repro.zns.zone import ZoneState  # noqa: E402
 
-DEFAULT_OUT = "BENCH_PR9.json"
+DEFAULT_OUT = "BENCH_PR10.json"
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 TOLERANCE = 0.20  # >20% throughput regression vs the committed reference fails
 

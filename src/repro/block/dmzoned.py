@@ -109,9 +109,15 @@ class ZonedBlockDevice:
         device: ZonedDevice,
         config: ZonedBlockConfig | None = None,
         tracer: Tracer | None = None,
+        lifecycle: Any = None,
     ):
         self.device = device
         self.config = config or ZonedBlockConfig()
+        # Optional ZoneLifecycleManager (duck-typed to avoid a block ->
+        # hostio import cycle): when present, finishes and resets route
+        # through its bounded-retry path instead of raw device commands,
+        # so transient management faults degrade instead of propagating.
+        self.lifecycle = lifecycle
         self.policy: VictimPolicy = make_policy(self.config.gc_policy)
         self.stats = ZonedBlockStats()
         # Share the device's bus so host-layer events interleave with the
@@ -231,7 +237,7 @@ class ZonedBlockDevice:
         for _ in range(8):
             if self._frontier_full(self._write_zone):
                 if self._write_zone is not None:
-                    self._seal(self._write_zone)
+                    ops.extend(self._seal(self._write_zone))
                     self._write_zone = None
                 if auto_gc and self.gc_needed():
                     ops.extend(self.collect(self.config.gc_high_zones))
@@ -244,7 +250,7 @@ class ZonedBlockDevice:
                 # The frontier degraded to READ_ONLY: its valid pages stay
                 # readable and reclaimable, so seal it for GC and move on.
                 self.stats.zones_degraded += 1
-                self._seal(zone)
+                ops.extend(self._seal(zone))
                 self._write_zone = None
                 continue
             except ZoneOfflineError:
@@ -308,14 +314,17 @@ class ZonedBlockDevice:
             self._drop_offline_zone(zone)
         raise TranslationError("no free zones available")
 
-    def _seal(self, zone: int) -> None:
+    def _seal(self, zone: int) -> list[FlashOp]:
         self._sealed.add(zone)
         self._seal_times[zone] = self._clock
         self.policy.notify_sealed(zone, self._clock)
         # Finishing releases the device's active-zone resources; degraded
         # (READ_ONLY/OFFLINE) zones hold none and cannot be finished.
         if self.device.zone(zone).state.is_active:
-            self.device.finish_zone(zone)
+            if self.lifecycle is not None:
+                return self.lifecycle.finish_now(zone)
+            return self.device.finish_zone(zone)
+        return []
 
     def _drop_offline_zone(self, zone: int) -> None:
         """Forget a zone that went OFFLINE: its data and capacity are lost."""
@@ -398,7 +407,7 @@ class ZonedBlockDevice:
                 # The GC destination degraded before the copy landed:
                 # seal it for a later pass and retry into a fresh zone.
                 self.stats.zones_degraded += 1
-                self._seal(dst)
+                ops.extend(self._seal(dst))
                 self._forget_active(dst)
                 self._victim_offsets.insert(0, offset)
                 continue
@@ -433,12 +442,20 @@ class ZonedBlockDevice:
                 self._victim = None
                 self.stats.gc_runs += 1
                 return ops
-            ops.extend(self.device.reset_zone(victim))
+            if self.lifecycle is not None:
+                ops.extend(self.lifecycle.reset_now(victim))
+            else:
+                ops.extend(self.device.reset_zone(victim))
             self._sealed.discard(victim)
             self._seal_times.pop(victim, None)
             self.policy.notify_erased(victim)
-            if self.device.zone(victim).state is ZoneState.OFFLINE:
+            state = self.device.zone(victim).state
+            if state is ZoneState.OFFLINE:
                 # Reset retired the last backing blocks (spares exhausted).
+                self.stats.zones_lost += 1
+            elif state is not ZoneState.EMPTY:
+                # Lifecycle retries exhausted (quarantined): the zone never
+                # reset, so its capacity leaves circulation.
                 self.stats.zones_lost += 1
             else:
                 self._free_zones.append(victim)

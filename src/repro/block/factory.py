@@ -95,6 +95,36 @@ def _as_kwargs(pairs: tuple[tuple[str, Any], ...]) -> dict[str, Any]:
     return {name: _thaw(value) for name, value in pairs}
 
 
+#: FaultPlan fields added after SPEC_VERSION 1 shipped: omitted from the
+#: serialized plan when at their defaults so pre-existing spec hashes
+#: stay valid (the same contract as optional spec fields).
+_PLAN_OPTIONAL_FIELDS = frozenset(
+    {
+        "reset_fail_prob",
+        "finish_timeout_prob",
+        "finish_timeout_us",
+        "stuck_open_zones",
+        "stuck_release_after",
+    }
+)
+
+
+def _plan_payload(plan: FaultPlan) -> dict[str, Any]:
+    payload: dict[str, Any] = {}
+    for f in dataclasses.fields(plan):
+        value = getattr(plan, f.name)
+        if f.name in _PLAN_OPTIONAL_FIELDS:
+            default = (
+                f.default
+                if f.default is not dataclasses.MISSING
+                else f.default_factory()
+            )
+            if value == default:
+                continue
+        payload[f.name] = _thaw(value)
+    return payload
+
+
 @dataclass(frozen=True)
 class DeviceSpec:
     """A frozen, hashable description of one device stack.
@@ -136,6 +166,11 @@ class DeviceSpec:
         Wear-leveling policy ('none' / 'dynamic' / 'static') for FTL
         kinds; ``None`` keeps the default ('dynamic'). Spec-level sugar
         for the same key in ``ftl``.
+    zone_mgmt:
+        :class:`~repro.flash.timing.ZoneMgmtTiming` kwargs for zoned
+        kinds (e.g. ``{"reset_us": 2000.0}``), stored as a sorted tuple
+        of pairs; pass a plain dict. Empty (the default) keeps zone
+        management free and silent -- the historical behavior.
     """
 
     kind: str
@@ -154,6 +189,7 @@ class DeviceSpec:
     fault_scale: float = 1.0
     cmt_bytes: int | None = None
     wl_policy: str | None = None
+    zone_mgmt: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -165,7 +201,7 @@ class DeviceSpec:
                 f"unknown geometry preset {self.geometry!r}; "
                 f"know {list(GEOMETRY_PRESETS)}"
             )
-        for name in ("flash", "ftl", "zoned_block", "extra"):
+        for name in ("flash", "ftl", "zoned_block", "extra", "zone_mgmt"):
             value = getattr(self, name)
             if isinstance(value, Mapping):
                 value = _freeze(value)
@@ -178,6 +214,14 @@ class DeviceSpec:
                     raise ValueError(f"{name} only applies to zoned kinds, not {self.kind!r}")
             if self.spare_blocks:
                 raise ValueError("spare_blocks only applies to zoned kinds")
+            if self.zone_mgmt:
+                raise ValueError("zone_mgmt only applies to zoned kinds")
+        if self.zone_mgmt:
+            # Validate eagerly: a bad knob should fail at spec time, not
+            # deep inside build_stack.
+            from repro.flash.timing import ZoneMgmtTiming
+
+            ZoneMgmtTiming(**_as_kwargs(self.zone_mgmt))
         if self.ftl and self.kind not in (
             "conventional-ftl", "conventional-ssd", "conventional-timed", "dftl"
         ):
@@ -245,12 +289,7 @@ class DeviceSpec:
             "spare_blocks": self.spare_blocks,
             "fault_scale": self.fault_scale,
             "fault_plan": (
-                None
-                if self.fault_plan is None
-                else {
-                    f.name: _thaw(getattr(self.fault_plan, f.name))
-                    for f in dataclasses.fields(self.fault_plan)
-                }
+                None if self.fault_plan is None else _plan_payload(self.fault_plan)
             ),
         }
         # New optional fields are omitted when unset so pre-existing
@@ -259,6 +298,8 @@ class DeviceSpec:
             payload["cmt_bytes"] = self.cmt_bytes
         if self.wl_policy is not None:
             payload["wl_policy"] = self.wl_policy
+        if self.zone_mgmt:
+            payload["zone_mgmt"] = _as_kwargs(self.zone_mgmt)
         return payload
 
     @classmethod
@@ -287,6 +328,7 @@ class DeviceSpec:
             fault_scale=payload.get("fault_scale", 1.0),
             cmt_bytes=payload.get("cmt_bytes"),
             wl_policy=payload.get("wl_policy"),
+            zone_mgmt=payload.get("zone_mgmt", ()),
         )
 
     def canonical_json(self) -> str:
@@ -352,6 +394,15 @@ def _ftl_config(spec: DeviceSpec):
     if spec.wl_policy is not None:
         kwargs.setdefault("wl_policy", spec.wl_policy)
     return FTLConfig(**kwargs) if kwargs else None
+
+
+def _mgmt_timing(spec: DeviceSpec):
+    """The spec's ZoneMgmtTiming, or None when no knob is set."""
+    if not spec.zone_mgmt:
+        return None
+    from repro.flash.timing import ZoneMgmtTiming
+
+    return ZoneMgmtTiming(**_as_kwargs(spec.zone_mgmt))
 
 
 def _injector(spec: DeviceSpec):
@@ -435,6 +486,7 @@ def build_stack(spec: DeviceSpec, engine: Any = None, tracer: Any = None, **runt
             striped=spec.striped,
             tracer=tracer,
             faults=faults,
+            mgmt_timing=_mgmt_timing(spec),
             **extra,
         )
     if spec.kind == "zns-timed":
@@ -445,6 +497,7 @@ def build_stack(spec: DeviceSpec, engine: Any = None, tracer: Any = None, **runt
             spec.zoned_geometry(),
             striped=spec.striped,
             tracer=tracer,
+            mgmt_timing=_mgmt_timing(spec),
             **extra,
         )
     if spec.kind == "dmzoned":
@@ -458,6 +511,7 @@ def build_stack(spec: DeviceSpec, engine: Any = None, tracer: Any = None, **runt
             striped=spec.striped,
             tracer=tracer,
             faults=faults,
+            mgmt_timing=_mgmt_timing(spec),
         )
         return ZonedBlockDevice(
             device,
@@ -468,6 +522,18 @@ def build_stack(spec: DeviceSpec, engine: Any = None, tracer: Any = None, **runt
         from repro.block.dmzoned import ZonedBlockConfig
         from repro.hostio.timed import TimedZonedBlockDevice
 
+        mgmt = _mgmt_timing(spec)
+        if mgmt is not None and "device" not in extra:
+            from repro.zns.device import ZNSDevice
+
+            extra["device"] = ZNSDevice(
+                spec.zoned_geometry(),
+                store_data=spec.store_data,
+                spare_blocks=spec.spare_blocks,
+                striped=spec.striped,
+                tracer=tracer,
+                mgmt_timing=mgmt,
+            )
         return TimedZonedBlockDevice(
             engine,
             spec.zoned_geometry(),

@@ -49,6 +49,7 @@ _DESCRIPTIONS = {
     "E14": "Device lifetime: measured WA x cell endurance",
     "E15": "Fault resilience: WA/tails under injected flash faults",
     "E16": "Fleet serving: placement x mix x burstiness at rack scale",
+    "E17": "Reset pressure: zone-management cost vs the ZNS tail win",
     "A1": "Ablation: GC victim policy x workload skew",
     "A2": "Ablation: zone width vs LSM reclaim overhead",
     "A3": "Ablation: erase suspension vs read tails",

@@ -34,6 +34,7 @@ from repro.experiments import (
     e14_endurance,
     e15_fault_resilience,
     e16_fleet_serving,
+    e17_reset_pressure,
     t1_survey,
 )
 from repro.experiments.base import ExperimentConfig, ExperimentResult
@@ -65,6 +66,7 @@ MODULES: dict[str, ModuleType] = {
     "E14": e14_endurance,
     "E15": e15_fault_resilience,
     "E16": e16_fleet_serving,
+    "E17": e17_reset_pressure,
     "A1": a1_gc_policy,
     "A2": a2_zone_size,
     "A3": a3_erase_suspend,
@@ -72,11 +74,11 @@ MODULES: dict[str, ModuleType] = {
     "A5": a5_metadata,
 }
 
-#: Ids included in ``run all`` / :func:`run_all`. E15 and E16 inject
-#: flash faults, so keeping them out of the default suite keeps the
-#: suite's output deterministic and fault-free; run them explicitly by id.
+#: Ids included in ``run all`` / :func:`run_all`. E15-E17 inject
+#: flash/management faults, so keeping them out of the default suite keeps
+#: the suite's output deterministic and fault-free; run them explicitly by id.
 DEFAULT_IDS: tuple[str, ...] = tuple(
-    key for key in MODULES if key not in ("E15", "E16")
+    key for key in MODULES if key not in ("E15", "E16", "E17")
 )
 
 #: id -> run callable. Pre-redesign shim; prefer :func:`run_config`.

@@ -64,6 +64,10 @@ class FaultInjector:
         self._pending_bad: set[int] = set()
         self._offline = sorted(plan.zone_offline_at)
         self._offline_next = 0
+        self._stuck_schedule = sorted(plan.stuck_open_zones)
+        self._stuck_next = 0
+        # Zones currently stuck open -> rejected-attempt count so far.
+        self._stuck: dict[int, int] = {}
 
     @property
     def armed(self) -> bool:
@@ -210,6 +214,60 @@ class FaultInjector:
             for _ in range(errors):
                 extra += self._ladder(block, first_page)
         return extra
+
+    # -- Zone-management hooks (consulted by ZNSDevice) ----------------------
+
+    def on_zone_reset(self, zone: int) -> bool:
+        """Decide one zone reset; True means it fails transiently.
+
+        The decision lands *before* any erase is issued (pre-mutation,
+        like the batch program contract): a failed reset leaves zone and
+        flash state untouched and the host simply retries.
+        """
+        self._tick()
+        if self.plan.reset_fail_prob and self.rng.random() < self.plan.reset_fail_prob:
+            self._fire("reset-fail", zone=zone)
+            return True
+        return False
+
+    def on_zone_finish(self, zone: int) -> bool:
+        """Decide one zone finish; True means the command times out.
+
+        A timeout is pre-mutation (the zone is not sealed) but consumes
+        ``plan.finish_timeout_us`` of device time, which the device's
+        :class:`~repro.zns.errors.ZoneFinishTimeoutError` carries.
+        """
+        self._tick()
+        if (
+            self.plan.finish_timeout_prob
+            and self.rng.random() < self.plan.finish_timeout_prob
+        ):
+            self._fire(
+                "finish-timeout", zone=zone, latency_us=self.plan.finish_timeout_us
+            )
+            return True
+        return False
+
+    def zone_stuck(self, zone: int) -> bool:
+        """True if ``zone`` is stuck open and this attempt is rejected.
+
+        Each call while stuck counts one rejected management attempt;
+        after ``plan.stuck_release_after`` rejections the controller's
+        internal recovery releases the zone and commands flow again.
+        """
+        while self._stuck_next < len(self._stuck_schedule) and (
+            self._stuck_schedule[self._stuck_next][0] <= self.ops
+        ):
+            self._stuck.setdefault(self._stuck_schedule[self._stuck_next][1], 0)
+            self._stuck_next += 1
+        if zone not in self._stuck:
+            return False
+        self._stuck[zone] += 1
+        if self._stuck[zone] > self.plan.stuck_release_after:
+            del self._stuck[zone]
+            return False
+        self._fire("stuck-open", zone=zone, retries=self._stuck[zone])
+        return True
 
     # -- Scheduled zone faults (polled by ZNSDevice) -------------------------
 

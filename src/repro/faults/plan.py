@@ -71,6 +71,26 @@ class FaultPlan:
         ``(op_index, zone)`` pairs: once the op counter reaches
         ``op_index``, the ZNS device transitions the zone OFFLINE before
         its next host command -- the spec's "vendor specific" zone death.
+    reset_fail_prob:
+        Per-command probability that a zone reset fails transiently
+        *before* any erase is issued
+        (:class:`~repro.zns.errors.ZoneResetFailedError`, retryable:
+        zone state and data untouched).
+    finish_timeout_prob:
+        Per-command probability that a zone finish times out
+        (:class:`~repro.zns.errors.ZoneFinishTimeoutError`, retryable).
+        The failed attempt still costs ``finish_timeout_us`` of device
+        time, which the error carries for host accounting.
+    finish_timeout_us:
+        Latency consumed by each timed-out finish attempt.
+    stuck_open_zones:
+        ``(op_index, zone)`` pairs: once the op counter reaches
+        ``op_index``, the zone sticks open -- finish/reset/close bounce
+        with :class:`~repro.zns.errors.ZoneStuckOpenError` until
+        ``stuck_release_after`` attempts have been rejected (the
+        controller's internal recovery finally releasing the zone).
+    stuck_release_after:
+        Rejected management attempts before a stuck zone releases.
     """
 
     seed: int = 0
@@ -83,6 +103,11 @@ class FaultPlan:
     latency_spike_us: float = 2_000.0
     grown_bad_blocks: tuple[tuple[int, int], ...] = field(default_factory=tuple)
     zone_offline_at: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    reset_fail_prob: float = 0.0
+    finish_timeout_prob: float = 0.0
+    finish_timeout_us: float = 5_000.0
+    stuck_open_zones: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    stuck_release_after: int = 3
 
     def __post_init__(self) -> None:
         _check_prob("program_fail_prob", self.program_fail_prob)
@@ -90,10 +115,16 @@ class FaultPlan:
         _check_prob("read_error_prob", self.read_error_prob)
         _check_prob("retry_success_prob", self.retry_success_prob)
         _check_prob("latency_spike_prob", self.latency_spike_prob)
+        _check_prob("reset_fail_prob", self.reset_fail_prob)
+        _check_prob("finish_timeout_prob", self.finish_timeout_prob)
         if any(rung < 0 for rung in self.retry_ladder_us):
             raise ValueError("retry_ladder_us rungs must be >= 0")
         if self.latency_spike_us < 0:
             raise ValueError("latency_spike_us must be >= 0")
+        if self.finish_timeout_us < 0:
+            raise ValueError("finish_timeout_us must be >= 0")
+        if self.stuck_release_after < 1:
+            raise ValueError("stuck_release_after must be >= 1")
         # Tuples may arrive as lists from config code; freeze them.
         object.__setattr__(
             self, "retry_ladder_us", tuple(float(r) for r in self.retry_ladder_us)
@@ -108,12 +139,20 @@ class FaultPlan:
             "zone_offline_at",
             tuple((int(op), int(zone)) for op, zone in self.zone_offline_at),
         )
+        object.__setattr__(
+            self,
+            "stuck_open_zones",
+            tuple((int(op), int(zone)) for op, zone in self.stuck_open_zones),
+        )
         for op, blk in self.grown_bad_blocks:
             if op < 0 or blk < 0:
                 raise ValueError(f"grown_bad_blocks entry ({op}, {blk}) negative")
         for op, zone in self.zone_offline_at:
             if op < 0 or zone < 0:
                 raise ValueError(f"zone_offline_at entry ({op}, {zone}) negative")
+        for op, zone in self.stuck_open_zones:
+            if op < 0 or zone < 0:
+                raise ValueError(f"stuck_open_zones entry ({op}, {zone}) negative")
 
     @property
     def armed(self) -> bool:
@@ -125,6 +164,9 @@ class FaultPlan:
             or self.latency_spike_prob
             or self.grown_bad_blocks
             or self.zone_offline_at
+            or self.reset_fail_prob
+            or self.finish_timeout_prob
+            or self.stuck_open_zones
         )
 
     def scaled(self, factor: float) -> "FaultPlan":
@@ -142,6 +184,8 @@ class FaultPlan:
             erase_fail_prob=min(1.0, self.erase_fail_prob * factor),
             read_error_prob=min(1.0, self.read_error_prob * factor),
             latency_spike_prob=min(1.0, self.latency_spike_prob * factor),
+            reset_fail_prob=min(1.0, self.reset_fail_prob * factor),
+            finish_timeout_prob=min(1.0, self.finish_timeout_prob * factor),
         )
 
 

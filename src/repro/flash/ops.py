@@ -18,6 +18,7 @@ class OpKind(enum.Enum):
     PROGRAM = "program"
     ERASE = "erase"
     COPY = "copy"  # device-internal copy (copyback / simple copy)
+    MGMT = "mgmt"  # zone-management overhead (reset/finish command cost)
 
 
 @dataclass(frozen=True)
@@ -39,7 +40,7 @@ class FlashOp:
 
     @property
     def is_background(self) -> bool:
-        return self.kind in (OpKind.ERASE, OpKind.COPY)
+        return self.kind in (OpKind.ERASE, OpKind.COPY, OpKind.MGMT)
 
 
 def total_latency(ops: list[FlashOp]) -> float:

@@ -32,6 +32,7 @@ _OP_NAMES = {
     OpKind.PROGRAM: "program",
     OpKind.ERASE: "erase",
     OpKind.COPY: "copy",
+    OpKind.MGMT: "mgmt",
 }
 
 
@@ -102,6 +103,11 @@ class FlashServiceModel:
         if op.kind == OpKind.COPY:
             # Copyback: read + program array time on the plane, no channel.
             return self.timing.read_us + self.timing.program_us, 0.0
+        if op.kind == OpKind.MGMT:
+            # Zone-management overhead carries its own configured latency
+            # (it is per-device ZoneMgmtTiming, not part of the NAND
+            # timing model) and holds a die lane without channel use.
+            return op.latency_us, 0.0
         raise ValueError(f"unknown op kind: {op.kind}")
 
     def execute(self, op: FlashOp, priority: float | None = None) -> Generator:
@@ -158,7 +164,11 @@ class FlashServiceModel:
 
         elapsed = self.engine.now - start
         if self.tracer.enabled:
-            nbytes = self.geometry.page_size if op.kind is not OpKind.ERASE else 0
+            nbytes = (
+                0
+                if op.kind in (OpKind.ERASE, OpKind.MGMT)
+                else self.geometry.page_size
+            )
             self.tracer.publish(
                 FlashOpEvent(
                     "flash.service",

@@ -70,4 +70,48 @@ class TimingModel:
         return TimingModel(cell_type=cell_type)
 
 
-__all__ = ["TimingModel"]
+@dataclass(frozen=True)
+class ZoneMgmtTiming:
+    """Latency (microseconds) of ZNS zone-management commands.
+
+    The ZNS spec prices data commands but leaves management commands
+    (reset, finish, open, close) unpriced, and most models treat them as
+    free. They are not: a reset must quiesce the zone's dies and update
+    controller mapping state before the erases even start, and a finish
+    pads the unwritten remainder of the zone (``finish_per_page_us`` per
+    unwritten page) so the device can seal its metadata.
+
+    All fields default to zero, which means "management is free" -- the
+    historical behavior. A device given a :class:`ZoneMgmtTiming` with
+    any nonzero field starts charging (and, in the DES, *occupying the
+    zone and a die lane for*) these costs.
+    """
+
+    reset_us: float = 0.0
+    finish_us: float = 0.0
+    finish_per_page_us: float = 0.0
+    open_us: float = 0.0
+    close_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("reset_us", "finish_us", "finish_per_page_us", "open_us", "close_us"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any management command costs time."""
+        return bool(
+            self.reset_us
+            or self.finish_us
+            or self.finish_per_page_us
+            or self.open_us
+            or self.close_us
+        )
+
+    def finish_total_us(self, unwritten_pages: int) -> float:
+        """Cost of finishing a zone with ``unwritten_pages`` left unpadded."""
+        return self.finish_us + self.finish_per_page_us * unwritten_pages
+
+
+__all__ = ["TimingModel", "ZoneMgmtTiming"]

@@ -21,6 +21,15 @@ Storage semantics per interface (as in E3/§2.4's cache scenario): the
 conventional arm overwrites objects in place and trims deletions, paying
 device GC; the ZNS arm appends to per-tenant zone logs and reclaims
 whole zones by reset, so deleted data simply ages out of the log.
+
+Zone management is not free: with :class:`~repro.flash.timing.ZoneMgmtTiming`
+armed, a reset occupies the zone for real microseconds, and with
+management faults scheduled it can bounce. The naive ZNS host resets
+inline on the write path (and spins on bounced commands); with
+``FleetSpec.zone_lifecycle`` each tenant instead routes management
+through a :class:`~repro.hostio.zonelife.ZoneLifecycleManager` --
+reset-ahead at tick boundaries, bounded retry, quarantine -- which is
+the E17 comparison.
 """
 
 from __future__ import annotations
@@ -33,8 +42,10 @@ from typing import Any
 import numpy as np
 
 from repro.block.factory import DeviceSpec, build_stack
+from repro.flash.ops import FlashOp, OpKind
 from repro.fleet import placement
 from repro.fleet.spec import FleetSpec
+from repro.hostio.zonelife import ZoneLifecycleManager
 from repro.obs.events import HostRequestBatchEvent, HostRequestEvent
 from repro.obs.frame import FrameSink, MetricsFrame
 from repro.obs.tracer import Tracer
@@ -44,6 +55,10 @@ from repro.workloads.multitenant import demand_trace
 
 #: Stack kinds the rack knows how to drive.
 SERVING_KINDS = ("conventional-ftl", "zns")
+
+#: Inline reset attempts a lifecycle-less (naive) tenant makes before
+#: giving up on a bouncing zone for this lap of the log.
+_NAIVE_RESET_TRIES = 3
 
 
 def derive_seed(*parts: Any) -> int:
@@ -101,16 +116,22 @@ def _service_us(ops: list) -> float:
 
     Channel-using ops serialize on the device's host interface;
     device-internal ops (erases during reset, copyback) overlap across
-    planes, so only the longest one holds the queue.
+    planes, so only the longest one holds the queue. Zone-management
+    overhead (``OpKind.MGMT``) holds the zone and its die lane for its
+    full duration, so it adds serially instead of joining the
+    internal-op overlap.
     """
     channel = 0.0
     internal = 0.0
+    mgmt = 0.0
     for op in ops:
-        if op.uses_channel:
+        if op.kind is OpKind.MGMT:
+            mgmt += op.latency_us
+        elif op.uses_channel:
             channel += op.latency_us
         elif op.latency_us > internal:
             internal = op.latency_us
-    return channel + internal
+    return channel + internal + mgmt
 
 
 class _LiveSet:
@@ -275,10 +296,18 @@ class _ConventionalTenant:
 class _ZnsTenant:
     """One tenant's zone log on a ZNS device (append + wholesale reset)."""
 
-    def __init__(self, spec: FleetSpec, tenant_id: int, device, zones: list[int]):
+    def __init__(
+        self,
+        spec: FleetSpec,
+        tenant_id: int,
+        device,
+        zones: list[int],
+        lifecycle: ZoneLifecycleManager | None = None,
+    ):
         self.device = device
         self.zones = zones
         self.cursor = 0
+        self.lifecycle = lifecycle
         self._program_us = device.nand.timing.program_total_us(device.page_size)
         self.epoch_of = {zone: 0 for zone in zones}
         self.live = _LiveSet()
@@ -300,7 +329,15 @@ class _ZnsTenant:
         del self.epoch_of[zone]
 
     def _advance(self, frame: MetricsFrame) -> list:
-        """Move the log head to the next zone, resetting it if needed."""
+        """Move the log head to the next zone, resetting it if needed.
+
+        With a lifecycle manager, the reset rides the reset-ahead
+        reserve when it can (no inline latency) and falls back to
+        managed inline reset (bounded retry, quarantine on exhaustion).
+        Without one -- the naive host -- bounced resets spin inline,
+        charging every failed command's latency to the foreground path.
+        """
+        from repro.zns.errors import RetryableZnsError, ZoneStateError
         from repro.zns.zone import ZoneState
 
         self.cursor = (self.cursor + 1) % len(self.zones)
@@ -308,9 +345,71 @@ class _ZnsTenant:
         state = self.device.zone(zone).state
         if state in (ZoneState.EMPTY, ZoneState.IMPLICIT_OPEN, ZoneState.EXPLICIT_OPEN, ZoneState.CLOSED):
             return []
+        if state is ZoneState.OFFLINE:
+            # Died in place (background fault poll while FULL): retire
+            # it rather than resetting dead media.
+            frame.add("fleet.zones_offlined")
+            self._retire_zone(zone)
+            if self.zones:
+                self.cursor %= len(self.zones)
+            return []
         frame.add("fleet.zone_resets")
-        self._drop_zone(zone)
-        return self.device.reset_zone(zone)
+        if self.lifecycle is not None:
+            fresh = self.lifecycle.request_free_zone()
+            if fresh is not None:
+                # Reset-ahead hit: swap in an already-EMPTY zone and
+                # hand the full one to the background reset queue. The
+                # write path pays nothing here -- the reset was charged
+                # in an idle window.
+                self._drop_zone(zone)
+                self.lifecycle.note_reclaimable(zone)
+                self.zones[self.cursor] = fresh
+                self.epoch_of.setdefault(fresh, 0)
+                self._zone_keys.setdefault(fresh, [])
+                return []
+            try:
+                ops = self.lifecycle.reset_now(zone)
+            except ZoneStateError:
+                if self.device.zone(zone).state is ZoneState.OFFLINE:
+                    frame.add("fleet.zones_offlined")
+                    self._retire_zone(zone)
+                    if self.zones:
+                        self.cursor %= len(self.zones)
+                    return []
+                raise
+            if self.lifecycle.is_quarantined(zone):
+                frame.add("fleet.zones_quarantined")
+                self._retire_zone(zone)
+                if self.zones:
+                    self.cursor %= len(self.zones)
+            elif self.device.zone(zone).state is ZoneState.EMPTY:
+                self._drop_zone(zone)
+            return ops
+        ops: list = []
+        for _ in range(_NAIVE_RESET_TRIES):
+            try:
+                ops.extend(self.device.reset_zone(zone))
+            except RetryableZnsError as err:
+                # Naive host: eat the bounced command inline and retry.
+                frame.add("fleet.reset_retries")
+                if err.latency_us:
+                    ops.append(
+                        FlashOp(OpKind.MGMT, 0, None, err.latency_us, uses_channel=False)
+                    )
+                continue
+            except ZoneStateError:
+                if self.device.zone(zone).state is ZoneState.OFFLINE:
+                    frame.add("fleet.zones_offlined")
+                    self._retire_zone(zone)
+                    if self.zones:
+                        self.cursor %= len(self.zones)
+                    return ops
+                raise
+            self._drop_zone(zone)
+            return ops
+        # Still bouncing after the inline budget: leave the zone FULL
+        # and move on; the next lap of the log tries again.
+        return ops
 
     def step(self, frame: MetricsFrame) -> float:
         from repro.flash.errors import ProgramFaultError
@@ -568,9 +667,23 @@ def simulate_device(
                 zones = list(range(i * zones_per_tenant, (i + 1) * zones_per_tenant))
                 for zone in zones[:fill]:
                     stack.append_batch(zone, pages_per_zone)
-                sim = _ZnsTenant(spec, tid, stack, zones)
+                lifecycle = None
+                if spec.zone_lifecycle:
+                    lifecycle = ZoneLifecycleManager(stack)
+                    # Seed the reset-ahead reserve from the tenant's
+                    # empty tail (resetting EMPTY zones is a no-op, so
+                    # this costs nothing); the rotation shrinks by the
+                    # held-out zones and cycles through the reserve.
+                    hold = min(lifecycle.reserve_target, len(zones) - fill - 1)
+                    if hold > 0:
+                        for zone in zones[-hold:]:
+                            lifecycle.note_reclaimable(zone)
+                        del zones[-hold:]
+                        lifecycle.tick()
+                sim = _ZnsTenant(spec, tid, stack, zones, lifecycle=lifecycle)
                 sim.cursor = fill
                 sims.append(sim)
+    managed = [sim for sim in sims if getattr(sim, "lifecycle", None) is not None]
 
     # Warmup ticks churn against a throwaway frame (GC / zone-reclaim
     # pressure must be steady before counting starts); the real sink
@@ -598,6 +711,17 @@ def simulate_device(
             frame = sink.frame
             flash_before = nand.physical_bytes_written()
         now = tick * spec.tick_us
+        # Background lifecycle pass before the arrival clamp: deferred
+        # finishes and reset-ahead run only when the queue has drained
+        # (a genuine idle window), so the tick's idle gap absorbs them
+        # -- the whole point of keeping resets off the write path. Mid-
+        # burst the pass stands down and the reserve carries the log.
+        for sim in managed:
+            if busy > now:
+                break
+            work = sim.lifecycle.tick()
+            if work:
+                busy += _service_us(work)
         if busy < now:
             busy = now
         for tid, sim in zip(tenants, sims):
@@ -685,8 +809,20 @@ def simulate_device(
         offline = sum(
             1 for zone in stack.report_zones() if zone.state is ZoneState.OFFLINE
         )
-        frame.add("fleet.capacity_units_lost", offline)
+        quarantined = sum(
+            1
+            for sim in managed
+            for zone in sim.lifecycle.quarantined_zones
+            if stack.zone(zone).state is not ZoneState.OFFLINE
+        )
+        frame.add("fleet.capacity_units_lost", offline + quarantined)
         frame.add("fleet.capacity_units", stack.zone_count)
+    for sim in managed:
+        stats = sim.lifecycle.stats
+        frame.add("fleet.lifecycle.reserve_hits", stats.reserve_hits)
+        frame.add("fleet.lifecycle.reserve_misses", stats.reserve_misses)
+        frame.add("fleet.lifecycle.retries", stats.retries)
+        frame.add("fleet.lifecycle.resets_ahead", stats.reset_ahead)
     host = frame.counter("fleet.host_pages_written")
     if host:
         frame.peak("fleet.device_wa_max", flash_pages / host)

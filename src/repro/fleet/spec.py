@@ -74,6 +74,13 @@ class FleetSpec:
     lifetime_scale:
         Multiplier on the object-lifetime class means, tuned so short
         objects die within a run.
+    zone_lifecycle:
+        When true, every ZNS tenant routes zone management through a
+        per-tenant :class:`~repro.hostio.zonelife.ZoneLifecycleManager`
+        (reset-ahead reserve, retry-with-backoff, quarantine) instead of
+        resetting inline on the write path. Conventional devices ignore
+        it. Off by default; omitted from the serialized form when off so
+        existing fleet hashes are unchanged.
     seed:
         Root seed; every per-tenant and per-device stream derives from it.
     """
@@ -93,6 +100,7 @@ class FleetSpec:
     heavy_factor: int = 2
     utilization: float = 0.8
     lifetime_scale: float = 0.05
+    zone_lifecycle: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -159,7 +167,7 @@ class FleetSpec:
     # -- Serialization ---------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "schema_version": FLEET_VERSION,
             "mix": [[spec.to_dict(), count] for spec, count in self.mix],
             "tenants": self.tenants,
@@ -178,6 +186,9 @@ class FleetSpec:
             "lifetime_scale": self.lifetime_scale,
             "seed": self.seed,
         }
+        if self.zone_lifecycle:
+            payload["zone_lifecycle"] = True
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "FleetSpec":

@@ -1,9 +1,11 @@
-"""Host-side I/O machinery: reclaim scheduling and active-zone budgeting.
+"""Host-side I/O machinery: reclaim scheduling, zone budgeting, lifecycle.
 
 These are the paper's §4 research-agenda knobs, the ones that simply do not
 exist on a conventional SSD: when host-driven reclaim is allowed to touch
-flash (:mod:`repro.hostio.scheduler`) and how the scarce active-zone budget
-is shared among tenants (:mod:`repro.hostio.zonealloc`).
+flash (:mod:`repro.hostio.scheduler`), how the scarce active-zone budget
+is shared among tenants (:mod:`repro.hostio.zonealloc`), and how the host
+survives zone management being slow and failure-prone
+(:mod:`repro.hostio.zonelife`).
 """
 
 from repro.hostio.scheduler import (
@@ -20,6 +22,11 @@ from repro.hostio.zonealloc import (
     ZoneBudgetAllocator,
     make_allocator,
 )
+from repro.hostio.zonelife import (
+    ZoneLifecycleManager,
+    ZoneLifecyclePolicy,
+    ZoneLifecycleStats,
+)
 
 __all__ = [
     "AlwaysOnScheduler",
@@ -30,6 +37,9 @@ __all__ = [
     "StaticPartitionAllocator",
     "TimedZonedBlockDevice",
     "ZoneBudgetAllocator",
+    "ZoneLifecycleManager",
+    "ZoneLifecyclePolicy",
+    "ZoneLifecycleStats",
     "make_allocator",
     "make_scheduler",
 ]

@@ -44,12 +44,18 @@ class TimedZonedBlockDevice:
         reclaim_quantum_copies: int = 4,
         device: ZonedDevice | None = None,
         tracer: Tracer | None = None,
+        lifecycle=None,
     ):
         geometry = geometry or ZonedGeometry.bench()
         self.engine = engine
         if device is None:
             device = ZNSDevice(geometry, timing=timing, tracer=tracer)
-        self.layer = ZonedBlockDevice(device, config=config, tracer=tracer)
+        if lifecycle is not None and lifecycle.device is not device:
+            raise ValueError("lifecycle manager must wrap the same device")
+        self.lifecycle = lifecycle
+        self.layer = ZonedBlockDevice(
+            device, config=config, tracer=tracer, lifecycle=lifecycle
+        )
         # One bus end to end: host requests, reclaim decisions, NVMe
         # commands and flash ops all land on the same stream.
         self.tracer = self.layer.tracer
@@ -160,8 +166,10 @@ class TimedZonedBlockDevice:
             self._io_state.now = self.engine.now
             self._io_state.free_zones = self.layer.free_zone_count
             wants_work = (
-                self.layer.gc_needed() and self.layer._sealed
-            ) or self.layer.reclaim_in_progress
+                (self.layer.gc_needed() and self.layer._sealed)
+                or self.layer.reclaim_in_progress
+                or (self.lifecycle is not None and self.lifecycle.backlog > 0)
+            )
             if wants_work and self.scheduler.may_reclaim(self._io_state):
                 if self.tracer.enabled:
                     self.tracer.publish(
@@ -172,6 +180,18 @@ class TimedZonedBlockDevice:
                         )
                     )
                 ops = self.layer.reclaim_step(self.reclaim_quantum_copies)
+                if self.lifecycle is not None:
+                    # Deferred finishes and reset-ahead ride the same
+                    # granted window as reclaim copies, with reset-ahead
+                    # priced (ZnsFTL.reset_cost_us) to fit one poll
+                    # interval so a granted gap never turns into a
+                    # reset convoy.
+                    ops.extend(
+                        self.lifecycle.tick(
+                            self._io_state,
+                            budget_us=self.reclaim_poll_interval_us,
+                        )
+                    )
                 for op in ops:
                     yield self.engine.process(
                         self.service.execute(op, priority=FlashServiceModel.PRIO_BACKGROUND)

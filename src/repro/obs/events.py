@@ -105,6 +105,31 @@ class ZoneAppendEvent:
 
 
 @dataclass(slots=True)
+class ZoneMgmtEvent:
+    """One zone-management command with its hidden cost (layer ``zns.device``).
+
+    Published only by devices with a :class:`~repro.flash.timing.ZoneMgmtTiming`
+    attached (management cost modeling opted in): ``action`` is the
+    command (``reset`` / ``finish`` / ``open`` / ``close``),
+    ``latency_us`` the management overhead it charged (untimed runs
+    report the command overhead alone -- erase time stays on the
+    flash-op stream; timed runs report the full zone-hold span), and
+    ``queued_behind`` how many requests were waiting on the zone's
+    management gate when the command released it (timed runs only; the
+    §2.4-style interference, but caused by management instead of GC).
+    """
+
+    kind: ClassVar[str] = "zone-mgmt"
+
+    layer: str
+    action: str  # "reset" | "finish" | "open" | "close"
+    zone: int
+    latency_us: float = 0.0
+    queued_behind: int = 0
+    t: float | None = None
+
+
+@dataclass(slots=True)
 class ReclaimEvent:
     """Host-side reclaim decision (layers ``block.dmzoned``, ``hostio.scheduler``)."""
 
@@ -169,7 +194,9 @@ class FaultEvent:
     ``erase-fail`` / ``grown-bad-block`` (block retired at erase),
     ``read-error`` (ECC retry ladder walked, ``retries`` rungs,
     ``latency_us`` extra sense time), ``read-uncorrectable`` (ladder
-    exhausted), ``latency-spike``, ``zone-offline``. ``op_index`` is the
+    exhausted), ``latency-spike``, ``zone-offline``, ``reset-fail`` /
+    ``finish-timeout`` / ``stuck-open`` (zone-management commands bounced
+    with retryable errors). ``op_index`` is the
     injector's global flash-op counter when the fault fired, which makes
     seeded schedules reproducible and comparable across runs.
     """
@@ -238,6 +265,7 @@ EVENT_TYPES: tuple[type, ...] = (
     GcEvent,
     ZoneTransitionEvent,
     ZoneAppendEvent,
+    ZoneMgmtEvent,
     ReclaimEvent,
     HostRequestEvent,
     HostRequestBatchEvent,
@@ -281,6 +309,7 @@ __all__ = [
     "RecoveryEvent",
     "TranslationEvent",
     "ZoneAppendEvent",
+    "ZoneMgmtEvent",
     "ZoneTransitionEvent",
     "event_from_dict",
     "event_to_dict",

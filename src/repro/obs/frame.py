@@ -283,6 +283,11 @@ class FrameSink:
             self.frame.add(f"recovery.{event.layer}.{event.action}")
         elif kind == "translation":
             self.frame.add(f"translation.{event.action}", event.pages)
+        elif kind == "zone-mgmt":
+            # Only flows when a device opted into zone-management cost
+            # modeling (ZoneMgmtTiming attached); absent otherwise.
+            self.frame.add(f"zone_mgmt.{event.action}.ops")
+            self.frame.observe(f"zone_mgmt.{event.action}.latency_us", event.latency_us)
 
     def reset(self) -> None:
         self.frame = MetricsFrame()

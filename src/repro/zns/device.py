@@ -28,7 +28,7 @@ from repro.flash.geometry import ZonedGeometry
 from repro.flash.nand import NandArray
 from repro.flash.ops import FlashOp, OpKind
 from repro.flash.service import FlashServiceModel
-from repro.flash.timing import TimingModel
+from repro.flash.timing import TimingModel, ZoneMgmtTiming
 from repro.metrics.counters import OpCounter
 from repro.metrics.latency import LatencyRecorder
 from repro.obs.events import (
@@ -36,6 +36,7 @@ from repro.obs.events import (
     HostRequestEvent,
     RecoveryEvent,
     ZoneAppendEvent,
+    ZoneMgmtEvent,
     ZoneTransitionEvent,
 )
 from repro.obs.sinks import LatencySink, OpCounterSink
@@ -47,7 +48,12 @@ from repro.zns.errors import (
     ActiveZoneLimitError,
     OpenZoneLimitError,
     WritePointerError,
+    ZoneFinishTimeoutError,
+    ZoneOfflineError,
+    ZoneReadOnlyError,
+    ZoneResetFailedError,
     ZoneStateError,
+    ZoneStuckOpenError,
 )
 from repro.zns.ftl import ZnsFTL
 from repro.zns.zone import Zone, ZoneState
@@ -77,7 +83,16 @@ class ZNSDevice:
         Program faults degrade the struck zone to READ_ONLY (scalar) or
         fail the command with zone state untouched (batch, per the
         atomicity contract); scheduled zone-offline events are polled
-        before every host command. Disarmed injectors cost nothing.
+        before every host command; management commands (reset/finish)
+        can bounce with retryable errors (reset failures, finish
+        timeouts, stuck-open zones). Disarmed injectors cost nothing.
+    mgmt_timing:
+        Optional :class:`~repro.flash.timing.ZoneMgmtTiming`: when set,
+        reset/finish charge their management overhead (as an extra
+        :class:`~repro.flash.ops.FlashOp` of kind ``MGMT`` in the
+        returned op list) and every management command publishes a
+        :class:`~repro.obs.events.ZoneMgmtEvent`. ``None`` (default)
+        keeps management free and silent -- the historical behavior.
     """
 
     def __init__(
@@ -90,6 +105,7 @@ class ZNSDevice:
         striped: bool = True,
         tracer: Tracer | None = None,
         faults: "FaultInjector | None" = None,
+        mgmt_timing: ZoneMgmtTiming | None = None,
     ):
         self.geometry = geometry or ZonedGeometry.bench()
         self.nand = nand or NandArray(
@@ -110,7 +126,21 @@ class ZNSDevice:
             Zone(zone_id=z, size_pages=self.geometry.pages_per_zone)
             for z in range(self.ftl.zone_count)
         ]
-        self._open_order: list[int] = []  # implicitly-open zones, LRU first
+        self.mgmt_timing = mgmt_timing
+        # Timed wrappers own the ZoneMgmtEvent publish (they know the
+        # queued-behind count); they set this to suppress ours.
+        self._defer_mgmt_events = False
+        # Implicitly-open zones as zone -> monotonic stamp: touch and
+        # removal are O(1) dict ops, LRU eviction a min-stamp scan over
+        # at most open_limit entries (the CMT pattern; the old list paid
+        # an O(n) ``remove`` scan on every touch).
+        self._open_stamp: dict[int, int] = {}
+        self._open_clock = 0
+
+    @property
+    def _open_order(self) -> list[int]:
+        """Implicitly-open zones, LRU first (introspection/test view)."""
+        return sorted(self._open_stamp, key=self._open_stamp.__getitem__)
 
     @property
     def counters(self) -> OpCounter:
@@ -274,33 +304,91 @@ class ZNSDevice:
             self._close_lru_implicit()
         old_state = zone.state
         zone.transition_open(explicit=False)
-        self._open_order.append(zone.zone_id)
+        self._mark_open(zone.zone_id)
         self._publish_transition(zone, old_state, "implicit-open")
 
+    def _mark_open(self, zone_id: int) -> None:
+        """(Re)stamp a zone as most-recently-used implicit open. O(1)."""
+        self._open_stamp[zone_id] = self._open_clock
+        self._open_clock += 1
+
     def _touch_open(self, zone_id: int) -> None:
-        if zone_id in self._open_order:
-            self._open_order.remove(zone_id)
-            self._open_order.append(zone_id)
+        if zone_id in self._open_stamp:
+            self._mark_open(zone_id)
 
     def _close_lru_implicit(self) -> None:
-        for zone_id in self._open_order:
-            zone = self.zones[zone_id]
-            if zone.state is ZoneState.IMPLICIT_OPEN:
-                old_state = zone.state
-                zone.transition_closed()
-                self._open_order.remove(zone_id)
-                self._publish_transition(zone, old_state, "implicit-close")
-                return
-        raise OpenZoneLimitError(
-            f"{self.open_count} zones open, none implicitly; "
-            f"limit {self.geometry.open_limit}"
-        )
+        lru_zone = -1
+        lru_stamp: int | None = None
+        for zone_id, stamp in self._open_stamp.items():
+            if self.zones[zone_id].state is ZoneState.IMPLICIT_OPEN and (
+                lru_stamp is None or stamp < lru_stamp
+            ):
+                lru_zone, lru_stamp = zone_id, stamp
+        if lru_stamp is None:
+            raise OpenZoneLimitError(
+                f"{self.open_count} zones open, none implicitly; "
+                f"limit {self.geometry.open_limit}"
+            )
+        zone = self.zones[lru_zone]
+        old_state = zone.state
+        zone.transition_closed()
+        del self._open_stamp[lru_zone]
+        self._publish_transition(zone, old_state, "implicit-close")
 
     def _note_no_longer_open(self, zone_id: int) -> None:
-        if zone_id in self._open_order:
-            self._open_order.remove(zone_id)
+        self._open_stamp.pop(zone_id, None)
 
     # -- Zone management commands ----------------------------------------------------
+
+    def _publish_mgmt(
+        self, action: str, zone_id: int, latency_us: float, queued_behind: int = 0
+    ) -> None:
+        """Publish one :class:`ZoneMgmtEvent` (mgmt cost modeling opted in)."""
+        if self._defer_mgmt_events and action in ("reset", "finish"):
+            return
+        if self.mgmt_timing is not None and self.tracer.enabled:
+            self.tracer.publish(
+                ZoneMgmtEvent(
+                    "zns.device", action, zone_id,
+                    latency_us=latency_us, queued_behind=queued_behind,
+                )
+            )
+
+    def _mgmt_op(self, zone_id: int, latency_us: float) -> FlashOp:
+        """The management-overhead op record: a die-lane hold, no channel."""
+        blocks = self.ftl.blocks_of_zone(zone_id)
+        return FlashOp(
+            OpKind.MGMT, blocks[0] if blocks else 0, None, latency_us,
+            uses_channel=False,
+        )
+
+    def _check_mgmt_faults(self, zone: Zone, command: str) -> None:
+        """Bounce a management command with a retryable error, pre-mutation.
+
+        Consulted by reset/finish before any state change, mirroring the
+        batch atomicity contract: a bounced command leaves zone and flash
+        state untouched so the host may simply retry.
+        """
+        if self.faults is None:
+            return
+        zone_id = zone.zone_id
+        if zone.state.is_open and self.faults.zone_stuck(zone_id):
+            raise ZoneStuckOpenError(
+                f"zone {zone_id} stuck open; {command} rejected"
+            )
+        if command == "reset" and self.faults.on_zone_reset(zone_id):
+            # The bounced command still held the zone for its duration.
+            raise ZoneResetFailedError(
+                f"zone {zone_id} reset failed transiently",
+                latency_us=(
+                    self.mgmt_timing.reset_us if self.mgmt_timing is not None else 0.0
+                ),
+            )
+        if command == "finish" and self.faults.on_zone_finish(zone_id):
+            raise ZoneFinishTimeoutError(
+                f"zone {zone_id} finish timed out",
+                latency_us=self.faults.plan.finish_timeout_us,
+            )
 
     def open_zone(self, zone_id: int) -> None:
         """Explicitly open a zone, pinning one open slot for the host."""
@@ -319,29 +407,82 @@ class ZNSDevice:
         old_state = zone.state
         zone.transition_open(explicit=True)
         self._publish_transition(zone, old_state, "open")
+        if self.mgmt_timing is not None:
+            self._publish_mgmt("open", zone_id, self.mgmt_timing.open_us)
 
     def close_zone(self, zone_id: int) -> None:
         zone = self.zone(zone_id)
+        if (
+            self.faults is not None
+            and zone.state.is_open
+            and self.faults.zone_stuck(zone_id)
+        ):
+            raise ZoneStuckOpenError(f"zone {zone_id} stuck open; close rejected")
         old_state = zone.state
         zone.transition_closed()
         self._note_no_longer_open(zone_id)
         self._publish_transition(zone, old_state, "close")
+        if self.mgmt_timing is not None:
+            self._publish_mgmt("close", zone_id, self.mgmt_timing.close_us)
 
-    def finish_zone(self, zone_id: int) -> None:
-        """Mark a zone FULL without writing the remainder (frees its slot)."""
+    def finish_zone(self, zone_id: int) -> list[FlashOp]:
+        """Mark a zone FULL without writing the remainder (frees its slot).
+
+        NVMe semantics, made explicit: finishing a FULL zone is a no-op
+        success; finishing an EMPTY zone is the *valid* ZSE->ZSF
+        transition (the zone seals with wp 0 and no readable pages);
+        READ_ONLY / OFFLINE zones raise their typed errors. Management
+        faults (stuck-open, finish timeout) bounce pre-mutation with
+        retryable errors. Returns the management-overhead op records
+        (empty unless ``mgmt_timing`` is attached and nonzero).
+        """
         zone = self.zone(zone_id)
+        if zone.state is ZoneState.FULL:
+            return []
+        if zone.state is ZoneState.OFFLINE:
+            raise ZoneOfflineError(f"cannot finish offline zone {zone_id}")
+        if zone.state is ZoneState.READ_ONLY:
+            raise ZoneReadOnlyError(f"cannot finish read-only zone {zone_id}")
+        self._check_mgmt_faults(zone, "finish")
+        unwritten = zone.remaining
         old_state = zone.state
         zone.transition_full()
         self._note_no_longer_open(zone_id)
         self._publish_transition(zone, old_state, "finish")
+        ops: list[FlashOp] = []
+        if self.mgmt_timing is not None:
+            overhead = self.mgmt_timing.finish_total_us(unwritten)
+            if overhead:
+                ops.append(self._mgmt_op(zone_id, overhead))
+            self._publish_mgmt("finish", zone_id, overhead)
+        return ops
 
     def reset_zone(self, zone_id: int) -> list[FlashOp]:
-        """Erase the zone's blocks and rewind the write pointer."""
+        """Erase the zone's blocks and rewind the write pointer.
+
+        NVMe semantics, made explicit: resetting an EMPTY zone is a
+        valid no-op success -- its blocks are already erased, so no
+        erase is issued, no wear accrues, and no transition publishes
+        (only the command's management overhead, when modeled).
+        Management faults (stuck-open, transient reset failure) bounce
+        pre-mutation with retryable errors. The returned op list leads
+        with the management-overhead op when ``mgmt_timing`` is
+        attached, followed by one erase per zone block.
+        """
         if self.faults is not None:
             self._poll_faults()
         zone = self.zone(zone_id)
         if zone.state is ZoneState.OFFLINE:
             raise ZoneStateError(f"zone {zone_id} is offline")
+        if zone.state is ZoneState.EMPTY:
+            ops = []
+            if self.mgmt_timing is not None:
+                overhead = self.mgmt_timing.reset_us
+                if overhead:
+                    ops.append(self._mgmt_op(zone_id, overhead))
+                self._publish_mgmt("reset", zone_id, overhead)
+            return ops
+        self._check_mgmt_faults(zone, "reset")
         blocks_before = self.ftl.blocks_of_zone(zone_id)
         old_state = zone.state
         latencies, new_capacity = self.ftl.reset_zone(zone_id)
@@ -363,6 +504,11 @@ class ZNSDevice:
                 FlashOpEvent("zns.device", "erase", count=len(ops))
             )
         self._publish_transition(zone, old_state, "reset")
+        if self.mgmt_timing is not None:
+            overhead = self.mgmt_timing.reset_us
+            if overhead:
+                ops.insert(0, self._mgmt_op(zone_id, overhead))
+            self._publish_mgmt("reset", zone_id, overhead)
         return ops
 
     # -- Data commands ----------------------------------------------------------------
@@ -711,7 +857,7 @@ class ZNSDevice:
                     n_open -= 1
                 old_state = zone.state
                 zone.transition_open(explicit=False)
-                self._open_order.append(zone_id)
+                self._mark_open(zone_id)
                 self._publish_transition(zone, old_state, "implicit-open")
                 n_open += 1
             wp = zone.wp
@@ -827,6 +973,14 @@ class TimedZNSDevice:
     Regular writes to a zone serialize on that zone's host-side write
     lock (the write-pointer coordination burden the spec assigns to the
     host); appends skip the lock and contend only for flash resources.
+
+    With a :class:`~repro.flash.timing.ZoneMgmtTiming` attached,
+    management commands (reset/finish) additionally hold a per-zone
+    *management gate* for their full duration: reads, writes, and
+    appends to that zone queue behind the in-flight command -- the
+    hidden cost the paper's §2.4-style interference argument elides for
+    ZNS. The published :class:`~repro.obs.events.ZoneMgmtEvent` reports
+    the full zone-hold span and how many requests queued behind it.
     """
 
     def __init__(
@@ -837,10 +991,12 @@ class TimedZNSDevice:
         striped: bool = True,
         prioritize_reads: bool = False,
         tracer: Tracer | None = None,
+        mgmt_timing: ZoneMgmtTiming | None = None,
     ):
         self.engine = engine
         self.device = ZNSDevice(
-            geometry or ZonedGeometry.bench(), timing=timing, striped=striped, tracer=tracer
+            geometry or ZonedGeometry.bench(), timing=timing, striped=striped,
+            tracer=tracer, mgmt_timing=mgmt_timing,
         )
         self.tracer = self.device.tracer
         self.service = FlashServiceModel(
@@ -855,6 +1011,12 @@ class TimedZNSDevice:
         self._append_latency = self.tracer.attach(LatencySink(op="append"))
         self._request_ids = itertools.count()
         self._zone_locks = [Resource(engine) for _ in range(self.device.zone_count)]
+        self._mgmt_gates: list[Resource] | None = None
+        if mgmt_timing is not None:
+            # We publish the reset/finish events (we know hold span and
+            # queued-behind); the inner device stays silent for those.
+            self.device._defer_mgmt_events = True
+            self._mgmt_gates = [Resource(engine) for _ in range(self.device.zone_count)]
 
     @property
     def read_latency(self) -> LatencyRecorder:
@@ -881,6 +1043,15 @@ class TimedZNSDevice:
     def submit_reset(self, zone_id: int):
         return self.engine.process(self._reset_proc(zone_id))
 
+    def submit_finish(self, zone_id: int):
+        return self.engine.process(self._finish_proc(zone_id))
+
+    def _gate_pass(self, zone_id: int) -> Generator:
+        """Queue behind any in-flight management command on this zone."""
+        gate = self._mgmt_gates[zone_id]
+        req = yield gate.request()
+        gate.release(req)
+
     def _read_proc(self, zone_id: int, offset: int) -> Generator:
         start = self.engine.now
         request_id = next(self._request_ids)
@@ -891,6 +1062,8 @@ class TimedZNSDevice:
                 request_id=request_id, nbytes=pagesize, t=start,
             )
         )
+        if self._mgmt_gates is not None:
+            yield from self._gate_pass(zone_id)
         _, op = self.device.read(zone_id, offset)
         self.tracer.publish(
             HostRequestEvent(
@@ -925,6 +1098,8 @@ class TimedZNSDevice:
         )
         lock = self._zone_locks[zone_id]
         req = yield lock.request()
+        if self._mgmt_gates is not None:
+            yield from self._gate_pass(zone_id)
         # Queueing for this request is the zone-lock wait (§4.2): the
         # service phase begins once the write pointer is ours.
         self.tracer.publish(
@@ -963,6 +1138,8 @@ class TimedZNSDevice:
                 request_id=request_id, nbytes=nbytes, t=start,
             )
         )
+        if self._mgmt_gates is not None:
+            yield from self._gate_pass(zone_id)
         _, ops = self.device.append(zone_id, npages=npages)
         self.tracer.publish(
             HostRequestEvent(
@@ -982,12 +1159,58 @@ class TimedZNSDevice:
         return latency
 
     def _reset_proc(self, zone_id: int) -> Generator:
-        ops = self.device.reset_zone(zone_id)
-        # Erases of a zone's blocks proceed in parallel across planes.
-        procs = [self.engine.process(self.service.execute(op)) for op in ops]
-        for proc in procs:
-            yield proc
+        if self._mgmt_gates is None:
+            ops = self.device.reset_zone(zone_id)
+            # Erases of a zone's blocks proceed in parallel across planes.
+            procs = [self.engine.process(self.service.execute(op)) for op in ops]
+            for proc in procs:
+                yield proc
+            return None
+        yield from self._mgmt_proc(zone_id, "reset", self.device.reset_zone)
         return None
+
+    def _finish_proc(self, zone_id: int) -> Generator:
+        if self._mgmt_gates is None:
+            for op in self.device.finish_zone(zone_id):
+                yield self.engine.process(self.service.execute(op))
+            return None
+        yield from self._mgmt_proc(zone_id, "finish", self.device.finish_zone)
+        return None
+
+    def _mgmt_proc(self, zone_id: int, action: str, command) -> Generator:
+        """Run a management command holding the zone's gate throughout.
+
+        The command-processing overhead (the MGMT op) runs first as a
+        die-lane hold; erases then proceed in parallel across planes.
+        Requests that arrived while the gate was held are counted as
+        ``queued_behind`` on the published event.
+        """
+        gate = self._mgmt_gates[zone_id]
+        req = yield gate.request()
+        start = self.engine.now
+        try:
+            ops = command(zone_id)
+            for op in ops:
+                if op.kind is OpKind.MGMT:
+                    yield self.engine.process(self.service.execute(op))
+            procs = [
+                self.engine.process(self.service.execute(op))
+                for op in ops
+                if op.kind is not OpKind.MGMT
+            ]
+            for proc in procs:
+                yield proc
+        finally:
+            queued = gate.queue_length
+            gate.release(req)
+        if self.tracer.enabled:
+            self.tracer.publish(
+                ZoneMgmtEvent(
+                    "zns.device", action, zone_id,
+                    latency_us=self.engine.now - start,
+                    queued_behind=queued, t=self.engine.now,
+                )
+            )
 
 
 __all__ = ["TimedZNSDevice", "ZNSDevice"]

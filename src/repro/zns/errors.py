@@ -42,13 +42,59 @@ class ZoneReadOnlyError(ZnsError):
     """The zone is read-only; only reads and resets are permitted."""
 
 
+class RetryableZnsError(ZnsError):
+    """A management command failed *transiently*, pre-mutation.
+
+    NVMe reports these with the Do-Not-Retry bit clear: zone and flash
+    state are untouched, and the host may (should) simply reissue the
+    command -- the recovery loop :class:`~repro.hostio.zonelife.ZoneLifecycleManager`
+    implements. ``latency_us`` is the time the failed attempt consumed
+    (nonzero for timeouts), so hosts can charge it to their queues.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, latency_us: float = 0.0):
+        super().__init__(message)
+        self.latency_us = latency_us
+
+
+class ZoneResetFailedError(RetryableZnsError):
+    """A zone reset failed before any erase was issued (controller busy,
+
+    die arbitration loss, transient firmware error). The zone keeps its
+    pre-reset state and data; the host retries.
+    """
+
+
+class ZoneFinishTimeoutError(RetryableZnsError):
+    """A zone finish exceeded the device's command timeout.
+
+    The zone was not sealed (state unchanged) but the attempt consumed
+    ``latency_us`` of device time the host already paid for.
+    """
+
+
+class ZoneStuckOpenError(RetryableZnsError):
+    """The zone refuses to leave the open state (stuck-open firmware bug).
+
+    Finish/reset/close commands bounce until the controller's internal
+    recovery releases the zone -- the injector models that as a fixed
+    number of rejected attempts.
+    """
+
+
 __all__ = [
     "ActiveZoneLimitError",
     "OpenZoneLimitError",
+    "RetryableZnsError",
     "WritePointerError",
     "ZnsError",
+    "ZoneFinishTimeoutError",
     "ZoneFullError",
     "ZoneOfflineError",
     "ZoneReadOnlyError",
+    "ZoneResetFailedError",
     "ZoneStateError",
+    "ZoneStuckOpenError",
 ]

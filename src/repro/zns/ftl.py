@@ -201,6 +201,16 @@ class ZnsFTL:
             )
         return latencies, self.zone_capacity_pages(zone_id)
 
+    def reset_cost_us(self, zone_id: int) -> float:
+        """Estimated erase time a reset of this zone would charge.
+
+        One erase per currently-mapped block; the host lifecycle layer
+        (:mod:`repro.hostio.zonelife`) uses this to budget reset-ahead
+        work into idle windows without issuing the command.
+        """
+        self._check(zone_id)
+        return len(self._zone_blocks[zone_id]) * self.nand.timing.erase_us
+
     # -- DRAM accounting (paper §2.2) -----------------------------------------------
 
     def dram_bytes(self, bytes_per_entry: int = 4) -> int:

@@ -8,12 +8,12 @@ from repro.experiments.runner import DEFAULT_IDS, MODULES
 
 class TestRegistry:
     def test_registered_but_not_in_default_suite(self):
-        # E15 injects faults and E16 is a long fleet sweep; 'run all'
-        # output must stay fault-free and byte-stable, so both run only
-        # when named explicitly.
+        # E15/E17 inject faults and E16 is a long fleet sweep; 'run all'
+        # output must stay fault-free and byte-stable, so all three run
+        # only when named explicitly.
         assert "E15" in MODULES
         assert "E15" not in DEFAULT_IDS
-        assert set(DEFAULT_IDS) == set(MODULES) - {"E15", "E16"}
+        assert set(DEFAULT_IDS) == set(MODULES) - {"E15", "E16", "E17"}
 
     def test_base_plan_is_armed_and_seeded(self):
         plan = base_plan(seed=0)

@@ -13,7 +13,7 @@ from repro.experiments.base import ExperimentResult
 
 class TestRegistry:
     def test_all_design_md_ids_present(self):
-        expected = {"T1"} | {f"E{i}" for i in range(1, 17)} | {"A1", "A2", "A3", "A4", "A5"}
+        expected = {"T1"} | {f"E{i}" for i in range(1, 18)} | {"A1", "A2", "A3", "A4", "A5"}
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_id_rejected(self):

@@ -227,3 +227,51 @@ class TestEpochServing:
         spec = _fleet(((_CONV, 1), (_ZNS, 1)), seed=3)
         serial = simulate_fleet(spec, shards=1)
         assert simulate_fleet(spec).to_dict() == serial.to_dict()
+
+
+class TestZoneMgmtArm:
+    """Reset pressure + management faults: determinism and the E17 claim."""
+
+    @staticmethod
+    def _zns(pressure_us: float, faulted: bool) -> DeviceSpec:
+        from repro.experiments.e17_reset_pressure import mgmt_plan
+
+        spec = DeviceSpec(
+            kind="zns",
+            geometry="small",
+            flash=_FLASH,
+            blocks_per_zone=2,
+            max_active_zones=14,
+            zone_mgmt=(("reset_us", pressure_us),),
+        )
+        return spec.with_faults(mgmt_plan(0), 1.0) if faulted else spec
+
+    def _spec(self, pressure_us: float, lifecycle: bool, seed: int = 0) -> FleetSpec:
+        return _fleet(
+            ((self._zns(pressure_us, faulted=True), 2),),
+            seed=seed,
+            ticks=160,
+            warmup_ticks=120,
+            lifetime_scale=0.05,
+            zone_lifecycle=lifecycle,
+        )
+
+    @pytest.mark.parametrize("lifecycle", [False, True])
+    def test_merge_equals_serial_with_mgmt_faults(self, lifecycle):
+        spec = self._spec(5_000.0, lifecycle)
+        serial = simulate_fleet(spec, shards=1)
+        sharded = simulate_fleet(spec, shards=2)
+        assert sharded.to_dict() == serial.to_dict()
+
+    def test_lifecycle_arm_reports_its_counters(self):
+        frame = simulate_fleet(self._spec(5_000.0, lifecycle=True))
+        assert frame.counter("fleet.lifecycle.reserve_hits") > 0
+        assert frame.counter("fleet.zone_resets") > 0
+        naive = simulate_fleet(self._spec(5_000.0, lifecycle=False))
+        assert naive.counter("fleet.lifecycle.reserve_hits") == 0
+        assert naive.counter("fleet.reset_retries") > 0
+
+    def test_managed_tail_no_worse_than_naive_under_pressure(self):
+        naive = fleet_summary(simulate_fleet(self._spec(20_000.0, lifecycle=False)))
+        managed = fleet_summary(simulate_fleet(self._spec(20_000.0, lifecycle=True)))
+        assert managed["read_p99_us"] <= naive["read_p99_us"]

@@ -15,6 +15,7 @@ from repro.obs.events import (
     RecoveryEvent,
     TranslationEvent,
     ZoneAppendEvent,
+    ZoneMgmtEvent,
     ZoneTransitionEvent,
     event_from_dict,
     event_to_dict,
@@ -42,6 +43,8 @@ SAMPLES = [
     RecoveryEvent("ftl.ftl", "block-retired", block=3, pages_moved=12,
                   detail="program faults"),
     TranslationEvent("ftl.dftl", "gc", block=17, pages=9),
+    ZoneMgmtEvent("zns.device", "reset", zone=6, latency_us=1500.0,
+                  queued_behind=2),
 ]
 
 
